@@ -1,0 +1,81 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+These go beyond the paper's figures: the formula-(1) safety factor t, the
+space-filling-curve choice, the tiles-per-partition ratio, and the S3J
+hierarchy depth.
+"""
+
+import pytest
+
+from repro.bench.experiments import (
+    run_ablation_max_level,
+    run_ablation_ntiles,
+    run_ablation_s3j_strategy,
+    run_ablation_sfc,
+    run_ablation_t_factor,
+)
+
+from benchmarks.conftest import column, record
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_t_factor(benchmark):
+    result = benchmark.pedantic(run_ablation_t_factor, rounds=1, iterations=1)
+    record("ablation_t_factor", result)
+    t = column(result, "t")
+    partitions = column(result, "P")
+    events = column(result, "repartition_events")
+    # More safety margin -> more partitions, less repartitioning.
+    assert partitions == sorted(partitions)
+    assert events[-1] <= events[0]
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_sfc(benchmark):
+    result = benchmark.pedantic(run_ablation_sfc, rounds=1, iterations=1)
+    record("ablation_sfc", result)
+    curves = column(result, "curve")
+    cpu = dict(zip(curves, column(result, "cpu_sec")))
+    codes = dict(zip(curves, column(result, "codes")))
+    results = column(result, "results")
+    # Identical work, identical answers...
+    assert codes["peano"] == codes["hilbert"]
+    assert results[0] == results[1]
+    # ...but Hilbert codes cost more CPU (the reason the paper uses Peano).
+    assert cpu["hilbert"] > cpu["peano"]
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_ntiles(benchmark):
+    result = benchmark.pedantic(run_ablation_ntiles, rounds=1, iterations=1)
+    record("ablation_ntiles", result)
+    tiles = column(result, "tiles_per_P")
+    replication = column(result, "replication")
+    # Finer grids replicate more (more tile borders to straddle).
+    assert replication[-1] > replication[0]
+    assert tiles == sorted(tiles)
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_s3j_strategy(benchmark):
+    result = benchmark.pedantic(run_ablation_s3j_strategy, rounds=1, iterations=1)
+    record("ablation_s3j_strategy", result)
+    strategies = column(result, "strategy")
+    replication = dict(zip(strategies, column(result, "replication")))
+    tests = dict(zip(strategies, column(result, "tests")))
+    # hybrid replicates less than full size separation...
+    assert replication["original"] <= replication["hybrid"] <= replication["size"]
+    # ...while removing the bulk of the original's intersection tests.
+    assert tests["hybrid"] < tests["original"] / 5
+    assert tests["size"] <= tests["hybrid"]
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_max_level(benchmark):
+    result = benchmark.pedantic(run_ablation_max_level, rounds=1, iterations=1)
+    record("ablation_max_level", result)
+    levels = column(result, "max_level")
+    tests = column(result, "tests")
+    # Deeper hierarchies separate sizes better: fewer intersection tests.
+    assert tests[-1] < tests[0]
+    assert levels == sorted(levels)

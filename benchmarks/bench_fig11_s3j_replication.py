@@ -1,0 +1,34 @@
+"""Figure 11: S3J original vs S3J with data replication (J5).
+
+The paper's headline S3J result: with size-separation replication the CPU
+time drops by an order of magnitude and the total runtime by a factor of
+2.5 to 4, while the redundancy stays bounded (at most four copies).
+"""
+
+import pytest
+
+from repro.bench.experiments import run_fig11
+
+from benchmarks.conftest import column, record
+
+
+@pytest.mark.benchmark(group="fig11")
+def test_fig11_s3j_replication(benchmark):
+    result = benchmark.pedantic(run_fig11, rounds=1, iterations=1)
+    record("fig11", result)
+    orig_cpu = column(result, "orig_cpu")
+    repl_cpu = column(result, "repl_cpu")
+    orig_total = column(result, "orig_total")
+    repl_total = column(result, "repl_total")
+    repl_rate = column(result, "repl_rate")
+
+    for oc, rc in zip(orig_cpu, repl_cpu):
+        # "an order of magnitude" — require at least 5x at every budget.
+        assert oc / rc > 5.0
+
+    for ot, rt in zip(orig_total, repl_total):
+        # "by a factor 2.5 to 4" — require at least 2x at every budget.
+        assert ot / rt > 2.0
+
+    # The replication overhead must stay within the paper's bound.
+    assert all(1.0 <= r <= 4.0 for r in repl_rate)

@@ -1,0 +1,31 @@
+"""Figure 12: internal join algorithms inside S3J (J5).
+
+S3J's partitions are tiny, so the list-based plane sweep is only
+marginally different from plain nested loops, and the trie-based sweep —
+excellent for PBSM — is strictly worse (the paper left it off the plot
+because its overhead was so high; we report it).
+"""
+
+import pytest
+
+from repro.bench.experiments import run_fig12
+
+from benchmarks.conftest import column, record
+
+
+@pytest.mark.benchmark(group="fig12")
+def test_fig12_s3j_internal(benchmark):
+    result = benchmark.pedantic(run_fig12, rounds=1, iterations=1)
+    record("fig12", result)
+    nested = column(result, "nested_loops_sec")
+    sweep = column(result, "sweep_list_sec")
+    trie = column(result, "sweep_trie_sec")
+
+    # Nested loops and the list sweep are within ~25% of each other at
+    # every budget ("performs only slightly faster than nested loops").
+    for n, s in zip(nested, sweep):
+        assert abs(n - s) / n < 0.25
+
+    # The trie sweep is the worst option inside S3J at every budget.
+    for n, s, t in zip(nested, sweep, trie):
+        assert t > n and t > s

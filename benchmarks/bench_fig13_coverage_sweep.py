@@ -1,0 +1,42 @@
+"""Figure 13: S3J vs PBSM(list) vs PBSM(trie) joining LA_RR(p) x LA_ST(p).
+
+Coverage grows quadratically in p, driving PBSM's replication up.  For
+small p the PBSM variants are similar and S3J substantially slower; for
+large p S3J approaches PBSM(list), but PBSM(trie) remains the clear
+winner.
+"""
+
+import pytest
+
+from repro.bench.experiments import run_fig13
+
+from benchmarks.conftest import column, record
+
+
+@pytest.mark.benchmark(group="fig13")
+def test_fig13_coverage_sweep(benchmark):
+    result = benchmark.pedantic(run_fig13, rounds=1, iterations=1)
+    record("fig13", result)
+    p = column(result, "p")
+    s3j = column(result, "s3j_sec")
+    pbsm_list = column(result, "pbsm_list_sec")
+    pbsm_trie = column(result, "pbsm_trie_sec")
+    repl = column(result, "pbsm_repl")
+
+    # PBSM's replication rate grows with p (the redundancy pressure that
+    # the figure is about).
+    assert repl[-1] > repl[0]
+
+    # Small p: S3J is substantially slower than both PBSM variants.
+    assert s3j[0] > 1.3 * pbsm_list[0]
+    assert s3j[0] > 1.3 * pbsm_trie[0]
+
+    # Large p: S3J closes in on PBSM(list) — the ratio S3J/PBSM(list)
+    # shrinks substantially from p=1 to p=10.
+    ratio_small = s3j[0] / pbsm_list[0]
+    ratio_large = s3j[-1] / pbsm_list[-1]
+    assert ratio_large < 0.7 * ratio_small
+
+    # PBSM(trie) is the clear winner at large p.
+    assert pbsm_trie[-1] < pbsm_list[-1]
+    assert pbsm_trie[-1] < s3j[-1]

@@ -1,0 +1,38 @@
+"""Figure 14: the head-to-head — S3J vs PBSM(list) vs PBSM(trie) over
+memory for J5.
+
+Paper: S3J performs well for small memories, PBSM(list) is most efficient
+mid-range, PBSM(trie) is most suitable for large memories — and overall
+the best PBSM beats S3J by about a factor of two on average.
+"""
+
+import pytest
+
+from repro.bench.experiments import run_fig14
+
+from benchmarks.conftest import column, record
+
+
+@pytest.mark.benchmark(group="fig14")
+def test_fig14_comparison(benchmark):
+    result = benchmark.pedantic(run_fig14, rounds=1, iterations=1)
+    record("fig14", result)
+    s3j = column(result, "s3j_sec")
+    pbsm_list = column(result, "pbsm_list_sec")
+    pbsm_trie = column(result, "pbsm_trie_sec")
+
+    # Large memory: PBSM(trie) is the most suitable method.
+    assert pbsm_trie[-1] < pbsm_list[-1]
+    assert pbsm_trie[-1] < s3j[-1]
+
+    # Overall: the best PBSM outperforms S3J on average (paper: ~2x).
+    best_pbsm_avg = sum(min(l, t) for l, t in zip(pbsm_list, pbsm_trie)) / len(s3j)
+    s3j_avg = sum(s3j) / len(s3j)
+    assert s3j_avg / best_pbsm_avg > 1.5
+
+    # S3J improves steadily with memory (cheaper level-file sorting).
+    # NOTE: the paper additionally shows S3J *winning* at small memories;
+    # that crossover does not reproduce under our cost model (see the
+    # Figure 14 entry in EXPERIMENTS.md for the analysis), so it is
+    # deliberately not asserted here.
+    assert s3j[-1] < s3j[0]

@@ -1,0 +1,38 @@
+"""Figure 3: PBSM duplicate removal — final sort (PD) vs online RPM.
+
+Figure 3a: the I/O overhead of the duplicate-removal sort grows with the
+result set, and RPM avoids it completely.  Figure 3b: PBSM with RPM is
+considerably faster overall.
+"""
+
+import pytest
+
+from repro.bench.experiments import run_fig3
+
+from benchmarks.conftest import column, record
+
+
+@pytest.mark.benchmark(group="fig3")
+def test_fig3_rpm_vs_sort(benchmark):
+    result = benchmark.pedantic(run_fig3, rounds=1, iterations=1)
+    record("fig3", result)
+    io_dedup = column(result, "PD_io_dedup")
+    io_base = column(result, "PD_io_base")
+    rp_io = column(result, "RP_io")
+    pd_runtime = column(result, "PD_runtime")
+    rp_runtime = column(result, "RP_runtime")
+    n_results = column(result, "results")
+
+    # Fig 3a: the dedup overhead grows with the result set...
+    assert n_results == sorted(n_results)
+    assert io_dedup == sorted(io_dedup)
+    assert io_dedup[-1] > 3 * io_dedup[0]
+    # ... and RPM's I/O equals the PD base I/O (no dedup phase at all).
+    for base, rpm in zip(io_base, rp_io):
+        assert rpm == pytest.approx(base, rel=0.01)
+
+    # Fig 3b: RPM is faster on every join, increasingly so.
+    for pd, rp in zip(pd_runtime, rp_runtime):
+        assert rp < pd
+    gains = [pd / rp for pd, rp in zip(pd_runtime, rp_runtime)]
+    assert gains[-1] > gains[0]

@@ -1,0 +1,33 @@
+"""Figure 4: internal plane-sweep algorithms applied in main memory.
+
+The trie-organised sweep beats the list-organised sweep on every join,
+with a gain that grows with join selectivity; for J5 the paper quotes
+236 s (trie) vs 768 s (list), more than a factor of three.
+"""
+
+import pytest
+
+from repro.bench.experiments import run_fig4
+
+from benchmarks.conftest import column, record
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_fig4_internal_algorithms(benchmark):
+    result = benchmark.pedantic(run_fig4, rounds=1, iterations=1)
+    record("fig4", result)
+    joins = column(result, "join")
+    list_sec = dict(zip(joins, column(result, "list_sec")))
+    trie_sec = dict(zip(joins, column(result, "trie_sec")))
+
+    # Trie superior for all joins.
+    for join in joins:
+        assert trie_sec[join] < list_sec[join], join
+
+    # The performance gain grows with the selectivity of the join
+    # (J1 -> J4 have identical inputs but growing selectivity).
+    gains = [list_sec[j] / trie_sec[j] for j in ("J1", "J2", "J3", "J4")]
+    assert gains == sorted(gains)
+
+    # J5: more than a factor of three (the paper: 768 / 236 ~= 3.25).
+    assert list_sec["J5"] / trie_sec["J5"] > 3.0

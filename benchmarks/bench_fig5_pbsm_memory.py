@@ -1,0 +1,38 @@
+"""Figure 5: PBSM(list) vs PBSM(trie) over available memory (J5).
+
+The paper's counter-intuitive finding: the list variant does not improve —
+and eventually degrades — as memory grows (larger partitions mean longer
+sweep-line status lists), while the trie variant keeps improving; the trie
+is the right choice for large memories.
+"""
+
+import pytest
+
+from repro.bench.experiments import run_fig5
+
+from benchmarks.conftest import column, record
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5_pbsm_over_memory(benchmark):
+    result = benchmark.pedantic(run_fig5, rounds=1, iterations=1)
+    record("fig5", result)
+    mem = column(result, "mem_%input")
+    list_sec = column(result, "list_sec")
+    trie_sec = column(result, "trie_sec")
+
+    # Trie is the clear winner once partitions are large (largest memory).
+    assert trie_sec[-1] < list_sec[-1]
+    assert list_sec[-1] / trie_sec[-1] > 1.5
+
+    # The list variant does NOT improve with large memories: its runtime at
+    # the largest budget is no better than its best mid-range point.
+    mid = [s for m, s in zip(mem, list_sec) if 20 <= m <= 50]
+    assert list_sec[-1] >= min(mid)
+
+    # The trie variant keeps improving (or at worst plateaus) with memory.
+    assert trie_sec[-1] <= trie_sec[0]
+
+    # Partition count shrinks as memory grows (formula (1)).
+    partitions = column(result, "P")
+    assert partitions == sorted(partitions, reverse=True)

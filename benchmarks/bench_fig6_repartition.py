@@ -1,0 +1,29 @@
+"""Figure 6: the share of PBSM's runtime spent repartitioning (J5).
+
+Repartitioning contributes substantially only for small memories and its
+influence diminishes as memory grows (reaching zero once every pair fits).
+"""
+
+import pytest
+
+from repro.bench.experiments import run_fig6
+
+from benchmarks.conftest import column, record
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6_repartition_share(benchmark):
+    result = benchmark.pedantic(run_fig6, rounds=1, iterations=1)
+    record("fig6", result)
+    share = column(result, "repart_%runtime")
+    events = column(result, "events")
+
+    # Substantial at the smallest memory, zero at the largest.
+    assert share[0] > 10.0
+    assert share[-1] == 0.0
+    assert events[-1] == 0
+
+    # Diminishing influence: the average share over the small-memory half
+    # exceeds the average over the large-memory half.
+    half = len(share) // 2
+    assert sum(share[:half]) / half > sum(share[half:]) / (len(share) - half)

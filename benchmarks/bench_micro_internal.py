@@ -1,0 +1,57 @@
+"""Micro-benchmarks of the internal join algorithms (pytest-benchmark).
+
+Unlike the figure benches (which run a whole experiment once), these are
+classic repeated-timing micro-benchmarks of the in-memory joins on fixed
+partition-sized inputs — the regime the paper's internal-algorithm
+discussion (Sections 3.2.2 and 4.4.1) is about.
+"""
+
+import pytest
+
+from repro.core.stats import CpuCounters
+from repro.datasets import uniform_rects
+from repro.internal import INTERNAL_ALGORITHMS
+
+# A PBSM-sized partition pair and an S3J-sized one.
+PBSM_PARTITION = (
+    uniform_rects(2_000, seed=71, mean_edge=0.01),
+    uniform_rects(2_000, seed=72, start_oid=10_000, mean_edge=0.01),
+)
+S3J_PARTITION = (
+    uniform_rects(12, seed=73, mean_edge=0.1),
+    uniform_rects(12, seed=74, start_oid=10_000, mean_edge=0.1),
+)
+
+
+def _run(algo, left, right):
+    counters = CpuCounters()
+    sink = []
+    algo(left, right, lambda r, s: sink.append(None), counters)
+    return len(sink)
+
+
+@pytest.mark.benchmark(group="internal-pbsm-sized")
+@pytest.mark.parametrize("name", ["sweep_list", "sweep_trie", "sweep_tree"])
+def test_internal_on_pbsm_sized_partition(benchmark, name):
+    left, right = PBSM_PARTITION
+    n = benchmark(_run, INTERNAL_ALGORITHMS[name], left, right)
+    assert n > 0
+
+
+@pytest.mark.benchmark(group="internal-s3j-sized")
+@pytest.mark.parametrize("name", ["nested_loops", "sweep_list", "sweep_trie"])
+def test_internal_on_s3j_sized_partition(benchmark, name):
+    left, right = S3J_PARTITION
+    benchmark(_run, INTERNAL_ALGORITHMS[name], left, right)
+
+
+@pytest.mark.benchmark(group="refpoint")
+def test_reference_point_cost(benchmark):
+    """The RPM primitive itself: the paper claims at most six comparisons
+    per produced result — it must be orders of magnitude cheaper than a
+    join."""
+    from repro.core.refpoint import reference_point
+
+    r = (1, 0.2, 0.2, 0.6, 0.6)
+    s = (2, 0.4, 0.4, 0.8, 0.8)
+    benchmark(reference_point, r, s)

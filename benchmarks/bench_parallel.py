@@ -1,0 +1,63 @@
+"""Bench A7: parallel PBSM speedup (simulated shared-nothing workers).
+
+The paper's related work cites parallel spatial join processing
+[BKS 96, Pat 98]; RPM is what makes PBSM embarrassingly parallel (each
+result is owned by exactly one partition, hence one worker).  The speedup
+curve must rise with workers and flatten at the Amdahl bound set by the
+sequential partitioning phase and the largest single partition.
+"""
+
+import pytest
+
+from repro.bench.render import ExperimentResult
+from repro.bench.workloads import la_join, memory_for_fraction
+from repro.pbsm.parallel import ParallelPBSM
+
+from benchmarks.conftest import column, record
+
+
+def run_parallel_speedup() -> ExperimentResult:
+    left, right = la_join("J2")
+    memory = memory_for_fraction(left, right, 0.1)
+    base = None
+    rows = []
+    for workers in (1, 2, 4, 8, 16):
+        result = ParallelPBSM(memory, workers=workers).run(left, right)
+        total = sum(result.stats.sim_seconds_by_phase.values())
+        if base is None:
+            base = total
+        rows.append(
+            (
+                workers,
+                round(total, 2),
+                round(base / total, 2),
+                round(result.stats.sim_seconds_by_phase["partition"], 2),
+                result.stats.n_results,
+            )
+        )
+    return ExperimentResult(
+        exp_id="Ablation A7",
+        title="Parallel PBSM speedup over simulated workers (J2)",
+        columns=["workers", "total_sec", "speedup", "partition_sec", "results"],
+        rows=rows,
+        paper_claim=(
+            "partition pairs are independent under RPM; speedup bounded by "
+            "the sequential partitioning phase (Amdahl)"
+        ),
+    )
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_parallel_speedup(benchmark):
+    result = benchmark.pedantic(run_parallel_speedup, rounds=1, iterations=1)
+    record("ablation_parallel", result)
+    speedups = column(result, "speedup")
+    totals = column(result, "total_sec")
+    results = set(column(result, "results"))
+    partition = column(result, "partition_sec")
+    assert len(results) == 1  # worker count cannot change the answer
+    # Monotone non-increasing runtime, meaningful speedup by 8 workers.
+    assert totals == sorted(totals, reverse=True)
+    assert speedups[3] > 1.5
+    # Amdahl: total never drops below the sequential partitioning phase.
+    assert all(t >= p for t, p in zip(totals, partition))

@@ -1,0 +1,26 @@
+"""Table 1: the dataset inventory (cardinalities and coverage)."""
+
+import pytest
+
+from repro.bench.experiments import run_table1
+
+from benchmarks.conftest import column, record
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_datasets(benchmark):
+    result = benchmark.pedantic(run_table1, rounds=1, iterations=1)
+    record("table1", result)
+    names = column(result, "dataset")
+    measured = dict(zip(names, column(result, "coverage")))
+    target = dict(zip(names, column(result, "paper_coverage")))
+    # Coverage must be calibrated to Table 1 for the base datasets.
+    for name in ("LA_RR", "LA_ST", "CAL_ST"):
+        assert measured[name] == pytest.approx(target[name], rel=0.05)
+    # The (p) variants follow the ~p^2 law (slightly below, since the
+    # global MBR grows with the rectangles).
+    assert measured["LA_RR(2)"] == pytest.approx(target["LA_RR(2)"], rel=0.15)
+    assert measured["LA_ST(3)"] == pytest.approx(target["LA_ST(3)"], rel=0.15)
+    # CAL_ST must remain the largest dataset.
+    ns = dict(zip(names, column(result, "n_mbrs")))
+    assert ns["CAL_ST"] > ns["LA_RR"] and ns["CAL_ST"] > ns["LA_ST"]

@@ -1,0 +1,25 @@
+"""Table 2: the experiment joins J1..J5 (result counts, selectivity)."""
+
+import pytest
+
+from repro.bench.experiments import run_table2
+
+from benchmarks.conftest import column, record
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_joins(benchmark):
+    result = benchmark.pedantic(run_table2, rounds=1, iterations=1)
+    record("table2", result)
+    names = column(result, "join")
+    results = dict(zip(names, column(result, "results")))
+    sel = dict(zip(names, column(result, "selectivity")))
+    # Result counts and selectivities must grow strictly J1 -> J4, as the
+    # (p) scaling quadratically inflates coverage (Table 2's pattern).
+    assert results["J1"] < results["J2"] < results["J3"] < results["J4"]
+    assert sel["J1"] < sel["J2"] < sel["J3"] < sel["J4"]
+    # J5 is the largest join by input size and produces the most results
+    # of the unscaled joins.
+    assert results["J5"] > results["J1"]
+    # J5's selectivity is of the same order as J1's (both unscaled data).
+    assert sel["J5"] < sel["J2"]

@@ -1,0 +1,34 @@
+"""Table 3: minimum I/O passes over the data per phase.
+
+Paper: partitioning writes the data once for both methods; PBSM
+occasionally repartitions ("+") while S3J always sorts its level files
+(read + write = 2 passes, "2+"); the join phase reads the data once.
+"""
+
+import pytest
+
+from repro.bench.experiments import run_table3
+
+from benchmarks.conftest import column, record
+
+
+@pytest.mark.benchmark(group="table3")
+def test_table3_io_passes(benchmark):
+    result = benchmark.pedantic(run_table3, rounds=1, iterations=1)
+    record("table3", result)
+    phases = column(result, "phase")
+    pbsm = dict(zip(phases, column(result, "PBSM_passes")))
+    s3j = dict(zip(phases, column(result, "S3J_passes")))
+
+    # Partitioning: about one pass (plus replication and positioning).
+    assert 0.8 <= pbsm["partition (write)"] <= 3.0
+    assert 0.8 <= s3j["partition (write)"] <= 6.0
+
+    # Middle phase: S3J must pay its sorting passes (about 2 when the
+    # level files fit in memory); PBSM's repartitioning is occasional.
+    assert s3j["repartition/sort"] >= 1.5
+    assert pbsm["repartition/sort"] < s3j["repartition/sort"] + 2.0
+
+    # Join: both read the partitioned data once.
+    assert 0.8 <= pbsm["join (read)"] <= 3.0
+    assert 0.8 <= s3j["join (read)"] <= 6.0

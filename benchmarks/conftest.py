@@ -1,0 +1,35 @@
+"""Shared helpers for the benchmark suite.
+
+Every bench runs one experiment from :mod:`repro.bench.experiments` exactly
+once (``benchmark.pedantic(rounds=1)``), prints the reproduced table, saves
+it under ``benchmarks/results/``, and asserts the *shape* claims the paper
+makes about that table or figure.  Absolute numbers are not asserted — the
+substrate is a simulator, not the authors' SPARCstation.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Scale is controlled by the ``REPRO_SCALE`` environment variable (default
+0.10 of the paper's dataset cardinalities).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def record(name: str, result) -> None:
+    """Print an experiment result and persist it under results/."""
+    text = result.to_text()
+    print("\n" + text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def column(result, name: str):
+    """Extract one column of an ExperimentResult as a list."""
+    idx = result.columns.index(name)
+    return [row[idx] for row in result.rows]

@@ -1,0 +1,109 @@
+#!/usr/bin/env python
+"""Map overlay: the workload class the paper's introduction motivates.
+
+A city's street network is joined against its waterway network to find
+every street segment that crosses (or runs along) a waterway — the filter
+step of a bridge/culvert analysis.  The example shows the standard
+two-step architecture:
+
+1. *filter step* (this library): join the MBRs, producing candidates;
+2. *refinement step* (sketched here): test the exact segment geometry of
+   each candidate.
+
+It also demonstrates why duplicate-free filter output matters: the
+refinement step is the expensive part, so every duplicate candidate would
+be paid for twice.
+
+Run:  python examples/map_overlay.py
+"""
+
+import math
+
+import numpy as np
+
+from repro import PBSM, mb
+from repro.core.rect import KPE
+
+
+def make_network(n_segments: int, seed: int, start_oid: int):
+    """A polyline network: returns (KPEs, exact segment endpoints)."""
+    rng = np.random.default_rng(seed)
+    n_lines = max(1, n_segments // 60)
+    kpes = []
+    segments = {}
+    oid = start_oid
+    for _ in range(n_lines):
+        x, y = float(rng.random()), float(rng.random())
+        theta = rng.uniform(0, 2 * math.pi)
+        for _ in range(60):
+            theta += rng.normal(0, 0.3)
+            step = rng.exponential(0.004)
+            nx = min(1.0, max(0.0, x + step * math.cos(theta)))
+            ny = min(1.0, max(0.0, y + step * math.sin(theta)))
+            kpes.append(
+                KPE(oid, min(x, nx), min(y, ny), max(x, nx), max(y, ny))
+            )
+            segments[oid] = ((x, y), (nx, ny))
+            oid += 1
+            x, y = nx, ny
+            if len(kpes) >= n_segments:
+                return kpes[:n_segments], segments
+    return kpes, segments
+
+
+def segments_cross(seg_a, seg_b) -> bool:
+    """Exact refinement: do two line segments intersect?"""
+
+    def orient(p, q, r):
+        v = (q[0] - p[0]) * (r[1] - p[1]) - (q[1] - p[1]) * (r[0] - p[0])
+        return (v > 1e-18) - (v < -1e-18)
+
+    (a, b), (c, d) = seg_a, seg_b
+    o1, o2 = orient(a, b, c), orient(a, b, d)
+    o3, o4 = orient(c, d, a), orient(c, d, b)
+    if o1 != o2 and o3 != o4:
+        return True
+    def on(p, q, r):
+        return (
+            orient(p, q, r) == 0
+            and min(p[0], q[0]) <= r[0] <= max(p[0], q[0])
+            and min(p[1], q[1]) <= r[1] <= max(p[1], q[1])
+        )
+    return on(a, b, c) or on(a, b, d) or on(c, d, a) or on(c, d, b)
+
+
+def main() -> None:
+    streets, street_geom = make_network(30_000, seed=11, start_oid=0)
+    waterways, water_geom = make_network(6_000, seed=22, start_oid=10_000_000)
+    print(f"streets: {len(streets):,} segments, waterways: {len(waterways):,}")
+
+    # Filter step: PBSM with the trie sweep and online dedup.
+    join = PBSM(mb(0.25), internal="sweep_trie", dedup="rpm")
+    result = join.run(streets, waterways)
+    stats = result.stats
+    print(
+        f"filter step: {stats.n_results:,} candidate pairs "
+        f"({stats.duplicates_suppressed:,} duplicates suppressed online, "
+        f"sim {stats.sim_seconds:.2f}s)"
+    )
+
+    # Refinement step: exact geometry on the (duplicate-free) candidates.
+    crossings = [
+        (street_oid, water_oid)
+        for street_oid, water_oid in result.pairs
+        if segments_cross(street_geom[street_oid], water_geom[water_oid])
+    ]
+    print(
+        f"refinement step: {len(crossings):,} true crossings "
+        f"({stats.n_results - len(crossings):,} false positives filtered)"
+    )
+    saved = stats.duplicates_suppressed
+    print(
+        f"every one of the {saved:,} suppressed duplicates would have cost "
+        "an extra exact-geometry test here — the paper's first argument "
+        "for online duplicate removal."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Multiway joins and histogram-based join ordering.
+
+The paper's Section 3.2.3 notes that partition-count estimation needs
+DBMS statistics once inputs are intermediate results.  This example puts
+the pieces together: grid histograms estimate the pairwise join sizes of
+three relations, a greedy optimizer picks a join order, and the cascaded
+multiway join executes it — comparing the chosen order against the worst
+one.
+
+Run:  python examples/multiway_planning.py
+"""
+
+import time
+
+from repro.core.space import Space
+from repro.datasets import clustered_rects, polyline_mbrs, uniform_rects
+from repro.estimate import GridHistogram, choose_join_order
+from repro.operators.multiway import multiway_join
+from repro.io.costmodel import mb
+
+
+def main() -> None:
+    relations = {
+        "roads": polyline_mbrs(8_000, seed=51),
+        "parcels": uniform_rects(8_000, seed=52, start_oid=10**6, mean_edge=0.004),
+        "wetlands": clustered_rects(
+            800, seed=53, start_oid=2 * 10**6, clusters=3, mean_edge=0.01
+        ),
+    }
+    names = list(relations)
+    space = Space.of(*relations.values())
+    histograms = [
+        GridHistogram.build(rel, space, resolution=16) for rel in relations.values()
+    ]
+
+    print("estimated pairwise join sizes:")
+    for i in range(3):
+        for j in range(i + 1, 3):
+            estimate = histograms[i].estimate_join_results(histograms[j])
+            print(f"  {names[i]:8} x {names[j]:8} ~= {estimate:>12,.0f}")
+
+    order = choose_join_order(histograms)
+    print(f"\nchosen join order: {' -> '.join(names[i] for i in order)}")
+
+    def run(index_order):
+        rels = [relations[names[i]] for i in index_order]
+        start = time.perf_counter()
+        rows = multiway_join(rels, mb(0.25), predicate="common")
+        return rows, time.perf_counter() - start
+
+    chosen_rows, chosen_time = run(order)
+    worst_rows, worst_time = run(list(reversed(order)))
+    # tuples come back in relation order; normalise to compare
+    normalise = lambda rows, idx: {tuple(sorted(r)) for r in rows}
+    assert normalise(chosen_rows, order) == normalise(worst_rows, order)
+    print(
+        f"\nchosen order: {len(chosen_rows):,} result triples in "
+        f"{chosen_time:.2f}s wall"
+    )
+    print(f"reverse order: same triples in {worst_time:.2f}s wall")
+    print(
+        "(both orders return identical triples; the optimizer just keeps "
+        "the intermediate result small)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Pipelining in an operator tree: the paper's systems argument, executed.
+
+The paper argues (Sections 1, 3.1, 6) that PBSM's original sort-based
+duplicate removal "blocks a pipelined processing in an operator tree"
+because nothing can be emitted before the final sort — whereas the online
+Reference Point Method streams results out of the join phase as they are
+found.  The same holds for SSSJ, which must sort both inputs before the
+first output tuple.
+
+This example builds the operator tree
+
+    LimitOp(10) <- FilterOp(left oid is even) <- SpatialJoinOp(...)
+
+over each join driver and measures (a) time to the first result and
+(b) time for the LIMIT-10 query — the canonical case where pipelining
+pays: a blocking join does all its work before the limit can cut it off.
+
+Run:  python examples/pipelined_operator_tree.py
+"""
+
+import time
+
+from repro import PBSM, S3J, SSSJ, mb
+from repro.datasets import polyline_mbrs
+from repro.operators import FilterOp, LimitOp, SpatialJoinOp, time_to_first_result
+
+
+def limit_query_seconds(driver, left, right, limit=10) -> float:
+    """Wall seconds to answer a LIMIT query over the join."""
+    tree = LimitOp(
+        FilterOp(SpatialJoinOp(driver, left, right), lambda pair: pair[0] % 2 == 0),
+        limit,
+    )
+    start = time.perf_counter()
+    results = list(tree)
+    elapsed = time.perf_counter() - start
+    assert len(results) <= limit
+    return elapsed
+
+
+def main() -> None:
+    left = polyline_mbrs(25_000, seed=5)
+    right = polyline_mbrs(25_000, seed=6, start_oid=1_000_000)
+    memory = mb(0.25)
+
+    drivers = [
+        ("PBSM + RPM (pipelined)", PBSM(memory, dedup="rpm")),
+        ("PBSM + sort (blocking)", PBSM(memory, dedup="sort")),
+        ("S3J replicated (pipelined)", S3J(memory)),
+        ("SSSJ (blocking input sort)", SSSJ(memory)),
+    ]
+
+    print(f"{'driver':30} {'first_result':>12} {'full_join':>10} {'limit_10':>9}")
+    for name, driver in drivers:
+        first, total, _ = time_to_first_result(driver, left, right)
+        limited = limit_query_seconds(driver, left, right)
+        print(f"{name:30} {first:>11.3f}s {total:>9.3f}s {limited:>8.3f}s")
+
+    print(
+        "\nThe pipelined drivers answer the LIMIT-10 query in a fraction "
+        "of their full join time; the blocking drivers pay (nearly) the "
+        "full cost before the first tuple appears."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Quickstart: run a spatial join with every method and compare.
+
+Generates two synthetic road-network datasets, joins them with PBSM
+(the paper's overall winner), S3J, and the SSSJ baseline, and prints the
+statistics each method reports.  All three must return exactly the same
+result set — duplicate-free, thanks to the online Reference Point Method.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import PBSM, S3J, SSSJ, mb
+from repro.datasets import polyline_mbrs
+
+
+def main() -> None:
+    # Two road-network-like relations (see repro.datasets for generators).
+    roads = polyline_mbrs(20_000, seed=1)
+    rivers = polyline_mbrs(15_000, seed=2, start_oid=1_000_000)
+    print(f"inputs: {len(roads):,} roads x {len(rivers):,} rivers")
+
+    drivers = [
+        PBSM(mb(0.25), internal="sweep_trie", dedup="rpm"),
+        PBSM(mb(0.25), internal="sweep_list", dedup="sort"),  # original PBSM
+        S3J(mb(0.25), replicate=True),
+        S3J(mb(0.25), replicate=False),                       # original S3J
+        SSSJ(mb(0.25)),
+    ]
+
+    reference = None
+    print(
+        f"\n{'algorithm':28} {'results':>9} {'repl':>5} {'dups':>7} "
+        f"{'io_units':>9} {'sim_sec':>8} {'wall_sec':>8}"
+    )
+    for driver in drivers:
+        result = driver.run(roads, rivers)
+        stats = result.stats
+        if reference is None:
+            reference = result.pair_set()
+        assert result.pair_set() == reference, "methods disagree!"
+        assert not result.has_duplicates(), "duplicates in the response set!"
+        dups = stats.duplicates_suppressed or stats.duplicates_sorted_out
+        print(
+            f"{stats.algorithm:28} {stats.n_results:>9,} "
+            f"{stats.replication_rate:>5.2f} {dups:>7,} "
+            f"{stats.io_units:>9,.0f} {stats.sim_seconds:>8.2f} "
+            f"{stats.wall_seconds:>8.2f}"
+        )
+
+    print(
+        "\nAll methods returned the identical, duplicate-free result set "
+        f"of {len(reference):,} pairs."
+    )
+    print(
+        "Note how the PBSM(PD) row pays extra I/O for its final "
+        "duplicate-removal sort, while the RPM rows suppressed the same "
+        "duplicates online for six comparisons apiece."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+#!/usr/bin/env python
+"""Distance (similarity) join — the paper's declared future work (§6).
+
+"Find every hydrant within 50 m of a school": the epsilon-distance join.
+The filter-step generalisation is a pure preprocessing step — expand every
+MBR by eps/2 — after which any driver in this library (with its online
+Reference Point Method) runs unchanged.  This example sweeps eps and shows
+result growth, then cross-checks two methods against each other.
+
+Run:  python examples/similarity_join.py
+"""
+
+from repro.core.distance import distance_join
+from repro.datasets import clustered_rects, uniform_rects
+from repro.io.costmodel import mb
+
+
+def main() -> None:
+    schools = clustered_rects(3_000, seed=41, mean_edge=0.004)
+    hydrants = uniform_rects(12_000, seed=42, start_oid=1_000_000, mean_edge=0.001)
+    print(f"{len(schools):,} schools x {len(hydrants):,} hydrants")
+
+    print(f"\n{'eps':>8} {'pairs':>9} {'sim_sec':>8}")
+    for eps in (0.0, 0.005, 0.01, 0.02, 0.05):
+        result = distance_join(
+            schools, hydrants, eps, mb(0.25), method="pbsm", internal="sweep_trie"
+        )
+        print(f"{eps:>8} {len(result):>9,} {result.stats.sim_seconds:>8.2f}")
+
+    # Any method computes the same similarity join.
+    eps = 0.02
+    via_pbsm = distance_join(schools, hydrants, eps, mb(0.25), method="pbsm")
+    via_s3j = distance_join(schools, hydrants, eps, mb(0.25), method="s3j")
+    assert via_pbsm.pair_set() == via_s3j.pair_set()
+    print(
+        f"\nPBSM and S3J agree on all {len(via_pbsm):,} pairs at eps={eps} — "
+        "the RPM machinery is oblivious to the expansion."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Choosing the internal join algorithm: one size does not fit all.
+
+The paper's second theme: the right in-memory join depends on partition
+size.  PBSM's partitions are large (ideally half the memory), where the
+interval-trie sweep shines; S3J's partitions are tiny, where plain nested
+loops wins and the trie's overhead is ruinous.
+
+This example joins the same pair of datasets with every combination of
+driver and internal algorithm and prints the simulated runtimes plus the
+operation counts that explain them.
+
+Run:  python examples/tuning_internal_algorithms.py
+"""
+
+from repro import PBSM, S3J, mb
+from repro.datasets import polyline_mbrs
+
+
+def main() -> None:
+    left = polyline_mbrs(30_000, seed=31)
+    right = polyline_mbrs(30_000, seed=32, start_oid=1_000_000)
+    memory = mb(0.5)
+
+    print("PBSM (large partitions):")
+    print(f"  {'internal':14} {'sim_sec':>8} {'tests':>12} {'struct_ops':>12}")
+    for internal in ("nested_loops", "sweep_list", "sweep_tree", "sweep_trie"):
+        result = PBSM(memory, internal=internal).run(left, right)
+        join_cpu = result.stats.cpu_by_phase["join"]
+        print(
+            f"  {internal:14} {result.stats.sim_seconds:>8.2f} "
+            f"{join_cpu['intersection_tests']:>12,} "
+            f"{join_cpu['structure_ops']:>12,}"
+        )
+
+    print("\nS3J (tiny partitions):")
+    print(f"  {'internal':14} {'sim_sec':>8} {'tests':>12} {'struct_ops':>12}")
+    for internal in ("nested_loops", "sweep_list", "sweep_trie"):
+        result = S3J(memory, internal=internal).run(left, right)
+        join_cpu = result.stats.cpu_by_phase["join"]
+        print(
+            f"  {internal:14} {result.stats.sim_seconds:>8.2f} "
+            f"{join_cpu['intersection_tests']:>12,} "
+            f"{join_cpu['structure_ops']:>12,}"
+        )
+
+    print(
+        "\nExpected pattern (the paper's Figures 4, 5, 12): the trie sweep "
+        "wins inside PBSM by cutting intersection tests on large "
+        "partitions; inside S3J the partitions are so small that nested "
+        "loops is as good as any sweep and the trie's structure overhead "
+        "dominates."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,8 @@
+"""Shim so `pip install -e .` works in offline environments without wheel.
+
+All real metadata lives in pyproject.toml; setuptools reads it from there.
+"""
+
+from setuptools import setup
+
+setup()

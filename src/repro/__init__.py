@@ -1,0 +1,131 @@
+"""repro — a reproduction of Dittrich & Seeger, ICDE 2000.
+
+*Data Redundancy and Duplicate Detection in Spatial Join Processing*:
+improvements to the two leading no-index spatial join algorithms —
+PBSM (Patel & DeWitt) and S3J (Koudas & Sevcik) — centred on an online
+Reference Point Method for duplicate elimination and on the choice of
+internal (in-memory) join algorithm.
+
+Quick start::
+
+    from repro import PBSM, S3J, mb
+    from repro.datasets import uniform_rects
+
+    R = uniform_rects(10_000, seed=1)
+    S = uniform_rects(10_000, seed=2, start_oid=1_000_000)
+    result = PBSM(memory_bytes=mb(2.5), internal="sweep_trie").run(R, S)
+    print(len(result), result.stats.sim_seconds)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-versus-measured record of every table and figure.
+"""
+
+from typing import Sequence, Tuple
+
+from repro.core import (
+    KPE,
+    distance_join,
+    CpuCounters,
+    JoinResult,
+    JoinStats,
+    Space,
+    intersects,
+    make_kpe,
+    reference_point,
+)
+from repro.estimate import GridHistogram
+from repro.internal import INTERNAL_ALGORITHMS, internal_algorithm
+from repro.io import CostModel, SimulatedDisk, mb
+from repro.pbsm import PBSM, ParallelPBSM, pbsm_join
+from repro.rtree import IndexNestedLoopJoin, RTree, RTreeJoin, index_nested_loop_join, rtree_join
+from repro.s3j import S3J, quadtree_join, s3j_join
+from repro.shj import SpatialHashJoin, spatial_hash_join
+from repro.sssj import SSSJ, sssj_join
+from repro.verify import VerificationError, results_consistent, verify_driver, verify_result
+
+__version__ = "1.0.0"
+
+#: Join method registry for :func:`spatial_join`.
+JOIN_METHODS = ("pbsm", "s3j", "sssj", "shj", "rtree")
+
+
+def spatial_join(
+    left: Sequence[Tuple],
+    right: Sequence[Tuple],
+    memory_bytes: int,
+    method: str = "pbsm",
+    **kwargs,
+) -> JoinResult:
+    """Run the filter step of a spatial intersection join.
+
+    Parameters
+    ----------
+    left, right:
+        Sequences of KPE tuples ``(oid, xl, yl, xh, yh)``.
+    memory_bytes:
+        Main-memory budget for the join (see :func:`repro.io.mb`).
+    method:
+        "pbsm" (default — the paper's overall winner), "s3j", "sssj",
+        "shj" (spatial hash join), or "rtree" (index on both relations).
+    kwargs:
+        Forwarded to the driver (e.g. ``internal="sweep_trie"``,
+        ``dedup="rpm"``, ``replicate=True``, ``curve="peano"``).
+
+    Returns
+    -------
+    JoinResult
+        All ``(left_oid, right_oid)`` pairs whose MBRs intersect, each
+        exactly once, plus execution statistics.
+    """
+    if method == "pbsm":
+        return PBSM(memory_bytes, **kwargs).run(left, right)
+    if method == "s3j":
+        return S3J(memory_bytes, **kwargs).run(left, right)
+    if method == "sssj":
+        return SSSJ(memory_bytes, **kwargs).run(left, right)
+    if method == "shj":
+        return SpatialHashJoin(memory_bytes, **kwargs).run(left, right)
+    if method == "rtree":
+        # The index join has no memory knob; its budget is the buffer.
+        return RTreeJoin(**kwargs).run(left, right)
+    raise ValueError(f"unknown method {method!r}; choose from {JOIN_METHODS}")
+
+
+__all__ = [
+    "CostModel",
+    "GridHistogram",
+    "IndexNestedLoopJoin",
+    "CpuCounters",
+    "INTERNAL_ALGORITHMS",
+    "JOIN_METHODS",
+    "JoinResult",
+    "JoinStats",
+    "KPE",
+    "PBSM",
+    "ParallelPBSM",
+    "RTree",
+    "RTreeJoin",
+    "S3J",
+    "SSSJ",
+    "SpatialHashJoin",
+    "SimulatedDisk",
+    "VerificationError",
+    "Space",
+    "distance_join",
+    "index_nested_loop_join",
+    "internal_algorithm",
+    "intersects",
+    "make_kpe",
+    "mb",
+    "pbsm_join",
+    "quadtree_join",
+    "reference_point",
+    "rtree_join",
+    "s3j_join",
+    "spatial_hash_join",
+    "spatial_join",
+    "results_consistent",
+    "sssj_join",
+    "verify_driver",
+    "verify_result",
+]

@@ -1,0 +1,91 @@
+"""CLI runner: ``python -m repro.bench [experiment ...]``.
+
+Runs the named experiments (default: all) and prints each result table;
+with ``--out DIR`` the tables are additionally written to per-experiment
+text files, which is how the EXPERIMENTS.md record was produced.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from repro.bench.experiments import EXPERIMENTS
+from repro.bench.render import ascii_chart
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        default=[],
+        help=f"experiment names (default: all of {', '.join(EXPERIMENTS)})",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="directory to write per-experiment .txt files into",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list experiment names and exit"
+    )
+    parser.add_argument(
+        "--chart",
+        action="store_true",
+        help="also render sweep experiments as ASCII charts",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name in EXPERIMENTS:
+            print(name)
+        return 0
+
+    names = args.experiments or list(EXPERIMENTS)
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiments: {', '.join(unknown)}")
+
+    if args.out is not None:
+        args.out.mkdir(parents=True, exist_ok=True)
+
+    for name in names:
+        started = time.perf_counter()
+        result = EXPERIMENTS[name]()
+        elapsed = time.perf_counter() - started
+        text = result.to_text()
+        if args.chart and len(result.rows) >= 4:
+            numeric = [
+                i
+                for i in range(1, len(result.columns))
+                if all(isinstance(row[i], (int, float)) for row in result.rows)
+            ]
+            x_ok = all(
+                isinstance(row[0], (int, float)) for row in result.rows
+            )
+            if x_ok and numeric:
+                series = {
+                    result.columns[i]: [
+                        (float(row[0]), float(row[i])) for row in result.rows
+                    ]
+                    for i in numeric[:4]
+                }
+                text += "\n" + ascii_chart(
+                    series, x_label=result.columns[0], y_label="value"
+                )
+        print(text)
+        print(f"[{name} completed in {elapsed:.1f}s wall]\n")
+        if args.out is not None:
+            (args.out / f"{name}.txt").write_text(text + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

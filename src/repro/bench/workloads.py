@@ -1,0 +1,62 @@
+"""Workload helpers shared by the experiment harness and the benches.
+
+All experiments use the Table 1 datasets from :mod:`repro.datasets.catalog`
+at the process-wide reproduction scale (``REPRO_SCALE``).  Memory budgets
+are expressed as *fractions of the total input size* so every figure's
+x-axis is scale-invariant: the paper's 2.5 MB against the 5.2 MB LA inputs
+is ~48% of input, and its J5 sweeps (5..70 MB against 75.5 MB of CAL_ST
+data) span ~7%..93%.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.core.rect import SIZEOF_KPE
+from repro.datasets import join_inputs, la_pair
+
+#: Memory fractions used by the J5 sweeps (Figures 6, 11, 12).
+MEMORY_FRACTIONS = (0.05, 0.10, 0.20, 0.35, 0.50, 0.75, 1.00)
+
+#: Reduced grid for the figures that run the expensive original-S3J /
+#: trie-in-S3J configurations at every point (Figures 11 and 12); five
+#: points suffice for the shape.
+REDUCED_MEMORY_FRACTIONS = (0.05, 0.10, 0.20, 0.50, 1.00)
+
+#: Extended grid for the figures whose point is behaviour at *large*
+#: memory (Figures 5 and 14): beyond 100% of input the partition count
+#: reaches 1 and the list sweep's degradation becomes visible.
+EXTENDED_MEMORY_FRACTIONS = MEMORY_FRACTIONS + (1.50, 2.00)
+
+#: The fraction equivalent to the paper's fixed 2.5 MB for the LA joins.
+LA_MEMORY_FRACTION = 2.5 * 2**20 / ((128_971 + 131_461) * SIZEOF_KPE)
+
+
+def input_bytes(left: Sequence, right: Sequence) -> int:
+    """Total KPE bytes of a join's inputs."""
+    return (len(left) + len(right)) * SIZEOF_KPE
+
+
+def memory_for_fraction(left: Sequence, right: Sequence, fraction: float) -> int:
+    """A memory budget of *fraction* of the input size (>= 4 KPEs)."""
+    return max(4 * SIZEOF_KPE, int(input_bytes(left, right) * fraction))
+
+
+def la_join(join_name: str) -> Tuple[List, List]:
+    """Inputs of one of the LA joins J1..J4."""
+    return join_inputs(join_name)
+
+
+def j5_inputs() -> Tuple[List, List]:
+    """Inputs of the J5 self join (CAL_ST x CAL_ST)."""
+    return join_inputs("J5")
+
+
+def la_memory(left: Sequence, right: Sequence) -> int:
+    """The 2.5 MB-equivalent budget for the LA joins."""
+    return memory_for_fraction(left, right, LA_MEMORY_FRACTION)
+
+
+def la_p_sweep(p_values=range(1, 11)) -> List[Tuple[float, List, List]]:
+    """The Figure 13 workload family: (p, LA_RR(p), LA_ST(p))."""
+    return [(float(p), *la_pair(float(p))) for p in p_values]

@@ -1,0 +1,133 @@
+"""Command-line interface: generate datasets and run spatial joins.
+
+Usage examples::
+
+    python -m repro generate --pattern tiger --n 20000 --seed 1 roads.npy
+    python -m repro generate --pattern manhattan --n 20000 streets.csv
+    python -m repro join roads.npy streets.csv --method pbsm \\
+        --memory-mb 2.5 --internal sweep_trie --out pairs.csv
+    python -m repro info roads.npy
+
+The bench CLI lives separately under ``python -m repro.bench``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import sys
+import time
+from pathlib import Path
+
+from repro import JOIN_METHODS, spatial_join
+from repro.core.report import format_stats
+from repro.datasets import (
+    clustered_rects,
+    coverage,
+    polyline_mbrs,
+    summarize,
+    uniform_rects,
+)
+from repro.datasets.fileio import load_relation, save_relation
+from repro.datasets.patterns import manhattan_grid, mixed_scale, radial_city
+from repro.io.costmodel import mb
+
+PATTERNS = {
+    "tiger": polyline_mbrs,
+    "uniform": uniform_rects,
+    "clustered": clustered_rects,
+    "manhattan": manhattan_grid,
+    "radial": radial_city,
+    "mixed": mixed_scale,
+}
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    generator = PATTERNS[args.pattern]
+    kpes = generator(args.n, seed=args.seed, start_oid=args.start_oid)
+    save_relation(kpes, args.output)
+    print(
+        f"wrote {len(kpes):,} MBRs ({args.pattern}, seed {args.seed}, "
+        f"coverage {coverage(kpes):.4f}) to {args.output}"
+    )
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    kpes = load_relation(args.relation)
+    summary = summarize(Path(args.relation).name, kpes)
+    print(f"relation:  {summary.name}")
+    print(f"records:   {summary.n_mbrs:,}")
+    print(f"coverage:  {summary.coverage:.4f}")
+    print(f"avg width: {summary.avg_width:.6f}")
+    print(f"avg height:{summary.avg_height:.6f}")
+    return 0
+
+
+def _cmd_join(args: argparse.Namespace) -> int:
+    left = load_relation(args.left)
+    right = left if args.right == args.left else load_relation(args.right)
+    kwargs = {}
+    if args.internal:
+        kwargs["internal"] = args.internal
+    if args.dedup:
+        kwargs["dedup"] = args.dedup
+    started = time.perf_counter()
+    result = spatial_join(
+        left, right, mb(args.memory_mb), method=args.method, **kwargs
+    )
+    wall = time.perf_counter() - started
+    stats = result.stats
+    print(format_stats(stats, verbose=args.verbose))
+    print(f"wall seconds       {wall:.3f}")
+    if args.out:
+        with open(args.out, "w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(("left_oid", "right_oid"))
+            writer.writerows(result.pairs)
+        print(f"wrote {len(result):,} pairs to {args.out}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Spatial joins (PBSM / S3J / SSSJ / SHJ / R-tree) on KPE relations.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="generate a synthetic relation")
+    gen.add_argument("output", help="output file (.csv or .npy)")
+    gen.add_argument("--pattern", choices=sorted(PATTERNS), default="tiger")
+    gen.add_argument("--n", type=int, default=10_000)
+    gen.add_argument("--seed", type=int, default=1)
+    gen.add_argument("--start-oid", type=int, default=0)
+    gen.set_defaults(func=_cmd_generate)
+
+    info = sub.add_parser("info", help="summarise a relation file")
+    info.add_argument("relation")
+    info.set_defaults(func=_cmd_info)
+
+    join = sub.add_parser("join", help="run a spatial join on two relation files")
+    join.add_argument("left")
+    join.add_argument("right")
+    join.add_argument("--method", choices=JOIN_METHODS, default="pbsm")
+    join.add_argument("--memory-mb", type=float, default=2.5)
+    join.add_argument("--internal", default=None, help="internal algorithm name")
+    join.add_argument("--dedup", default=None, choices=(None, "rpm", "sort"))
+    join.add_argument("--out", default=None, help="write result pairs as CSV")
+    join.add_argument(
+        "--verbose", action="store_true", help="per-phase cost breakdown"
+    )
+    join.set_defaults(func=_cmd_join)
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,57 @@
+"""Core geometry and bookkeeping primitives shared by every join algorithm.
+
+The module deliberately keeps the record representation primitive: a
+key-pointer element (KPE) is a named tuple ``(oid, xl, yl, xh, yh)`` so the
+hot loops of the join algorithms can use positional indexing while user-facing
+code reads named fields.  This mirrors the paper's model (Section 2) where a
+KPE consists of an object identifier and its minimum bounding rectangle.
+"""
+
+from repro.core.rect import (
+    KPE,
+    OID,
+    XL,
+    YL,
+    XH,
+    YH,
+    area,
+    intersection,
+    intersects,
+    make_kpe,
+    mbr_of,
+    rect_contains_point,
+    valid_kpe,
+)
+from repro.core.distance import distance_join, expand_for_distance, mbr_distance
+from repro.core.refpoint import reference_point
+from repro.core.space import Space
+from repro.core.stats import CpuCounters, PhaseTimer, merge_counters
+from repro.core.report import format_stats
+from repro.core.result import JoinResult, JoinStats
+
+__all__ = [
+    "KPE",
+    "OID",
+    "XL",
+    "YL",
+    "XH",
+    "YH",
+    "CpuCounters",
+    "JoinResult",
+    "JoinStats",
+    "PhaseTimer",
+    "Space",
+    "area",
+    "distance_join",
+    "expand_for_distance",
+    "format_stats",
+    "intersection",
+    "intersects",
+    "make_kpe",
+    "mbr_distance",
+    "mbr_of",
+    "merge_counters",
+    "rect_contains_point",
+    "reference_point",
+    "valid_kpe",
+]

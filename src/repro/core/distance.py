@@ -1,0 +1,82 @@
+"""Distance ("within epsilon") joins — the paper's declared future work.
+
+Section 6: "In our future work we are interested in a generalization of
+our work for multidimensional similarity joins [KS 98]."  The filter-step
+generalisation is standard: two objects are within distance ``eps`` only
+if their MBRs, each expanded by ``eps / 2`` on every side, intersect.  The
+expansion preserves everything the reference-point machinery relies on
+(the expanded rectangles are ordinary rectangles), so *any* driver in this
+library runs the similarity filter step unchanged.
+
+``distance_join`` wraps the expansion; the refinement criterion used here
+is MBR (minimum) distance — exact geometric distance belongs to the
+refinement step of the application.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+from repro.core.rect import KPE
+from repro.core.result import JoinResult
+
+
+def expand_for_distance(kpes: Sequence[Tuple], eps: float) -> List[KPE]:
+    """Expand every MBR by ``eps / 2`` per side.
+
+    Two original rectangles have (minimum) distance <= eps iff their
+    expanded versions intersect.
+    """
+    if eps < 0:
+        raise ValueError("eps must be non-negative")
+    half = eps / 2.0
+    return [
+        KPE(k[0], k[1] - half, k[2] - half, k[3] + half, k[4] + half)
+        for k in kpes
+    ]
+
+
+def mbr_distance(a: Tuple, b: Tuple) -> float:
+    """Minimum distance between two closed MBRs (0 when intersecting)."""
+    dx = max(0.0, max(a[1], b[1]) - min(a[3], b[3]))
+    dy = max(0.0, max(a[2], b[2]) - min(a[4], b[4]))
+    return math.hypot(dx, dy)
+
+
+def distance_join(
+    left: Sequence[Tuple],
+    right: Sequence[Tuple],
+    eps: float,
+    memory_bytes: int,
+    method: str = "pbsm",
+    *,
+    exact: bool = True,
+    **kwargs,
+) -> JoinResult:
+    """All pairs whose MBR distance is at most *eps*.
+
+    Runs the chosen driver on eps-expanded inputs; with ``exact=True`` the
+    candidates are post-filtered by true MBR distance (the expansion test
+    is exact for the x/y-aligned parts but admits corner-to-corner pairs
+    whose Euclidean distance slightly exceeds eps).
+    """
+    from repro import spatial_join  # deferred: avoids a circular import
+
+    expanded_left = expand_for_distance(left, eps)
+    expanded_right = expand_for_distance(right, eps)
+    result = spatial_join(
+        expanded_left, expanded_right, memory_bytes, method=method, **kwargs
+    )
+    if not exact:
+        return result
+    left_by_oid = {k[0]: k for k in left}
+    right_by_oid = {k[0]: k for k in right}
+    filtered = [
+        (a, b)
+        for a, b in result.pairs
+        if mbr_distance(left_by_oid[a], right_by_oid[b]) <= eps
+    ]
+    result.pairs = filtered
+    result.stats.n_results = len(filtered)
+    return result

@@ -1,0 +1,115 @@
+"""Rectangles and key-pointer elements (KPEs).
+
+A KPE is the unit of data every algorithm in this library operates on: an
+object identifier plus the rectilinear minimum bounding rectangle (MBR) of
+the underlying spatial object, exactly as defined in Section 2 of the paper.
+
+Rectangles are *closed*: two rectangles that merely touch are considered
+intersecting.  This matches the usual spatial-join semantics and the paper's
+candidate-set definition (the filter step must not lose answers).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, NamedTuple, Optional, Tuple
+
+
+class KPE(NamedTuple):
+    """Key-pointer element: object id plus its MBR corners.
+
+    Being a :class:`typing.NamedTuple`, a KPE *is* a plain tuple, so the
+    performance-critical join loops can unpack it positionally (see the
+    module constants :data:`OID` ... :data:`YH`) while tests and examples use
+    the named fields.
+    """
+
+    oid: int
+    xl: float
+    yl: float
+    xh: float
+    yh: float
+
+
+# Positional indices into a KPE tuple, for hot loops.
+OID, XL, YL, XH, YH = range(5)
+
+# The paper assumes a fixed-size KPE record; we follow the era's layout of a
+# 4-byte identifier plus four 4-byte coordinates.
+SIZEOF_KPE = 20
+
+
+def make_kpe(oid: int, xl: float, yl: float, xh: float, yh: float) -> KPE:
+    """Build a KPE, validating that the corners form a non-inverted MBR."""
+    if not (xl <= xh and yl <= yh):
+        raise ValueError(
+            f"invalid MBR for oid={oid}: ({xl}, {yl}, {xh}, {yh})"
+        )
+    if not all(math.isfinite(v) for v in (xl, yl, xh, yh)):
+        raise ValueError(f"non-finite MBR for oid={oid}")
+    return KPE(oid, xl, yl, xh, yh)
+
+
+def valid_kpe(kpe: Tuple) -> bool:
+    """Return True if *kpe* is a structurally valid KPE tuple."""
+    if len(kpe) != 5:
+        return False
+    oid, xl, yl, xh, yh = kpe
+    if not all(math.isfinite(float(v)) for v in (xl, yl, xh, yh)):
+        return False
+    return xl <= xh and yl <= yh
+
+
+def intersects(a: Tuple, b: Tuple) -> bool:
+    """Closed-rectangle intersection test between two KPEs.
+
+    This is the six-comparison predicate charged by the CPU cost model as a
+    single *intersection test*.
+    """
+    return (
+        a[1] <= b[3]
+        and b[1] <= a[3]
+        and a[2] <= b[4]
+        and b[2] <= a[4]
+    )
+
+
+def intersection(a: Tuple, b: Tuple) -> Optional[Tuple[float, float, float, float]]:
+    """Return the intersection rectangle of two KPEs, or None if disjoint."""
+    xl = max(a[1], b[1])
+    yl = max(a[2], b[2])
+    xh = min(a[3], b[3])
+    yh = min(a[4], b[4])
+    if xl > xh or yl > yh:
+        return None
+    return (xl, yl, xh, yh)
+
+
+def area(kpe: Tuple) -> float:
+    """Area of the MBR of a KPE."""
+    return (kpe[3] - kpe[1]) * (kpe[4] - kpe[2])
+
+
+def rect_contains_point(kpe: Tuple, x: float, y: float) -> bool:
+    """Closed containment of a point in the MBR of a KPE."""
+    return kpe[1] <= x <= kpe[3] and kpe[2] <= y <= kpe[4]
+
+
+def mbr_of(kpes: Iterable[Tuple]) -> Optional[Tuple[float, float, float, float]]:
+    """The MBR of a collection of KPEs, or None for an empty collection."""
+    xl = yl = math.inf
+    xh = yh = -math.inf
+    empty = True
+    for k in kpes:
+        empty = False
+        if k[1] < xl:
+            xl = k[1]
+        if k[2] < yl:
+            yl = k[2]
+        if k[3] > xh:
+            xh = k[3]
+        if k[4] > yh:
+            yh = k[4]
+    if empty:
+        return None
+    return (xl, yl, xh, yh)

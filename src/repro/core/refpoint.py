@@ -1,0 +1,37 @@
+"""The Reference Point Method (RPM) primitive.
+
+Section 3.2.1 of the paper: when the data space is divided into disjoint
+partitions and records are replicated into every partition they overlap, the
+same result pair ``(r, s)`` is produced once per shared partition.  RPM
+assigns each result pair a single *reference point*
+
+    ``x = (max(r.xl, s.xl), min(r.yh, s.yh))``
+
+(the upper-left corner of the intersection rectangle) and reports the pair
+only from the partition whose region contains that point.  Because the point
+lies inside both ``r`` and ``s``, the owning partition is guaranteed to hold
+a copy of each, so every pair is reported *exactly once*.
+
+The region-membership test itself is owned by the partitioning scheme (PBSM
+grid tiles, S3J quadtree cells); this module only provides the shared
+reference-point computation, at the paper's cost of two comparisons.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+
+def reference_point(r: Tuple, s: Tuple) -> Tuple[float, float]:
+    """Reference point of the pair of intersecting KPEs ``(r, s)``.
+
+    The x-coordinate is the maximum of the left edges and the y-coordinate
+    the minimum of the upper edges — the paper's definition verbatim.  The
+    result is symmetric in ``r`` and ``s`` and lies inside both rectangles
+    whenever they intersect.
+    """
+    rx = r[1]
+    sx = s[1]
+    ry = r[4]
+    sy = s[4]
+    return (rx if rx >= sx else sx, ry if ry <= sy else sy)

@@ -1,0 +1,108 @@
+"""Join results and per-run statistics.
+
+Every join driver (PBSM, S3J, SSSJ, quadtree, brute force) returns a
+:class:`JoinResult`: the result pairs of the *filter step* plus a
+:class:`JoinStats` record detailed enough to regenerate every figure of the
+paper — per-phase I/O, CPU operation counts, simulated runtime split into
+I/O and CPU shares, wall time, and redundancy/duplicate accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass
+class JoinStats:
+    """Everything measured during one join execution."""
+
+    algorithm: str = ""
+    # --- cardinalities -------------------------------------------------
+    n_left: int = 0
+    n_right: int = 0
+    n_results: int = 0
+    #: records written during partitioning, including replicas
+    records_partitioned: int = 0
+    #: replicas beyond the first copy, summed over both inputs
+    replicas_created: int = 0
+    duplicates_suppressed: int = 0
+    #: duplicates removed by a final sort phase (original PBSM only)
+    duplicates_sorted_out: int = 0
+    # --- partitioning --------------------------------------------------
+    n_partitions: int = 0
+    repartition_events: int = 0
+    #: pairs whose joined size exceeded the memory budget even after the
+    #: repartitioning depth limit (degenerate inputs only)
+    memory_overruns: int = 0
+    peak_memory_bytes: int = 0
+    # --- costs ----------------------------------------------------------
+    io_units_by_phase: Dict[str, float] = field(default_factory=dict)
+    #: pages moved (read + written) per phase, without positioning cost
+    io_pages_by_phase: Dict[str, int] = field(default_factory=dict)
+    cpu_by_phase: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    sim_io_seconds: float = 0.0
+    sim_cpu_seconds: float = 0.0
+    #: simulated seconds split by phase (io + cpu combined)
+    sim_seconds_by_phase: Dict[str, float] = field(default_factory=dict)
+    wall_seconds_by_phase: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def sim_seconds(self) -> float:
+        """Total simulated runtime (the paper's "total runtime" analogue)."""
+        return self.sim_io_seconds + self.sim_cpu_seconds
+
+    @property
+    def io_units(self) -> float:
+        """Total I/O cost in page-transfer units across all phases."""
+        return sum(self.io_units_by_phase.values())
+
+    @property
+    def wall_seconds(self) -> float:
+        return sum(self.wall_seconds_by_phase.values())
+
+    @property
+    def replication_rate(self) -> float:
+        """Partitioned records per input record (1.0 = no redundancy)."""
+        base = self.n_left + self.n_right
+        if base == 0:
+            return 0.0
+        return self.records_partitioned / base
+
+    def selectivity(self) -> float:
+        """Result count over the input cross-product size (Table 2)."""
+        denom = self.n_left * self.n_right
+        if denom == 0:
+            return 0.0
+        return self.n_results / denom
+
+
+@dataclass
+class JoinResult:
+    """The output of the filter step of a spatial join.
+
+    ``pairs`` holds ``(left_oid, right_oid)`` tuples.  For self joins the
+    conventions of the paper apply: a pair is reported for every pair of
+    intersecting *records* (including an object with itself), because the
+    filter step operates purely on KPEs.
+    """
+
+    pairs: List[Tuple[int, int]]
+    stats: JoinStats
+
+    def pair_set(self) -> set:
+        """The result as a set — the canonical comparison form in tests."""
+        return set(self.pairs)
+
+    def has_duplicates(self) -> bool:
+        """True if any pair was reported more than once."""
+        return len(self.pairs) != len(set(self.pairs))
+
+    def __len__(self) -> int:
+        return len(self.pairs)
+
+
+def empty_result(algorithm: str, n_left: int = 0, n_right: int = 0) -> JoinResult:
+    """A result carrying no pairs, used for trivially empty inputs."""
+    stats = JoinStats(algorithm=algorithm, n_left=n_left, n_right=n_right)
+    return JoinResult(pairs=[], stats=stats)

@@ -1,0 +1,127 @@
+"""CPU operation counters and phase timers.
+
+The paper measures total runtime of C++ implementations on 1990s hardware.
+A pure-Python reproduction cannot reproduce those constants faithfully
+(repro band: "runtime benchmarks less faithful"), so in addition to wall
+clock we *count* the operations that dominate the paper's CPU cost —
+intersection tests, sort comparisons, heap operations, locational-code
+computations — and let :class:`repro.io.costmodel.CostModel` translate the
+counts into simulated seconds.  Counting is deterministic and
+hardware-independent, which is what makes the figure *shapes* reproducible.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, fields
+from typing import Dict
+
+
+@dataclass
+class CpuCounters:
+    """Counts of the CPU operations the cost model charges.
+
+    Attributes
+    ----------
+    intersection_tests:
+        Rectangle-overlap predicate evaluations (the inner-loop unit of
+        every internal join algorithm).
+    comparisons:
+        Key comparisons in sorting and sweep-line ordering.
+    heap_ops:
+        Push/pop operations on priority queues (S3J's synchronized scan,
+        multiway merges).
+    code_computations:
+        Locational-code (space-filling-curve) evaluations; Z and Hilbert
+        codes are charged differently by the cost model.
+    structure_ops:
+        Sweep-line status structure operations (node visits, inserts,
+        removals) — the overhead term that separates list, trie and tree
+        sweep variants.
+    refpoint_tests:
+        Reference-point computations plus region membership tests (the
+        paper's "at most six comparisons" per produced result).
+    results_reported:
+        Pairs emitted to the caller (after duplicate suppression).
+    duplicates_suppressed:
+        Pairs detected but suppressed by the Reference Point Method.
+    """
+
+    intersection_tests: int = 0
+    comparisons: int = 0
+    heap_ops: int = 0
+    code_computations: int = 0
+    structure_ops: int = 0
+    refpoint_tests: int = 0
+    results_reported: int = 0
+    duplicates_suppressed: int = 0
+
+    def add(self, other: "CpuCounters") -> None:
+        """Accumulate another counter set into this one."""
+        for f in fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        for f in fields(self):
+            setattr(self, f.name, 0)
+
+    def as_dict(self) -> Dict[str, int]:
+        """Counters as a plain dict (stable field order)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def total_ops(self) -> int:
+        """Sum of all counted operations except the result tallies."""
+        return (
+            self.intersection_tests
+            + self.comparisons
+            + self.heap_ops
+            + self.code_computations
+            + self.structure_ops
+            + self.refpoint_tests
+        )
+
+
+def merge_counters(*counter_sets: CpuCounters) -> CpuCounters:
+    """Sum several counter sets into a fresh one."""
+    total = CpuCounters()
+    for c in counter_sets:
+        total.add(c)
+    return total
+
+
+@dataclass
+class PhaseTimer:
+    """Wall-clock time per named phase.
+
+    Used alongside the simulated cost model so EXPERIMENTS.md can report
+    both simulated and measured runtimes.
+    """
+
+    seconds: Dict[str, float] = field(default_factory=dict)
+
+    def time(self, phase: str):
+        """Context manager charging elapsed wall time to *phase*."""
+        return _PhaseContext(self, phase)
+
+    def add(self, phase: str, seconds: float) -> None:
+        self.seconds[phase] = self.seconds.get(phase, 0.0) + seconds
+
+    def total(self) -> float:
+        return sum(self.seconds.values())
+
+
+class _PhaseContext:
+    __slots__ = ("_timer", "_phase", "_start")
+
+    def __init__(self, timer: PhaseTimer, phase: str):
+        self._timer = timer
+        self._phase = phase
+        self._start = 0.0
+
+    def __enter__(self) -> "_PhaseContext":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._timer.add(self._phase, time.perf_counter() - self._start)

@@ -1,0 +1,107 @@
+"""Reading and writing KPE relations from/to disk files.
+
+Two formats:
+
+* **CSV** — ``oid,xl,yl,xh,yh`` per line (with an optional header), the
+  interchange format of the CLI;
+* **NPY** — a ``(n, 5)`` float64 numpy array, the compact format for
+  large generated datasets.
+
+Both loaders validate records and reject inverted or non-finite MBRs
+rather than ingesting silently broken geometry.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import List, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.rect import KPE, valid_kpe
+
+PathLike = Union[str, Path]
+
+CSV_HEADER = ("oid", "xl", "yl", "xh", "yh")
+
+
+def write_csv(kpes: Sequence[Tuple], path: PathLike, header: bool = True) -> None:
+    """Write a relation as CSV."""
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        if header:
+            writer.writerow(CSV_HEADER)
+        for k in kpes:
+            writer.writerow([k[0], k[1], k[2], k[3], k[4]])
+
+
+def read_csv(path: PathLike) -> List[KPE]:
+    """Read a relation from CSV (header auto-detected)."""
+    kpes: List[KPE] = []
+    with open(path, newline="") as handle:
+        reader = csv.reader(handle)
+        for line_no, row in enumerate(reader, start=1):
+            if not row:
+                continue
+            if line_no == 1 and row[0].strip().lower() == "oid":
+                continue
+            if len(row) != 5:
+                raise ValueError(f"{path}:{line_no}: expected 5 fields, got {len(row)}")
+            try:
+                kpe = KPE(
+                    int(row[0]),
+                    float(row[1]),
+                    float(row[2]),
+                    float(row[3]),
+                    float(row[4]),
+                )
+            except ValueError as exc:
+                raise ValueError(f"{path}:{line_no}: {exc}") from exc
+            if not valid_kpe(kpe):
+                raise ValueError(f"{path}:{line_no}: invalid MBR {tuple(kpe)}")
+            kpes.append(kpe)
+    return kpes
+
+
+def write_npy(kpes: Sequence[Tuple], path: PathLike) -> None:
+    """Write a relation as an ``(n, 5)`` float64 .npy array."""
+    array = np.array(
+        [[k[0], k[1], k[2], k[3], k[4]] for k in kpes], dtype=np.float64
+    ).reshape(len(kpes), 5)
+    np.save(path, array)
+
+
+def read_npy(path: PathLike) -> List[KPE]:
+    """Read a relation from an ``(n, 5)`` .npy array."""
+    array = np.load(path)
+    if array.ndim != 2 or array.shape[1] != 5:
+        raise ValueError(f"{path}: expected an (n, 5) array, got {array.shape}")
+    kpes: List[KPE] = []
+    for row in array:
+        kpe = KPE(int(row[0]), float(row[1]), float(row[2]), float(row[3]), float(row[4]))
+        if not valid_kpe(kpe):
+            raise ValueError(f"{path}: invalid MBR {tuple(kpe)}")
+        kpes.append(kpe)
+    return kpes
+
+
+def load_relation(path: PathLike) -> List[KPE]:
+    """Load a relation, dispatching on the file extension."""
+    suffix = Path(path).suffix.lower()
+    if suffix == ".csv":
+        return read_csv(path)
+    if suffix == ".npy":
+        return read_npy(path)
+    raise ValueError(f"unsupported relation format {suffix!r} (use .csv or .npy)")
+
+
+def save_relation(kpes: Sequence[Tuple], path: PathLike) -> None:
+    """Save a relation, dispatching on the file extension."""
+    suffix = Path(path).suffix.lower()
+    if suffix == ".csv":
+        write_csv(kpes, path)
+    elif suffix == ".npy":
+        write_npy(kpes, path)
+    else:
+        raise ValueError(f"unsupported relation format {suffix!r} (use .csv or .npy)")

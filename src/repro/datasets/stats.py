@@ -1,0 +1,58 @@
+"""Dataset and join statistics: coverage, selectivity, summaries.
+
+*Coverage* is Table 1's measure: the sum of rectangle areas divided by the
+area of the MBR of all rectangles.  *Selectivity* is Table 2's: result
+count over the size of the cross product.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from repro.core.rect import area, mbr_of
+
+
+def coverage(kpes: Sequence[Tuple]) -> float:
+    """Sum of MBR areas over the area of the global MBR (Table 1)."""
+    global_mbr = mbr_of(kpes)
+    if global_mbr is None:
+        return 0.0
+    width = global_mbr[2] - global_mbr[0]
+    height = global_mbr[3] - global_mbr[1]
+    total_area = width * height
+    if total_area <= 0.0:
+        return 0.0
+    return sum(area(k) for k in kpes) / total_area
+
+
+def selectivity(n_results: int, n_left: int, n_right: int) -> float:
+    """Results over cross-product size (Table 2)."""
+    denominator = n_left * n_right
+    if denominator == 0:
+        return 0.0
+    return n_results / denominator
+
+
+@dataclass(frozen=True)
+class DatasetSummary:
+    """One row of a Table 1-style dataset inventory."""
+
+    name: str
+    n_mbrs: int
+    coverage: float
+    avg_width: float
+    avg_height: float
+
+    def row(self) -> Tuple:
+        return (self.name, self.n_mbrs, round(self.coverage, 4))
+
+
+def summarize(name: str, kpes: Sequence[Tuple]) -> DatasetSummary:
+    """Compute the Table 1 row (plus average edge lengths) for a dataset."""
+    n = len(kpes)
+    if n == 0:
+        return DatasetSummary(name, 0, 0.0, 0.0, 0.0)
+    avg_w = sum(k[3] - k[1] for k in kpes) / n
+    avg_h = sum(k[4] - k[2] for k in kpes) / n
+    return DatasetSummary(name, n, coverage(kpes), avg_w, avg_h)

@@ -1,0 +1,14 @@
+"""Statistics and estimation: grid histograms, join selectivity, formula
+(1) for intermediate results (the Section 3.2.3 scenario)."""
+
+from repro.estimate.histogram import (
+    GridHistogram,
+    choose_join_order,
+    estimate_partitions_for_intermediate,
+)
+
+__all__ = [
+    "GridHistogram",
+    "choose_join_order",
+    "estimate_partitions_for_intermediate",
+]

@@ -1,0 +1,182 @@
+"""Grid histograms and spatial-join selectivity estimation.
+
+Section 3.2.3: "computing the number of partitions is generally difficult
+when the input relations do not refer to base relations of the underlying
+DBMS.  Then, the DBMS has to provide statistics about the intermediate
+results of operators."  This module supplies those statistics: a compact
+grid histogram per relation (record count and average edge lengths per
+cell) and the standard estimators built on it —
+
+* expected join result count (drives Table 2-style sanity checks and the
+  multiway join-order heuristic),
+* expected cardinality/size of a join's *output* viewed as a new spatial
+  relation (what formula (1) needs for intermediate inputs).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.space import Space
+from repro.pbsm.estimator import estimate_partitions
+
+
+class GridHistogram:
+    """Per-cell record counts and mean edge lengths over a fixed grid."""
+
+    __slots__ = ("space", "resolution", "counts", "sum_w", "sum_h", "n")
+
+    def __init__(self, space: Space, resolution: int = 32):
+        if resolution < 1:
+            raise ValueError("resolution must be >= 1")
+        self.space = space
+        self.resolution = resolution
+        cells = resolution * resolution
+        self.counts = [0.0] * cells
+        self.sum_w = [0.0] * cells
+        self.sum_h = [0.0] * cells
+        self.n = 0
+
+    @classmethod
+    def build(
+        cls,
+        kpes: Sequence[Tuple],
+        space: Optional[Space] = None,
+        resolution: int = 32,
+    ) -> "GridHistogram":
+        """Histogram a relation by rectangle centre points."""
+        hist = cls(space if space is not None else Space.of(kpes), resolution)
+        res = hist.resolution
+        for k in kpes:
+            cx = (k[1] + k[3]) / 2.0
+            cy = (k[2] + k[4]) / 2.0
+            ix = min(res - 1, max(0, int(hist.space.norm_x(cx) * res)))
+            iy = min(res - 1, max(0, int(hist.space.norm_y(cy) * res)))
+            cell = iy * res + ix
+            hist.counts[cell] += 1
+            hist.sum_w[cell] += k[3] - k[1]
+            hist.sum_h[cell] += k[4] - k[2]
+            hist.n += 1
+        return hist
+
+    # ------------------------------------------------------------------
+    def cell_area(self) -> float:
+        return (self.space.width / self.resolution) * (
+            self.space.height / self.resolution
+        )
+
+    def mean_edges(self, cell: int) -> Tuple[float, float]:
+        count = self.counts[cell]
+        if count == 0:
+            return 0.0, 0.0
+        return self.sum_w[cell] / count, self.sum_h[cell] / count
+
+    def total_mean_edges(self) -> Tuple[float, float]:
+        if self.n == 0:
+            return 0.0, 0.0
+        return sum(self.sum_w) / self.n, sum(self.sum_h) / self.n
+
+    # ------------------------------------------------------------------
+    # estimators
+    # ------------------------------------------------------------------
+    def estimate_join_results(self, other: "GridHistogram") -> float:
+        """Expected number of intersecting pairs against *other*.
+
+        Assumes matching grids (same space, same resolution).  Within a
+        cell of area A, two uniformly placed rectangles with mean edges
+        (w1, h1) / (w2, h2) intersect with probability
+        ``min(1, (w1 + w2) * (h1 + h2) / A)`` — the classic Minkowski-sum
+        argument.  Cross-cell pairs are approximated by each rectangle's
+        overhang being folded into its own cell, which keeps the estimator
+        a sum over cells.
+        """
+        if (
+            other.space != self.space
+            or other.resolution != self.resolution
+        ):
+            raise ValueError("histograms must share space and resolution")
+        area = self.cell_area()
+        if area <= 0:
+            return 0.0
+        expected = 0.0
+        for cell in range(self.resolution * self.resolution):
+            n1 = self.counts[cell]
+            n2 = other.counts[cell]
+            if n1 == 0 or n2 == 0:
+                continue
+            w1, h1 = self.mean_edges(cell)
+            w2, h2 = other.mean_edges(cell)
+            probability = min(1.0, (w1 + w2) * (h1 + h2) / area)
+            expected += n1 * n2 * probability
+        return expected
+
+    def estimate_join_output(
+        self, other: "GridHistogram"
+    ) -> Tuple[float, float, float]:
+        """(cardinality, mean width, mean height) of the join output.
+
+        The output of a filter-step join, viewed as a spatial relation of
+        intersection MBRs, has edges bounded by the smaller input edge —
+        estimated as ``min`` of the per-relation means.  This is what a
+        downstream operator (e.g. the next join of a multiway plan) needs
+        to run formula (1).
+        """
+        cardinality = self.estimate_join_results(other)
+        w1, h1 = self.total_mean_edges()
+        w2, h2 = other.total_mean_edges()
+        return cardinality, min(w1, w2), min(h1, h2)
+
+
+def estimate_partitions_for_intermediate(
+    hist_left: GridHistogram,
+    hist_right: GridHistogram,
+    next_input_cardinality: int,
+    kpe_bytes: int,
+    memory_bytes: int,
+    t_factor: float = 1.2,
+) -> int:
+    """Formula (1) for a join whose *left* input is itself a join output.
+
+    The DBMS-statistics scenario of Section 3.2.3: the left input's
+    cardinality is not known but estimated from the histograms of the two
+    relations that produce it.
+    """
+    estimated_left = int(math.ceil(hist_left.estimate_join_results(hist_right)))
+    return estimate_partitions(
+        estimated_left, next_input_cardinality, kpe_bytes, memory_bytes, t_factor
+    )
+
+
+def choose_join_order(
+    histograms: List[GridHistogram],
+) -> List[int]:
+    """Greedy multiway join ordering by estimated pairwise output size.
+
+    Starts with the pair of relations with the smallest estimated result,
+    then repeatedly appends the relation with the smallest estimated
+    result against the most recently joined relation.  A deliberately
+    simple System-R-flavoured heuristic for the multiway example.
+    """
+    n = len(histograms)
+    if n < 2:
+        return list(range(n))
+    best_pair = None
+    best_value = math.inf
+    for i in range(n):
+        for j in range(i + 1, n):
+            value = histograms[i].estimate_join_results(histograms[j])
+            if value < best_value:
+                best_value = value
+                best_pair = (i, j)
+    order = list(best_pair)
+    remaining = [i for i in range(n) if i not in order]
+    while remaining:
+        last = order[-1]
+        nxt = min(
+            remaining,
+            key=lambda i: histograms[last].estimate_join_results(histograms[i]),
+        )
+        order.append(nxt)
+        remaining.remove(nxt)
+    return order

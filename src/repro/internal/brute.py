@@ -1,0 +1,23 @@
+"""Brute-force reference join: ground truth for every test in the suite.
+
+Quadratic, simple, obviously correct — used only to validate the real
+algorithms on small inputs and never by the benchmark harness.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+
+def brute_force_pairs(left: Sequence[Tuple], right: Sequence[Tuple]) -> List[Tuple[int, int]]:
+    """All ``(left_oid, right_oid)`` pairs with intersecting MBRs."""
+    pairs = []
+    for r in left:
+        rxl = r[1]
+        ryl = r[2]
+        rxh = r[3]
+        ryh = r[4]
+        for s in right:
+            if rxl <= s[3] and s[1] <= rxh and ryl <= s[4] and s[2] <= ryh:
+                pairs.append((r[0], s[0]))
+    return pairs

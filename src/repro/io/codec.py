@@ -1,0 +1,158 @@
+"""Record codecs and byte-packed page files.
+
+The simulation keeps records as Python tuples for speed, but a
+production-quality storage layer must demonstrate that the claimed record
+sizes are real.  This module provides struct-based codecs matching the
+cost model's record sizes exactly —
+
+* :class:`KpeCodec` — 20 bytes: ``<i`` oid + four ``<f`` coordinates
+  (the paper-era layout behind ``SIZEOF_KPE``),
+* :class:`PairCodec` — 8 bytes: two ``<i`` oids (candidate/result pairs),
+* :class:`LevelEntryCodec` — a level-file entry: a code whose width is
+  ``ceil(2 * level / 8)`` bytes plus the 20-byte KPE, matching
+  :func:`repro.s3j.levelfile.record_bytes_for_level` —
+
+and a :class:`PackedPageFile` that stores real byte pages and charges the
+same simulated I/O as :class:`~repro.io.pagefile.PageFile`.  The packed
+path is exercised by tests and the serialization example; the drivers use
+the tuple-based files for speed, with identical accounting.
+
+Note the 32-bit float coordinates: like the original systems, the packed
+format trades precision for size, so a decode(encode(x)) round trip is
+exact only up to float32 — the tests pin that contract.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Sequence, Tuple
+
+from repro.core.rect import KPE
+from repro.io.disk import SimulatedDisk
+
+_KPE_STRUCT = struct.Struct("<iffff")
+_PAIR_STRUCT = struct.Struct("<ii")
+
+
+class KpeCodec:
+    """20-byte KPE records: 4-byte oid + four float32 coordinates."""
+
+    record_bytes = _KPE_STRUCT.size  # 20
+
+    @staticmethod
+    def encode(kpe: Tuple) -> bytes:
+        return _KPE_STRUCT.pack(kpe[0], kpe[1], kpe[2], kpe[3], kpe[4])
+
+    @staticmethod
+    def decode(blob: bytes) -> KPE:
+        oid, xl, yl, xh, yh = _KPE_STRUCT.unpack(blob)
+        return KPE(oid, xl, yl, xh, yh)
+
+
+class PairCodec:
+    """8-byte result/candidate pairs: two 4-byte oids."""
+
+    record_bytes = _PAIR_STRUCT.size  # 8
+
+    @staticmethod
+    def encode(pair: Tuple[int, int]) -> bytes:
+        return _PAIR_STRUCT.pack(pair[0], pair[1])
+
+    @staticmethod
+    def decode(blob: bytes) -> Tuple[int, int]:
+        return _PAIR_STRUCT.unpack(blob)
+
+
+class LevelEntryCodec:
+    """Level-file entries: a 2*level-bit code (byte-rounded) + the KPE."""
+
+    def __init__(self, level: int):
+        if level < 0:
+            raise ValueError("level must be non-negative")
+        self.level = level
+        self.code_bytes = 0 if level == 0 else max(1, -(-2 * level // 8))
+        self.record_bytes = self.code_bytes + KpeCodec.record_bytes
+
+    def encode(self, entry: Tuple[int, Tuple]) -> bytes:
+        code, kpe = entry
+        if code < 0 or (self.level and code >> (2 * self.level)):
+            raise ValueError(
+                f"code {code} out of range for level {self.level}"
+            )
+        prefix = code.to_bytes(self.code_bytes, "little") if self.code_bytes else b""
+        return prefix + KpeCodec.encode(kpe)
+
+    def decode(self, blob: bytes) -> Tuple[int, KPE]:
+        code = (
+            int.from_bytes(blob[: self.code_bytes], "little")
+            if self.code_bytes
+            else 0
+        )
+        return code, KpeCodec.decode(blob[self.code_bytes :])
+
+
+class PackedPageFile:
+    """A page file whose contents are genuine packed bytes.
+
+    Pages are fixed-size bytearrays holding ``page_size // record_bytes``
+    records each; I/O charging matches :class:`PageFile` (sequential bulk
+    writes, chunked reads).
+    """
+
+    def __init__(self, disk: SimulatedDisk, codec, name: str = ""):
+        self.disk = disk
+        self.codec = codec
+        self.name = name
+        self.pages: List[bytearray] = []
+        self._last_page_records = 0
+
+    @property
+    def records_per_page(self) -> int:
+        return max(1, self.disk.cost.page_size // self.codec.record_bytes)
+
+    @property
+    def n_pages(self) -> int:
+        return len(self.pages)
+
+    @property
+    def n_records(self) -> int:
+        if not self.pages:
+            return 0
+        return (len(self.pages) - 1) * self.records_per_page + (
+            self._last_page_records
+        )
+
+    def append_bulk(self, records: Sequence) -> None:
+        """Pack and append records; one contiguous write request."""
+        if not records:
+            return
+        per_page = self.records_per_page
+        pages_before = len(self.pages)
+        for record in records:
+            blob = self.codec.encode(record)
+            if not self.pages or self._last_page_records == per_page:
+                self.pages.append(bytearray())
+                self._last_page_records = 0
+            self.pages[-1].extend(blob)
+            self._last_page_records += 1
+        self.disk.charge_write(len(self.pages) - pages_before or 1, requests=1)
+
+    def read_all(self) -> List:
+        """Decode the whole file; one contiguous read request."""
+        self.disk.charge_read(len(self.pages), requests=1 if self.pages else 0)
+        out = []
+        record_bytes = self.codec.record_bytes
+        for index, page in enumerate(self.pages):
+            count = (
+                self._last_page_records
+                if index == len(self.pages) - 1
+                else self.records_per_page
+            )
+            for slot in range(count):
+                blob = bytes(page[slot * record_bytes : (slot + 1) * record_bytes])
+                out.append(self.codec.decode(blob))
+        return out
+
+    @property
+    def n_bytes(self) -> int:
+        return sum(len(page) for page in self.pages)

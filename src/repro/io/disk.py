@@ -1,0 +1,129 @@
+"""A simulated disk charging the paper's ``PT + n`` cost per request.
+
+The simulation holds file contents in memory but routes every transfer
+through :class:`SimulatedDisk`, which records, per named *phase*
+(partitioning, sorting, join, duplicate removal, ...):
+
+* the number of read/write requests (each paying the positioning cost PT),
+* the number of pages read/written (each paying one transfer unit).
+
+This reproduces the paper's I/O accounting deterministically, independent of
+the host machine, while still executing the real data movement (records are
+genuinely staged through the "files" and re-read by later phases).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional
+
+from repro.io.costmodel import CostModel, DEFAULT_COST_MODEL
+
+
+@dataclass
+class IoCounters:
+    """Per-phase I/O tallies in requests and pages."""
+
+    read_requests: int = 0
+    pages_read: int = 0
+    write_requests: int = 0
+    pages_written: int = 0
+
+    def units(self, cost: CostModel) -> float:
+        """Page-transfer units: ``PT`` per request plus one per page."""
+        requests = self.read_requests + self.write_requests
+        pages = self.pages_read + self.pages_written
+        return cost.pt_ratio * requests + pages
+
+    def add(self, other: "IoCounters") -> None:
+        self.read_requests += other.read_requests
+        self.pages_read += other.pages_read
+        self.write_requests += other.write_requests
+        self.pages_written += other.pages_written
+
+
+class SimulatedDisk:
+    """Tracks simulated I/O per phase and owns the cost model.
+
+    All page-level charging is funnelled through :meth:`charge_read` and
+    :meth:`charge_write`; the paged-file layer decides what constitutes a
+    contiguous request.
+    """
+
+    def __init__(self, cost_model: Optional[CostModel] = None):
+        self.cost = cost_model or DEFAULT_COST_MODEL
+        self._phase = "default"
+        self.counters: Dict[str, IoCounters] = {}
+
+    # ------------------------------------------------------------------
+    # phases
+    # ------------------------------------------------------------------
+    @property
+    def current_phase(self) -> str:
+        return self._phase
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Attribute all charges inside the block to phase *name*."""
+        previous = self._phase
+        self._phase = name
+        try:
+            yield
+        finally:
+            self._phase = previous
+
+    def _phase_counters(self) -> IoCounters:
+        counters = self.counters.get(self._phase)
+        if counters is None:
+            counters = IoCounters()
+            self.counters[self._phase] = counters
+        return counters
+
+    # ------------------------------------------------------------------
+    # charging
+    # ------------------------------------------------------------------
+    def charge_read(self, n_pages: int, requests: int = 1) -> None:
+        """Charge a read of *n_pages* pages in *requests* contiguous runs."""
+        if n_pages <= 0:
+            return
+        counters = self._phase_counters()
+        counters.read_requests += requests
+        counters.pages_read += n_pages
+
+    def charge_write(self, n_pages: int, requests: int = 1) -> None:
+        """Charge a write of *n_pages* pages in *requests* contiguous runs."""
+        if n_pages <= 0:
+            return
+        counters = self._phase_counters()
+        counters.write_requests += requests
+        counters.pages_written += n_pages
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def units_by_phase(self) -> Dict[str, float]:
+        """Page-transfer units per phase."""
+        return {
+            phase: counters.units(self.cost)
+            for phase, counters in self.counters.items()
+        }
+
+    def pages_by_phase(self) -> Dict[str, int]:
+        """Pages moved (read + written) per phase, without positioning."""
+        return {
+            phase: counters.pages_read + counters.pages_written
+            for phase, counters in self.counters.items()
+        }
+
+    def total_units(self) -> float:
+        return sum(self.units_by_phase().values())
+
+    def total_counters(self) -> IoCounters:
+        total = IoCounters()
+        for counters in self.counters.values():
+            total.add(counters)
+        return total
+
+    def reset(self) -> None:
+        self.counters.clear()

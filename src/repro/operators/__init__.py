@@ -1,0 +1,38 @@
+"""Operator-tree substrate: open-next-close operators and the join node."""
+
+from repro.operators.base import (
+    CollectOp,
+    DistinctOp,
+    FilterOp,
+    LimitOp,
+    MaterializeOp,
+    Operator,
+    ProjectOp,
+    ScanOp,
+    UnionAllOp,
+)
+from repro.operators.joinop import SpatialJoinOp, time_to_first_result
+from repro.operators.refineop import RefineOp
+from repro.operators.multiway import (
+    PREDICATES,
+    brute_force_multiway,
+    multiway_join,
+)
+
+__all__ = [
+    "CollectOp",
+    "DistinctOp",
+    "FilterOp",
+    "LimitOp",
+    "MaterializeOp",
+    "Operator",
+    "PREDICATES",
+    "ProjectOp",
+    "RefineOp",
+    "ScanOp",
+    "SpatialJoinOp",
+    "UnionAllOp",
+    "brute_force_multiway",
+    "multiway_join",
+    "time_to_first_result",
+]

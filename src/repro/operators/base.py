@@ -1,0 +1,222 @@
+"""Open-next-close operators (Graefe's iterator model).
+
+Section 2 of the paper assumes the spatial join runs inside an operator
+tree whose nodes satisfy the open-next-close interface [Gra 93], and a
+recurring argument for the Reference Point Method is that it keeps the
+join *pipelined*: results flow to the parent operator during the join
+phase instead of after a blocking final sort.  This package makes that
+argument executable — the pipelining example measures time-to-first-result
+through a small operator tree.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+
+class Operator:
+    """Base class: an iterator-style query operator."""
+
+    def open(self) -> None:
+        """Prepare for producing tuples (default: nothing to do)."""
+
+    def next(self):
+        """Return the next tuple, or None when exhausted."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release resources (default: nothing to do)."""
+
+    # Pythonic sugar: operators iterate.
+    def __iter__(self) -> Iterator:
+        self.open()
+        try:
+            while True:
+                item = self.next()
+                if item is None:
+                    return
+                yield item
+        finally:
+            self.close()
+
+
+class ScanOp(Operator):
+    """Produce the tuples of an in-memory relation."""
+
+    def __init__(self, records):
+        self._records = records
+        self._position = 0
+
+    def open(self) -> None:
+        self._position = 0
+
+    def next(self):
+        if self._position >= len(self._records):
+            return None
+        record = self._records[self._position]
+        self._position += 1
+        return record
+
+
+class FilterOp(Operator):
+    """Keep only tuples satisfying a predicate."""
+
+    def __init__(self, child: Operator, predicate):
+        self._child = child
+        self._predicate = predicate
+
+    def open(self) -> None:
+        self._child.open()
+
+    def next(self):
+        while True:
+            item = self._child.next()
+            if item is None:
+                return None
+            if self._predicate(item):
+                return item
+
+    def close(self) -> None:
+        self._child.close()
+
+
+class LimitOp(Operator):
+    """Stop after *limit* tuples — the classic pipelining beneficiary."""
+
+    def __init__(self, child: Operator, limit: int):
+        if limit < 0:
+            raise ValueError("limit must be non-negative")
+        self._child = child
+        self._limit = limit
+        self._produced = 0
+
+    def open(self) -> None:
+        self._produced = 0
+        self._child.open()
+
+    def next(self):
+        if self._produced >= self._limit:
+            return None
+        item = self._child.next()
+        if item is None:
+            return None
+        self._produced += 1
+        return item
+
+    def close(self) -> None:
+        self._child.close()
+
+
+class ProjectOp(Operator):
+    """Apply a function to each tuple (the relational projection)."""
+
+    def __init__(self, child: Operator, function):
+        self._child = child
+        self._function = function
+
+    def open(self) -> None:
+        self._child.open()
+
+    def next(self):
+        item = self._child.next()
+        if item is None:
+            return None
+        return self._function(item)
+
+    def close(self) -> None:
+        self._child.close()
+
+
+class DistinctOp(Operator):
+    """Drop tuples already produced (hash-based, order preserving)."""
+
+    def __init__(self, child: Operator):
+        self._child = child
+        self._seen = set()
+
+    def open(self) -> None:
+        self._seen = set()
+        self._child.open()
+
+    def next(self):
+        while True:
+            item = self._child.next()
+            if item is None:
+                return None
+            if item not in self._seen:
+                self._seen.add(item)
+                return item
+
+    def close(self) -> None:
+        self._child.close()
+
+
+class UnionAllOp(Operator):
+    """Concatenate several children (bag union)."""
+
+    def __init__(self, *children: Operator):
+        self._children = list(children)
+        self._index = 0
+
+    def open(self) -> None:
+        self._index = 0
+        for child in self._children:
+            child.open()
+
+    def next(self):
+        while self._index < len(self._children):
+            item = self._children[self._index].next()
+            if item is not None:
+                return item
+            self._index += 1
+        return None
+
+    def close(self) -> None:
+        for child in self._children:
+            child.close()
+
+
+class MaterializeOp(Operator):
+    """Fully buffer the child on open (a pipeline breaker, by design).
+
+    Wrapping a pipelined join in MaterializeOp reproduces exactly the
+    blocking behaviour the paper criticises — useful in tests and the
+    pipelining example as the "what if we materialised anyway" control.
+    """
+
+    def __init__(self, child: Operator):
+        self._child = child
+        self._buffer = []
+        self._position = 0
+
+    def open(self) -> None:
+        self._buffer = list(self._child)
+        self._position = 0
+
+    def next(self):
+        if self._position >= len(self._buffer):
+            return None
+        item = self._buffer[self._position]
+        self._position += 1
+        return item
+
+
+class CollectOp(Operator):
+    """Materialise a child operator's output (for tests)."""
+
+    def __init__(self, child: Operator):
+        self._child = child
+        self.collected: List = []
+
+    def open(self) -> None:
+        self.collected = []
+        self._child.open()
+
+    def next(self):
+        item = self._child.next()
+        if item is not None:
+            self.collected.append(item)
+        return item
+
+    def close(self) -> None:
+        self._child.close()

@@ -1,0 +1,121 @@
+"""Multiway spatial joins by cascading binary joins.
+
+The paper defines the spatial join over "two (or more) sets of spatial
+objects"; this module provides the *or more* part by cascading any binary
+driver (PBSM by default) through the operator layer.  Two predicates are
+supported:
+
+* ``"chain"`` — consecutive relations must intersect:
+  ``r1 ∩ r2 ≠ ∅  and  r2 ∩ r3 ≠ ∅  and ...``.  The intermediate KPE
+  carries the MBR of the *last* relation's object.
+* ``"common"`` — all objects share a common point:
+  ``r1 ∩ r2 ∩ ... ∩ rn ≠ ∅``.  The intermediate KPE carries the running
+  intersection MBR.  For axis-parallel rectangles this is equivalent to
+  *pairwise* intersection of all members (boxes have Helly number 2), so
+  the cascade loses no answers.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.core.rect import KPE
+from repro.pbsm.join import PBSM
+
+PREDICATES = ("chain", "common")
+
+
+def multiway_join(
+    relations: Sequence[Sequence[Tuple]],
+    memory_bytes: int,
+    *,
+    predicate: str = "common",
+    driver_factory: Optional[Callable] = None,
+) -> List[Tuple[int, ...]]:
+    """Join *n* relations; returns tuples of oids, one per relation.
+
+    ``driver_factory()`` must yield a fresh binary join driver per stage
+    (default: PBSM with RPM and the trie sweep).
+    """
+    if predicate not in PREDICATES:
+        raise ValueError(f"predicate must be one of {PREDICATES}")
+    if len(relations) < 2:
+        raise ValueError("a multiway join needs at least two relations")
+    if any(len(rel) == 0 for rel in relations):
+        return []
+    if driver_factory is None:
+        def driver_factory():
+            return PBSM(memory_bytes, internal="sweep_trie", dedup="rpm")
+
+    # tuples[i] is the oid tuple represented by intermediate KPE oid i.
+    tuples: List[Tuple[int, ...]] = [(k[0],) for k in relations[0]]
+    by_oid = {k[0]: k for k in relations[0]}
+    intermediate: List[KPE] = [
+        KPE(i, k[1], k[2], k[3], k[4]) for i, k in enumerate(relations[0])
+    ]
+
+    for relation in relations[1:]:
+        right_by_oid = {k[0]: k for k in relation}
+        result = driver_factory().run(intermediate, relation)
+        next_tuples: List[Tuple[int, ...]] = []
+        next_kpes: List[KPE] = []
+        for inter_oid, right_oid in result.pairs:
+            base = tuples[inter_oid]
+            right = right_by_oid[right_oid]
+            if predicate == "chain":
+                xl, yl, xh, yh = right[1], right[2], right[3], right[4]
+            else:
+                carried = intermediate[inter_oid]
+                xl = max(carried.xl, right[1])
+                yl = max(carried.yl, right[2])
+                xh = min(carried.xh, right[3])
+                yh = min(carried.yh, right[4])
+                # the binary join guarantees a non-empty intersection
+            new_oid = len(next_tuples)
+            next_tuples.append(base + (right_oid,))
+            next_kpes.append(KPE(new_oid, xl, yl, xh, yh))
+        tuples = next_tuples
+        intermediate = next_kpes
+        if not intermediate:
+            return []
+        by_oid = right_by_oid
+
+    return tuples
+
+
+def brute_force_multiway(
+    relations: Sequence[Sequence[Tuple]],
+    predicate: str = "common",
+) -> List[Tuple[int, ...]]:
+    """Quadratic reference implementation for tests."""
+    if predicate not in PREDICATES:
+        raise ValueError(f"predicate must be one of {PREDICATES}")
+    results: List[Tuple[int, ...]] = []
+
+    def recurse(index: int, chosen: List[Tuple], oids: Tuple[int, ...]):
+        if index == len(relations):
+            results.append(oids)
+            return
+        for k in relations[index]:
+            if predicate == "chain":
+                previous = chosen[-1]
+                ok = (
+                    previous[1] <= k[3]
+                    and k[1] <= previous[3]
+                    and previous[2] <= k[4]
+                    and k[2] <= previous[4]
+                )
+            else:
+                xl = max(max(c[1] for c in chosen), k[1])
+                yl = max(max(c[2] for c in chosen), k[2])
+                xh = min(min(c[3] for c in chosen), k[3])
+                yh = min(min(c[4] for c in chosen), k[4])
+                ok = xl <= xh and yl <= yh
+            if ok:
+                recurse(index + 1, chosen + [k], oids + (k[0],))
+
+    if not relations or any(len(rel) == 0 for rel in relations):
+        return []
+    for k in relations[0]:
+        recurse(1, [k], (k[0],))
+    return results

@@ -1,0 +1,34 @@
+"""Partition-count estimation: the paper's formula (1) plus the safety
+factor ``t``.
+
+Original PBSM computes ``P = ceil((|R| + |S|) * sizeof(KPE) / M)``.
+Section 3.2.3 observes that when the un-ceiled value is just below an
+integer (e.g. 1.99), pairs of partitions are very unlikely to fit in
+memory and repartitioning is triggered; multiplying by ``t > 1`` before
+the ceiling avoids that cliff.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def estimate_partitions(
+    n_left: int,
+    n_right: int,
+    kpe_bytes: int,
+    memory_bytes: int,
+    t_factor: float = 1.2,
+) -> int:
+    """Number of partitions per relation (formula (1), scaled by ``t``).
+
+    ``t_factor=1.0`` reproduces the original formula exactly; the paper's
+    improvement uses a value slightly above one.
+    """
+    if memory_bytes <= 0:
+        raise ValueError("memory budget must be positive")
+    if t_factor <= 0:
+        raise ValueError("t_factor must be positive")
+    total_bytes = (n_left + n_right) * kpe_bytes
+    raw = t_factor * total_bytes / memory_bytes
+    return max(1, math.ceil(raw))

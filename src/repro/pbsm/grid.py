@@ -1,0 +1,121 @@
+"""PBSM's equidistant tile grid and tile-to-partition mapping.
+
+PBSM overlays the data space with ``NT >= P`` tiles and assigns each tile
+to one of ``P`` partitions; a KPE is inserted into every partition owning a
+tile its rectangle overlaps (hence the replication).  Assigning *multiple*
+tiles to each partition — via a hash, as Patel & DeWitt suggest — spreads
+skewed data nearly uniformly over the partitions.
+
+The same grid arithmetic provides the Reference Point Method's region test:
+``partition_of_point`` maps a point to the partition owning its (unique,
+half-open) tile.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator, List, Set, Tuple
+
+from repro.core.space import Space
+
+#: Supported tile-to-partition mappings.
+TILE_MAPPINGS = ("hash", "round_robin")
+
+
+class TileGrid:
+    """An ``nx x ny`` equidistant grid with a tile-to-partition mapping."""
+
+    __slots__ = ("space", "nx", "ny", "n_partitions", "mapping")
+
+    def __init__(
+        self,
+        space: Space,
+        nx: int,
+        ny: int,
+        n_partitions: int,
+        mapping: str = "hash",
+    ):
+        if nx < 1 or ny < 1:
+            raise ValueError(f"grid must have at least one tile, got {nx}x{ny}")
+        if n_partitions < 1:
+            raise ValueError("need at least one partition")
+        if nx * ny < n_partitions:
+            raise ValueError(
+                f"{nx * ny} tiles cannot cover {n_partitions} partitions (NT >= P)"
+            )
+        if mapping not in TILE_MAPPINGS:
+            raise ValueError(
+                f"unknown tile mapping {mapping!r}; choose from {TILE_MAPPINGS}"
+            )
+        self.space = space
+        self.nx = nx
+        self.ny = ny
+        self.n_partitions = n_partitions
+        self.mapping = mapping
+
+    @classmethod
+    def for_partitions(
+        cls,
+        space: Space,
+        n_partitions: int,
+        tiles_per_partition: int = 4,
+        mapping: str = "hash",
+    ) -> "TileGrid":
+        """Build a near-square grid with ``NT ~= P * tiles_per_partition``."""
+        nt = max(n_partitions, n_partitions * tiles_per_partition)
+        side = max(1, math.ceil(math.sqrt(nt)))
+        return cls(space, side, side, n_partitions, mapping)
+
+    # ------------------------------------------------------------------
+    # tile arithmetic
+    # ------------------------------------------------------------------
+    def tile_of_point(self, x: float, y: float) -> Tuple[int, int]:
+        """The unique (half-open, border-clamped) tile owning a point."""
+        tx = int(self.space.norm_x(x) * self.nx)
+        ty = int(self.space.norm_y(y) * self.ny)
+        if tx >= self.nx:
+            tx = self.nx - 1
+        elif tx < 0:
+            tx = 0
+        if ty >= self.ny:
+            ty = self.ny - 1
+        elif ty < 0:
+            ty = 0
+        return tx, ty
+
+    def partition_of_tile(self, tx: int, ty: int) -> int:
+        """The partition a tile is assigned to."""
+        if self.mapping == "hash":
+            # Two odd multipliers decorrelate rows and columns so clustered
+            # tiles spread over all partitions (Patel & DeWitt's intent).
+            return ((tx * 73856093) ^ (ty * 19349663)) % self.n_partitions
+        return (ty * self.nx + tx) % self.n_partitions
+
+    def partition_of_point(self, x: float, y: float) -> int:
+        """RPM's region test: the partition owning the point's tile."""
+        tx, ty = self.tile_of_point(x, y)
+        return self.partition_of_tile(tx, ty)
+
+    def tiles_for_rect(self, kpe: Tuple) -> Iterator[Tuple[int, int]]:
+        """All tiles a rectangle overlaps (consistent with the point map)."""
+        txl, tyl = self.tile_of_point(kpe[1], kpe[2])
+        txh, tyh = self.tile_of_point(kpe[3], kpe[4])
+        for ty in range(tyl, tyh + 1):
+            for tx in range(txl, txh + 1):
+                yield tx, ty
+
+    def partitions_for_rect(self, kpe: Tuple) -> Set[int]:
+        """The distinct partitions a rectangle must be inserted into."""
+        txl, tyl = self.tile_of_point(kpe[1], kpe[2])
+        txh, tyh = self.tile_of_point(kpe[3], kpe[4])
+        if txl == txh and tyl == tyh:
+            return {self.partition_of_tile(txl, tyl)}
+        partition_of_tile = self.partition_of_tile
+        return {
+            partition_of_tile(tx, ty)
+            for ty in range(tyl, tyh + 1)
+            for tx in range(txl, txh + 1)
+        }
+
+    def tile_count(self) -> int:
+        return self.nx * self.ny

@@ -1,0 +1,390 @@
+"""The Partition Based Spatial-Merge Join driver.
+
+Implements both variants the paper compares:
+
+* ``dedup="sort"`` — original PBSM (Patel & DeWitt): the join phase
+  materialises every candidate pair; a final phase sorts the pair file and
+  removes duplicates.  No result can be emitted before the sort completes
+  (the pipelining problem of Section 3.1).
+* ``dedup="rpm"`` — the paper's improvement: each detected pair is kept iff
+  its reference point lies in the region of the partition being processed
+  (at most six extra comparisons), so results stream out of the join phase
+  and no final phase exists.
+
+The internal algorithm (list sweep, trie sweep, ...) is pluggable, which is
+how Figures 4/5/12 are driven.  Execution is exposed as a generator
+(:meth:`PBSM.iter_pairs`) so the operator layer can demonstrate the
+pipelining difference; :meth:`PBSM.run` simply drains it.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.result import JoinResult, JoinStats
+from repro.core.space import Space
+from repro.core.stats import CpuCounters
+from repro.internal import internal_algorithm
+from repro.io.costmodel import CostModel
+from repro.io.disk import SimulatedDisk
+from repro.io.pagefile import PageFile
+from repro.pbsm.dedup import sort_based_dedup
+from repro.pbsm.estimator import estimate_partitions
+from repro.pbsm.grid import TileGrid
+from repro.pbsm.partitioner import partition_relation
+from repro.pbsm.repartition import (
+    choose_split,
+    compose_region_test,
+    split_partition,
+)
+
+#: Phase names used for I/O and CPU attribution.
+PHASE_PARTITION = "partition"
+PHASE_REPARTITION = "repartition"
+PHASE_JOIN = "join"
+PHASE_DEDUP = "dedup"
+
+DEDUP_MODES = ("rpm", "sort", "none")
+
+
+class PBSM:
+    """Partition Based Spatial-Merge Join.
+
+    Parameters
+    ----------
+    memory_bytes:
+        The main-memory budget M of formula (1); partition pairs must fit
+        into it.
+    internal:
+        Registry name of the in-memory join algorithm ("sweep_list",
+        "sweep_trie", "nested_loops", "sweep_tree").
+    dedup:
+        "rpm" (online reference-point method), "sort" (original final
+        sorting phase), or "none" (emit duplicates — for analysis only).
+    t_factor:
+        Safety factor on formula (1) (Section 3.2.3); 1.0 = original.
+    tiles_per_partition / tile_mapping:
+        Grid shape: NT ~= P * tiles_per_partition tiles, assigned to
+        partitions by "hash" (default, as suggested by Patel & DeWitt) or
+        "round_robin".
+    """
+
+    def __init__(
+        self,
+        memory_bytes: int,
+        *,
+        internal: str = "sweep_list",
+        dedup: str = "rpm",
+        t_factor: float = 1.2,
+        tiles_per_partition: int = 4,
+        tile_mapping: str = "hash",
+        cost_model: Optional[CostModel] = None,
+        max_repartition_depth: int = 8,
+    ):
+        if memory_bytes <= 0:
+            raise ValueError("memory_bytes must be positive")
+        if dedup not in DEDUP_MODES:
+            raise ValueError(f"dedup must be one of {DEDUP_MODES}, got {dedup!r}")
+        self.memory_bytes = memory_bytes
+        self.internal_name = internal
+        self.internal = internal_algorithm(internal)
+        self.dedup = dedup
+        self.t_factor = t_factor
+        self.tiles_per_partition = tiles_per_partition
+        self.tile_mapping = tile_mapping
+        self.cost_model = cost_model or CostModel()
+        self.max_repartition_depth = max_repartition_depth
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def run(self, left: Sequence[Tuple], right: Sequence[Tuple]) -> JoinResult:
+        """Execute the join and return all result pairs plus statistics."""
+        stats = self._new_stats(left, right)
+        pairs = list(self._generate(left, right, stats))
+        self._finalize_stats(stats)
+        stats.n_results = len(pairs)
+        return JoinResult(pairs=pairs, stats=stats)
+
+    def iter_pairs(
+        self,
+        left: Sequence[Tuple],
+        right: Sequence[Tuple],
+        stats: Optional[JoinStats] = None,
+    ) -> Iterator[Tuple[int, int]]:
+        """Yield result pairs as the join produces them.
+
+        With ``dedup="rpm"`` pairs stream out during the join phase; with
+        ``dedup="sort"`` nothing is yielded until the final sorting phase
+        has completed — the behaviour the paper's pipelining argument is
+        about.  ``stats`` (if given) is populated when the iterator is
+        exhausted.
+        """
+        own_stats = stats if stats is not None else self._new_stats(left, right)
+        yield from self._generate(left, right, own_stats)
+        self._finalize_stats(own_stats)
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def _new_stats(self, left: Sequence[Tuple], right: Sequence[Tuple]) -> JoinStats:
+        dedup_tag = {"rpm": "RPM", "sort": "PD", "none": "nodedup"}[self.dedup]
+        return JoinStats(
+            algorithm=f"PBSM({self.internal_name},{dedup_tag})",
+            n_left=len(left),
+            n_right=len(right),
+        )
+
+    def _generate(
+        self,
+        left: Sequence[Tuple],
+        right: Sequence[Tuple],
+        stats: JoinStats,
+    ) -> Iterator[Tuple[int, int]]:
+        disk = SimulatedDisk(self.cost_model)
+        cpu = {
+            PHASE_PARTITION: CpuCounters(),
+            PHASE_REPARTITION: CpuCounters(),
+            PHASE_JOIN: CpuCounters(),
+            PHASE_DEDUP: CpuCounters(),
+        }
+        self._disk = disk
+        self._cpu = cpu
+        self._stats = stats
+        if not left or not right:
+            return
+
+        kpe_bytes = self.cost_model.kpe_bytes
+        space = Space.of(left, right)
+        n_partitions = estimate_partitions(
+            len(left), len(right), kpe_bytes, self.memory_bytes, self.t_factor
+        )
+        grid = TileGrid.for_partitions(
+            space, n_partitions, self.tiles_per_partition, self.tile_mapping
+        )
+        stats.n_partitions = n_partitions
+
+        # --- phase 1: partitioning -----------------------------------
+        wall_start = time.perf_counter()
+        with disk.phase(PHASE_PARTITION):
+            left_files, n_left_written = partition_relation(
+                left, grid, disk, kpe_bytes, cpu[PHASE_PARTITION], "R"
+            )
+            right_files, n_right_written = partition_relation(
+                right, grid, disk, kpe_bytes, cpu[PHASE_PARTITION], "S"
+            )
+        stats.records_partitioned = n_left_written + n_right_written
+        stats.replicas_created = stats.records_partitioned - len(left) - len(right)
+        stats.wall_seconds_by_phase[PHASE_PARTITION] = (
+            time.perf_counter() - wall_start
+        )
+
+        # --- candidate sink -------------------------------------------
+        candidate_file: Optional[PageFile] = None
+        candidate_writer = None
+        if self.dedup == "sort":
+            candidate_file = PageFile(disk, self.cost_model.result_bytes, "cands")
+            candidate_writer = candidate_file.writer(buffer_pages=1)
+
+        # --- phases 2+3: (re)partition & join --------------------------
+        wall_start = time.perf_counter()
+        for pid in range(n_partitions):
+            region = _top_region_test(grid, pid)
+            yield from self._join_pair(
+                left_files[pid],
+                right_files[pid],
+                region,
+                space,
+                candidate_writer,
+                depth=0,
+            )
+        stats.wall_seconds_by_phase[PHASE_JOIN] = time.perf_counter() - wall_start
+
+        # --- phase 4: sort-based duplicate removal ---------------------
+        if self.dedup == "sort":
+            wall_start = time.perf_counter()
+            with disk.phase(PHASE_DEDUP):
+                candidate_writer.close()
+                unique, removed = sort_based_dedup(
+                    candidate_file, self.memory_bytes, cpu[PHASE_DEDUP]
+                )
+            stats.duplicates_sorted_out = removed
+            stats.wall_seconds_by_phase[PHASE_DEDUP] = (
+                time.perf_counter() - wall_start
+            )
+            yield from unique
+
+    def _join_pair(
+        self,
+        file_left: PageFile,
+        file_right: PageFile,
+        region: Callable[[float, float], bool],
+        space: Space,
+        candidate_writer,
+        depth: int,
+    ) -> Iterator[Tuple[int, int]]:
+        """Join one pair of partitions, repartitioning if necessary."""
+        stats = self._stats
+        if file_left.n_records == 0 or file_right.n_records == 0:
+            # An empty side produces nothing.  This must short-circuit
+            # *before* the memory check: otherwise an over-budget partner
+            # would be repartitioned once per empty sub-partition,
+            # exploding the recursion on unsplittable (e.g. all-identical)
+            # inputs.
+            return
+        pair_bytes = file_left.n_bytes + file_right.n_bytes
+        fits = pair_bytes <= self.memory_bytes
+        splittable = max(file_left.n_records, file_right.n_records) > 2
+        if not fits and splittable and depth < self.max_repartition_depth:
+            stats.repartition_events += 1
+            yield from self._repartition(
+                file_left, file_right, region, space, candidate_writer, depth
+            )
+            return
+        if not fits:
+            stats.memory_overruns += 1
+        if pair_bytes > stats.peak_memory_bytes:
+            stats.peak_memory_bytes = pair_bytes
+
+        cpu = self._cpu[PHASE_JOIN]
+        with self._disk.phase(PHASE_JOIN):
+            records_left = file_left.read_all()
+            records_right = file_right.read_all()
+
+        results: List[Tuple[int, int]] = []
+        if self.dedup == "rpm":
+            refpoint_tests = 0
+            suppressed = 0
+
+            def emit(r: Tuple, s: Tuple) -> None:
+                nonlocal refpoint_tests, suppressed
+                refpoint_tests += 1
+                rx = r[1]
+                sx = s[1]
+                ry = r[4]
+                sy = s[4]
+                x = rx if rx >= sx else sx
+                y = ry if ry <= sy else sy
+                if region(x, y):
+                    results.append((r[0], s[0]))
+                else:
+                    suppressed += 1
+
+        elif self.dedup == "sort":
+
+            def emit(r: Tuple, s: Tuple) -> None:
+                candidate_writer.write((r[0], s[0]))
+
+        else:  # "none": report everything, duplicates included
+
+            def emit(r: Tuple, s: Tuple) -> None:
+                results.append((r[0], s[0]))
+
+        if self.dedup == "sort":
+            # The candidate-pair writes emitted during the in-memory join
+            # are part of the duplicate-removal overhead (Figure 3a).
+            with self._disk.phase(PHASE_DEDUP):
+                self.internal(records_left, records_right, emit, cpu)
+        else:
+            self.internal(records_left, records_right, emit, cpu)
+        if self.dedup == "rpm":
+            cpu.refpoint_tests += refpoint_tests
+            stats.duplicates_suppressed += suppressed
+        yield from results
+
+    def _repartition(
+        self,
+        file_left: PageFile,
+        file_right: PageFile,
+        region: Callable[[float, float], bool],
+        space: Space,
+        candidate_writer,
+        depth: int,
+    ) -> Iterator[Tuple[int, int]]:
+        """Split the larger partition and recurse on each sub-pair."""
+        left_is_larger = file_left.n_bytes >= file_right.n_bytes
+        larger = file_left if left_is_larger else file_right
+        smaller = file_right if left_is_larger else file_left
+        k = choose_split(
+            larger.n_bytes, smaller.n_bytes, self.memory_bytes, self.t_factor
+        )
+        cpu = self._cpu[PHASE_REPARTITION]
+        with self._disk.phase(PHASE_REPARTITION):
+            subfiles, subgrid = split_partition(
+                larger,
+                k,
+                space,
+                self._disk,
+                cpu,
+                self.tiles_per_partition,
+                self.tile_mapping,
+                name=f"{larger.name}.d{depth}",
+            )
+        if max(f.n_records for f in subfiles) >= larger.n_records:
+            # No progress: every record overlaps (nearly) every tile, so a
+            # sub-partition is as large as its parent — e.g. all-identical
+            # rectangles.  Recursing would multiply work without shrinking
+            # anything; join the original pair directly instead.
+            yield from self._join_pair(
+                file_left,
+                file_right,
+                region,
+                space,
+                candidate_writer,
+                self.max_repartition_depth,
+            )
+            return
+        for sub_pid, subfile in enumerate(subfiles):
+            sub_region = compose_region_test(region, subgrid, sub_pid)
+            if left_is_larger:
+                yield from self._join_pair(
+                    subfile, smaller, sub_region, space, candidate_writer, depth + 1
+                )
+            else:
+                yield from self._join_pair(
+                    smaller, subfile, sub_region, space, candidate_writer, depth + 1
+                )
+
+    # ------------------------------------------------------------------
+    # statistics
+    # ------------------------------------------------------------------
+    def _finalize_stats(self, stats: JoinStats) -> None:
+        disk = self._disk
+        cpu = self._cpu
+        cost = self.cost_model
+        stats.io_units_by_phase = disk.units_by_phase()
+        stats.io_pages_by_phase = disk.pages_by_phase()
+        stats.cpu_by_phase = {
+            phase: counters.as_dict() for phase, counters in cpu.items()
+        }
+        stats.sim_io_seconds = cost.io_seconds(disk.total_units())
+        stats.sim_cpu_seconds = sum(
+            cost.cpu_seconds(counters) for counters in cpu.values()
+        )
+        by_phase = {}
+        units = stats.io_units_by_phase
+        for phase, counters in cpu.items():
+            by_phase[phase] = cost.cpu_seconds(counters) + cost.io_seconds(
+                units.get(phase, 0.0)
+            )
+        stats.sim_seconds_by_phase = by_phase
+
+
+def _top_region_test(grid: TileGrid, pid: int) -> Callable[[float, float], bool]:
+    """Region predicate of a top-level partition (the union of its tiles)."""
+
+    def owns(x: float, y: float) -> bool:
+        return grid.partition_of_point(x, y) == pid
+
+    return owns
+
+
+def pbsm_join(
+    left: Sequence[Tuple],
+    right: Sequence[Tuple],
+    memory_bytes: int,
+    **kwargs,
+) -> JoinResult:
+    """Convenience one-call PBSM join (see :class:`PBSM` for options)."""
+    return PBSM(memory_bytes, **kwargs).run(left, right)

@@ -1,0 +1,201 @@
+"""Parallel PBSM: a simulated multi-worker execution model.
+
+The paper's related work points to parallel spatial join processing
+[BKS 96, Pat 98]; PBSM parallelises naturally because partition pairs are
+independent once partitioning has replicated the data.  This module
+models a shared-nothing execution: the partitioning phase is a single
+scan (sequential), after which the P partition-pair join tasks — each
+with its own measured I/O + CPU cost — are scheduled onto W workers with
+the LPT (longest processing time first) heuristic.  The simulated total
+runtime is
+
+    ``partition_phase + makespan(worker schedules)``
+
+so the speedup curve flattens exactly where the paper's decomposition
+predicts: the sequential partitioning fraction and the largest single
+partition bound the achievable speedup (Amdahl).
+
+Duplicate elimination is RPM, which is what makes the parallel version
+correct without any cross-worker coordination: each result is owned by
+exactly one partition, hence by exactly one worker.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.result import JoinResult, JoinStats
+from repro.core.space import Space
+from repro.core.stats import CpuCounters
+from repro.internal import internal_algorithm
+from repro.io.costmodel import CostModel
+from repro.io.disk import SimulatedDisk
+from repro.pbsm.estimator import estimate_partitions
+from repro.pbsm.grid import TileGrid
+from repro.pbsm.partitioner import partition_relation
+
+
+class ParallelPBSM:
+    """PBSM with the join phase spread over *workers* simulated workers."""
+
+    def __init__(
+        self,
+        memory_bytes: int,
+        workers: int = 4,
+        *,
+        internal: str = "sweep_trie",
+        t_factor: float = 1.2,
+        tiles_per_partition: int = 4,
+        cost_model: Optional[CostModel] = None,
+    ):
+        if memory_bytes <= 0:
+            raise ValueError("memory_bytes must be positive")
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.memory_bytes = memory_bytes
+        self.workers = workers
+        self.internal_name = internal
+        self.internal = internal_algorithm(internal)
+        self.t_factor = t_factor
+        self.tiles_per_partition = tiles_per_partition
+        self.cost_model = cost_model or CostModel()
+
+    def run(self, left: Sequence[Tuple], right: Sequence[Tuple]) -> JoinResult:
+        stats = JoinStats(
+            algorithm=f"ParallelPBSM({self.internal_name},W={self.workers})",
+            n_left=len(left),
+            n_right=len(right),
+        )
+        pairs: List[Tuple[int, int]] = []
+        if not left or not right:
+            return JoinResult(pairs=pairs, stats=stats)
+        cost = self.cost_model
+        kpe_bytes = cost.kpe_bytes
+        space = Space.of(left, right)
+        n_partitions = estimate_partitions(
+            len(left), len(right), kpe_bytes, self.memory_bytes, self.t_factor
+        )
+        # At least one task per worker, or parallelism is wasted.
+        n_partitions = max(n_partitions, self.workers)
+        grid = TileGrid.for_partitions(
+            space, n_partitions, self.tiles_per_partition
+        )
+        stats.n_partitions = n_partitions
+
+        # --- sequential partitioning phase -----------------------------
+        wall = time.perf_counter()
+        disk = SimulatedDisk(cost)
+        part_cpu = CpuCounters()
+        with disk.phase("partition"):
+            left_files, n_left_written = partition_relation(
+                left, grid, disk, kpe_bytes, part_cpu, "R"
+            )
+            right_files, n_right_written = partition_relation(
+                right, grid, disk, kpe_bytes, part_cpu, "S"
+            )
+        stats.records_partitioned = n_left_written + n_right_written
+        stats.replicas_created = stats.records_partitioned - len(left) - len(right)
+        partition_seconds = cost.io_seconds(disk.total_units()) + cost.cpu_seconds(
+            part_cpu
+        )
+        stats.wall_seconds_by_phase["partition"] = time.perf_counter() - wall
+
+        # --- per-pair join tasks with individual cost measurement ------
+        wall = time.perf_counter()
+        task_costs: List[float] = []
+        join_cpu_total = CpuCounters()
+        join_units_total = 0.0
+        suppressed_total = 0
+        for pid in range(n_partitions):
+            file_left = left_files[pid]
+            file_right = right_files[pid]
+            if not file_left.n_records or not file_right.n_records:
+                continue
+            pair_bytes = file_left.n_bytes + file_right.n_bytes
+            if pair_bytes > self.memory_bytes:
+                stats.memory_overruns += 1
+            if pair_bytes > stats.peak_memory_bytes:
+                stats.peak_memory_bytes = pair_bytes
+            task_disk = SimulatedDisk(cost)
+            task_cpu = CpuCounters()
+            with task_disk.phase("join"):
+                records_left = file_left.read_all()
+                records_right = file_right.read_all()
+            suppressed = self._join_task(
+                records_left, records_right, grid, pid, pairs, task_cpu
+            )
+            suppressed_total += suppressed
+            task_seconds = cost.io_seconds(task_disk.total_units()) + (
+                cost.cpu_seconds(task_cpu)
+            )
+            task_costs.append(task_seconds)
+            join_cpu_total.add(task_cpu)
+            join_units_total += task_disk.total_units()
+        stats.duplicates_suppressed = suppressed_total
+        stats.wall_seconds_by_phase["join"] = time.perf_counter() - wall
+
+        # --- LPT scheduling onto W workers ------------------------------
+        makespan, loads = lpt_schedule(task_costs, self.workers)
+        stats.n_results = len(pairs)
+        stats.io_units_by_phase = {
+            "partition": disk.total_units(),
+            "join": join_units_total,
+        }
+        stats.cpu_by_phase = {
+            "partition": part_cpu.as_dict(),
+            "join": join_cpu_total.as_dict(),
+        }
+        # The *parallel* simulated runtime:
+        stats.sim_io_seconds = cost.io_seconds(disk.total_units())
+        stats.sim_cpu_seconds = makespan  # join tasks dominated by makespan
+        stats.sim_seconds_by_phase = {
+            "partition": partition_seconds,
+            "join": makespan,
+        }
+        return JoinResult(pairs=pairs, stats=stats)
+
+    def _join_task(
+        self,
+        records_left: List[Tuple],
+        records_right: List[Tuple],
+        grid: TileGrid,
+        pid: int,
+        pairs: List[Tuple[int, int]],
+        cpu: CpuCounters,
+    ) -> int:
+        """One partition-pair join with RPM ownership by partition *pid*."""
+        suppressed = 0
+        refpoint_tests = 0
+        partition_of_point = grid.partition_of_point
+
+        def emit(r: Tuple, s: Tuple) -> None:
+            nonlocal suppressed, refpoint_tests
+            refpoint_tests += 1
+            rx = r[1]
+            sx = s[1]
+            ry = r[4]
+            sy = s[4]
+            x = rx if rx >= sx else sx
+            y = ry if ry <= sy else sy
+            if partition_of_point(x, y) == pid:
+                pairs.append((r[0], s[0]))
+            else:
+                suppressed += 1
+
+        self.internal(records_left, records_right, emit, cpu)
+        cpu.refpoint_tests += refpoint_tests
+        return suppressed
+
+
+def lpt_schedule(task_costs: Sequence[float], workers: int) -> Tuple[float, List[float]]:
+    """Longest-processing-time-first scheduling.
+
+    Returns ``(makespan, per-worker loads)``.  LPT is within 4/3 of the
+    optimal makespan — plenty for a speedup model.
+    """
+    loads = [0.0] * workers
+    for cost in sorted(task_costs, reverse=True):
+        idx = min(range(workers), key=loads.__getitem__)
+        loads[idx] += cost
+    return (max(loads) if loads else 0.0), loads

@@ -1,0 +1,90 @@
+"""PBSM's repartitioning phase (Section 3.2.3).
+
+The original paper left repartitioning untreated; Dittrich & Seeger's
+strategy: when a pair of partitions does not fit in main memory,
+re-partition the *larger* one with a finer grid and try each sub-partition
+against the other side; recurse until every pair fits.  Because the other
+side is joined against every sub-partition, replication across
+sub-partitions introduces more duplicates — which the composed
+Reference-Point region test (parent region AND sub-region) suppresses.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, List, Tuple
+
+from repro.core.space import Space
+from repro.core.stats import CpuCounters
+from repro.io.disk import SimulatedDisk
+from repro.io.pagefile import PageFile
+from repro.pbsm.grid import TileGrid
+from repro.pbsm.partitioner import partition_relation
+
+#: Upper bound on the fan-out of one repartitioning step.
+MAX_SPLIT = 64
+
+
+def choose_split(
+    larger_bytes: int, smaller_bytes: int, memory_bytes: int, t_factor: float
+) -> int:
+    """How many sub-partitions to split the larger partition into.
+
+    Aims for each (sub, other) pair to fit: the sub-partition may use the
+    memory left over by the smaller side.  When the smaller side alone
+    (nearly) exhausts memory, a modest split is used and recursion will
+    split the other side next.
+    """
+    available = memory_bytes - smaller_bytes
+    floor_avail = max(1, memory_bytes // 4)
+    if available < floor_avail:
+        available = floor_avail
+    k = math.ceil(t_factor * larger_bytes / available)
+    return max(2, min(MAX_SPLIT, k))
+
+
+def split_partition(
+    source: PageFile,
+    k: int,
+    space: Space,
+    disk: SimulatedDisk,
+    counters: CpuCounters,
+    tiles_per_partition: int,
+    mapping: str,
+    name: str,
+) -> Tuple[List[PageFile], TileGrid]:
+    """Re-partition *source* into *k* sub-partitions with a finer grid.
+
+    The source is read back with one contiguous request; the sub-partition
+    writes go through one-page buffers like the initial partitioning.
+    Returns the sub-partition files and the sub-grid (whose point map the
+    composed RPM region test uses).
+    """
+    subgrid = TileGrid.for_partitions(space, k, tiles_per_partition, mapping)
+    records = source.read_all()
+    files, _ = partition_relation(
+        records,
+        subgrid,
+        disk,
+        source.record_bytes,
+        counters,
+        name_prefix=name,
+    )
+    # Note: the source file is deliberately NOT cleared.  A partition can be
+    # the shared "smaller" side of several sub-pairs, and the recursion may
+    # split it again for a later sub-pair; consuming it here would silently
+    # drop those pairs.
+    return files, subgrid
+
+
+def compose_region_test(
+    parent: Callable[[float, float], bool],
+    subgrid: TileGrid,
+    sub_pid: int,
+) -> Callable[[float, float], bool]:
+    """Region predicate for a sub-partition: inside parent AND sub-region."""
+
+    def owns(x: float, y: float) -> bool:
+        return parent(x, y) and subgrid.partition_of_point(x, y) == sub_pid
+
+    return owns

@@ -1,0 +1,33 @@
+"""The refinement step: exact geometry, kernels, page-addressed store."""
+
+from repro.refine.geometry import (
+    ConvexPolygon,
+    Polyline,
+    clip_convex,
+    orientation,
+    point_segment_distance,
+    polygon_area,
+    polyline_distance,
+    regular_polygon,
+    segment_distance,
+    segments_intersect,
+)
+from repro.refine.refine import RefinementResult, RefinementStats, refine
+from repro.refine.store import GeometryStore
+
+__all__ = [
+    "ConvexPolygon",
+    "clip_convex",
+    "GeometryStore",
+    "Polyline",
+    "RefinementResult",
+    "RefinementStats",
+    "orientation",
+    "point_segment_distance",
+    "polygon_area",
+    "polyline_distance",
+    "refine",
+    "segment_distance",
+    "regular_polygon",
+    "segments_intersect",
+]

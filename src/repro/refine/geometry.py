@@ -1,0 +1,293 @@
+"""Exact geometries for the refinement step.
+
+The paper's model (Section 1, after [Ore 86]): the filter step joins MBRs
+and produces candidates; the refinement step tests candidates on their
+*exact geometry*.  This module provides the exact geometry kinds the
+TIGER-like workloads need — polylines (streets, rivers, railways) and
+convex polygons — plus the conservative *kernel* (inner) approximations of
+[BKSS 94]: a rectangle guaranteed to lie inside the object, so two
+intersecting kernels prove a hit without any exact computation.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+Point = Tuple[float, float]
+
+
+def orientation(p: Point, q: Point, r: Point) -> int:
+    """Sign of the cross product (q-p) x (r-p): 1 ccw, -1 cw, 0 collinear."""
+    value = (q[0] - p[0]) * (r[1] - p[1]) - (q[1] - p[1]) * (r[0] - p[0])
+    if value > 1e-18:
+        return 1
+    if value < -1e-18:
+        return -1
+    return 0
+
+
+def _on_segment(p: Point, q: Point, r: Point) -> bool:
+    """Is collinear point r on segment pq?"""
+    return (
+        min(p[0], q[0]) <= r[0] <= max(p[0], q[0])
+        and min(p[1], q[1]) <= r[1] <= max(p[1], q[1])
+    )
+
+
+def segments_intersect(p1: Point, q1: Point, p2: Point, q2: Point) -> bool:
+    """Exact closed-segment intersection test."""
+    o1 = orientation(p1, q1, p2)
+    o2 = orientation(p1, q1, q2)
+    o3 = orientation(p2, q2, p1)
+    o4 = orientation(p2, q2, q1)
+    if o1 != o2 and o3 != o4:
+        return True
+    if o1 == 0 and _on_segment(p1, q1, p2):
+        return True
+    if o2 == 0 and _on_segment(p1, q1, q2):
+        return True
+    if o3 == 0 and _on_segment(p2, q2, p1):
+        return True
+    if o4 == 0 and _on_segment(p2, q2, q1):
+        return True
+    return False
+
+
+class Polyline:
+    """An open polyline: the exact geometry of a street/river segment
+    chain."""
+
+    __slots__ = ("points",)
+
+    def __init__(self, points: Sequence[Point]):
+        if len(points) < 2:
+            raise ValueError("a polyline needs at least two points")
+        self.points = [(float(x), float(y)) for x, y in points]
+
+    def mbr(self) -> Tuple[float, float, float, float]:
+        xs = [p[0] for p in self.points]
+        ys = [p[1] for p in self.points]
+        return (min(xs), min(ys), max(xs), max(ys))
+
+    def segments(self) -> List[Tuple[Point, Point]]:
+        return list(zip(self.points, self.points[1:]))
+
+    def intersects(self, other: "Polyline") -> bool:
+        """Exact polyline intersection (with per-segment MBR prefilter)."""
+        for a, b in self.segments():
+            s_xl = a[0] if a[0] < b[0] else b[0]
+            s_xh = a[0] if a[0] > b[0] else b[0]
+            s_yl = a[1] if a[1] < b[1] else b[1]
+            s_yh = a[1] if a[1] > b[1] else b[1]
+            for c, d in other.segments():
+                if (
+                    s_xl > (c[0] if c[0] > d[0] else d[0])
+                    or (c[0] if c[0] < d[0] else d[0]) > s_xh
+                    or s_yl > (c[1] if c[1] > d[1] else d[1])
+                    or (c[1] if c[1] < d[1] else d[1]) > s_yh
+                ):
+                    continue
+                if segments_intersect(a, b, c, d):
+                    return True
+        return False
+
+    def kernel(self) -> Optional[Tuple[float, float, float, float]]:
+        """Polylines have no interior: no kernel approximation exists."""
+        return None
+
+
+class ConvexPolygon:
+    """A convex polygon (counter-clockwise vertices)."""
+
+    __slots__ = ("points",)
+
+    def __init__(self, points: Sequence[Point]):
+        if len(points) < 3:
+            raise ValueError("a polygon needs at least three points")
+        self.points = [(float(x), float(y)) for x, y in points]
+
+    def mbr(self) -> Tuple[float, float, float, float]:
+        xs = [p[0] for p in self.points]
+        ys = [p[1] for p in self.points]
+        return (min(xs), min(ys), max(xs), max(ys))
+
+    def contains_point(self, x: float, y: float) -> bool:
+        """Closed containment via same-side tests (convexity assumed)."""
+        sign = 0
+        n = len(self.points)
+        for i in range(n):
+            o = orientation(self.points[i], self.points[(i + 1) % n], (x, y))
+            if o == 0:
+                continue
+            if sign == 0:
+                sign = o
+            elif o != sign:
+                return False
+        return True
+
+    def intersects(self, other: "ConvexPolygon") -> bool:
+        """Exact convex-convex intersection: edge crossings or containment."""
+        mine = self.points
+        theirs = other.points
+        n, m = len(mine), len(theirs)
+        for i in range(n):
+            a, b = mine[i], mine[(i + 1) % n]
+            for j in range(m):
+                c, d = theirs[j], theirs[(j + 1) % m]
+                if segments_intersect(a, b, c, d):
+                    return True
+        return self.contains_point(*theirs[0]) or other.contains_point(*mine[0])
+
+    def kernel(self) -> Optional[Tuple[float, float, float, float]]:
+        """A conservative inner rectangle, centred on the centroid.
+
+        The MBR shape is shrunk about the centroid until all four corners
+        lie inside the polygon (binary search on the scale) — simple, and
+        guaranteed conservative, which is all [BKSS 94] requires.
+        """
+        cx = sum(p[0] for p in self.points) / len(self.points)
+        cy = sum(p[1] for p in self.points) / len(self.points)
+        xl, yl, xh, yh = self.mbr()
+        hx = max(xh - cx, cx - xl)
+        hy = max(yh - cy, cy - yl)
+        if hx <= 0 or hy <= 0:
+            return None
+        lo, hi = 0.0, 1.0
+        for _ in range(20):
+            mid = (lo + hi) / 2.0
+            corners_inside = all(
+                self.contains_point(cx + sx * mid * hx, cy + sy * mid * hy)
+                for sx in (-1.0, 1.0)
+                for sy in (-1.0, 1.0)
+            )
+            if corners_inside:
+                lo = mid
+            else:
+                hi = mid
+        if lo <= 0.0:
+            return None
+        return (cx - lo * hx, cy - lo * hy, cx + lo * hx, cy + lo * hy)
+
+
+def segment_distance(p1: Point, q1: Point, p2: Point, q2: Point) -> float:
+    """Exact minimum distance between two closed segments."""
+    if segments_intersect(p1, q1, p2, q2):
+        return 0.0
+    return min(
+        point_segment_distance(p1, p2, q2),
+        point_segment_distance(q1, p2, q2),
+        point_segment_distance(p2, p1, q1),
+        point_segment_distance(q2, p1, q1),
+    )
+
+
+def point_segment_distance(p: Point, a: Point, b: Point) -> float:
+    """Distance from point *p* to segment *ab*."""
+    ax, ay = a
+    bx, by = b
+    px, py = p
+    dx = bx - ax
+    dy = by - ay
+    length_sq = dx * dx + dy * dy
+    if length_sq == 0.0:
+        return math.hypot(px - ax, py - ay)
+    t = ((px - ax) * dx + (py - ay) * dy) / length_sq
+    t = max(0.0, min(1.0, t))
+    return math.hypot(px - (ax + t * dx), py - (ay + t * dy))
+
+
+def polyline_distance(a: "Polyline", b: "Polyline") -> float:
+    """Exact minimum distance between two polylines.
+
+    The refinement criterion of an epsilon-distance join over polyline
+    data (the paper's future-work direction, Section 6).
+    """
+    best = math.inf
+    for sa in a.segments():
+        for sb in b.segments():
+            distance = segment_distance(sa[0], sa[1], sb[0], sb[1])
+            if distance < best:
+                best = distance
+                if best == 0.0:
+                    return 0.0
+    return best
+
+
+def polygon_area(points: Sequence[Point]) -> float:
+    """Signed shoelace area (positive for counter-clockwise rings)."""
+    total = 0.0
+    n = len(points)
+    for i in range(n):
+        x1, y1 = points[i]
+        x2, y2 = points[(i + 1) % n]
+        total += x1 * y2 - x2 * y1
+    return total / 2.0
+
+
+def clip_convex(subject: "ConvexPolygon", clip: "ConvexPolygon") -> Optional["ConvexPolygon"]:
+    """Sutherland-Hodgman intersection of two convex polygons.
+
+    Returns the intersection polygon or None when it is empty or
+    degenerate.  Used by refinement consumers that need the overlap
+    *region*, not just the predicate.
+    """
+    output = list(subject.points)
+    clip_pts = clip.points
+    # Ensure counter-clockwise clip ring so "inside" is to the left.
+    if polygon_area(clip_pts) < 0:
+        clip_pts = list(reversed(clip_pts))
+    n = len(clip_pts)
+    for i in range(n):
+        a = clip_pts[i]
+        b = clip_pts[(i + 1) % n]
+        if not output:
+            return None
+        inputs = output
+        output = []
+        for j, current in enumerate(inputs):
+            previous = inputs[j - 1]
+            current_in = orientation(a, b, current) >= 0
+            previous_in = orientation(a, b, previous) >= 0
+            if current_in:
+                if not previous_in:
+                    crossing = _line_intersection(previous, current, a, b)
+                    if crossing is not None:
+                        output.append(crossing)
+                output.append(current)
+            elif previous_in:
+                crossing = _line_intersection(previous, current, a, b)
+                if crossing is not None:
+                    output.append(crossing)
+    if len(output) < 3 or abs(polygon_area(output)) < 1e-18:
+        return None
+    return ConvexPolygon(output)
+
+
+def _line_intersection(p1: Point, p2: Point, p3: Point, p4: Point) -> Optional[Point]:
+    """Intersection of line p1p2 with line p3p4 (None when parallel)."""
+    x1, y1 = p1
+    x2, y2 = p2
+    x3, y3 = p3
+    x4, y4 = p4
+    denominator = (x1 - x2) * (y3 - y4) - (y1 - y2) * (x3 - x4)
+    if abs(denominator) < 1e-18:
+        return None
+    det1 = x1 * y2 - y1 * x2
+    det2 = x3 * y4 - y3 * x4
+    return (
+        (det1 * (x3 - x4) - (x1 - x2) * det2) / denominator,
+        (det1 * (y3 - y4) - (y1 - y2) * det2) / denominator,
+    )
+
+
+def regular_polygon(cx: float, cy: float, radius: float, sides: int = 8) -> ConvexPolygon:
+    """A regular convex polygon — handy for tests and synthetic stores."""
+    points = [
+        (
+            cx + radius * math.cos(2 * math.pi * i / sides),
+            cy + radius * math.sin(2 * math.pi * i / sides),
+        )
+        for i in range(sides)
+    ]
+    return ConvexPolygon(points)

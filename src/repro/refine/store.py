@@ -1,0 +1,118 @@
+"""A page-addressed geometry store for the refinement step.
+
+Section 3.1 explains why original PBSM delays duplicate removal to a
+final sort: once the candidates are sorted "w.r.t. the physical position
+of the objects", the refinement step's random disk accesses collapse into
+(nearly) sequential ones.  To make that trade-off measurable, this store
+gives every object a *page address* and charges fetches through the
+simulated disk:
+
+* unordered fetches pay one positioning per page miss;
+* address-ordered fetches of the same set coalesce adjacent pages into
+  contiguous requests (`PT + n`).
+
+A small LRU page buffer models the refinement operator's working memory.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.io.costmodel import CostModel
+from repro.io.disk import SimulatedDisk
+
+
+class GeometryStore:
+    """Maps oid -> exact geometry, laid out on simulated pages."""
+
+    def __init__(
+        self,
+        disk: SimulatedDisk,
+        objects_per_page: int = 16,
+        buffer_pages: int = 32,
+    ):
+        if objects_per_page < 1:
+            raise ValueError("objects_per_page must be >= 1")
+        self.disk = disk
+        self.objects_per_page = objects_per_page
+        self.buffer_pages = buffer_pages
+        self._geometries: Dict[int, object] = {}
+        self._page_of: Dict[int, int] = {}
+        self._next_slot = 0
+        self._buffer: "OrderedDict[int, None]" = OrderedDict()
+        self.fetches = 0
+        self.page_misses = 0
+
+    # ------------------------------------------------------------------
+    # loading
+    # ------------------------------------------------------------------
+    def add(self, oid: int, geometry) -> None:
+        """Append an object; objects are laid out in insertion order."""
+        if oid in self._geometries:
+            raise ValueError(f"oid {oid} already stored")
+        self._geometries[oid] = geometry
+        self._page_of[oid] = self._next_slot // self.objects_per_page
+        self._next_slot += 1
+
+    def add_all(self, items: Iterable[Tuple[int, object]]) -> None:
+        for oid, geometry in items:
+            self.add(oid, geometry)
+
+    def __len__(self) -> int:
+        return len(self._geometries)
+
+    def page_of(self, oid: int) -> int:
+        return self._page_of[oid]
+
+    @property
+    def n_pages(self) -> int:
+        return -(-self._next_slot // self.objects_per_page)
+
+    # ------------------------------------------------------------------
+    # fetching
+    # ------------------------------------------------------------------
+    def fetch(self, oid: int):
+        """Fetch one object, charging a page read on a buffer miss."""
+        self.fetches += 1
+        page = self._page_of[oid]
+        if page in self._buffer:
+            self._buffer.move_to_end(page)
+        else:
+            self.page_misses += 1
+            self.disk.charge_read(1, requests=1)
+            self._buffer[page] = None
+            while len(self._buffer) > self.buffer_pages:
+                self._buffer.popitem(last=False)
+        return self._geometries[oid]
+
+    def fetch_clustered(self, oids: Sequence[int]) -> List:
+        """Fetch objects after sorting by page address.
+
+        Consecutive needed pages are read as one contiguous request —
+        the access pattern the sorted candidate set of original PBSM
+        enables.  Returns geometries in the *requested* order.
+        """
+        self.fetches += len(oids)
+        needed = sorted({self._page_of[oid] for oid in oids} - set(self._buffer))
+        run_start: Optional[int] = None
+        previous: Optional[int] = None
+        for page in needed + [None]:
+            if run_start is None:
+                run_start = page
+            elif page is None or page != previous + 1:
+                self.page_misses += previous - run_start + 1
+                self.disk.charge_read(previous - run_start + 1, requests=1)
+                run_start = page
+            previous = page
+        for page in needed:
+            self._buffer[page] = None
+        while len(self._buffer) > self.buffer_pages:
+            self._buffer.popitem(last=False)
+        return [self._geometries[oid] for oid in oids]
+
+    def reset_buffer(self) -> None:
+        """Drop the page buffer and counters (between experiment runs)."""
+        self._buffer.clear()
+        self.fetches = 0
+        self.page_misses = 0

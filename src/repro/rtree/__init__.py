@@ -1,0 +1,23 @@
+"""R-tree substrate and the index-based join classes.
+
+Covers two of the paper's three availability-of-index classes: the
+synchronized R-tree join [BKS 93] (index on both relations) and the index
+nested-loop join (index on one relation, the class [LR 94]'s seeded trees
+target).
+"""
+
+from repro.rtree.inlj import IndexNestedLoopJoin, index_nested_loop_join
+from repro.rtree.join import RTreeJoin, rtree_join
+from repro.rtree.seeded import SeededTreeJoin, seeded_tree_join
+from repro.rtree.tree import RTree, RTreeNode
+
+__all__ = [
+    "IndexNestedLoopJoin",
+    "RTree",
+    "RTreeJoin",
+    "RTreeNode",
+    "SeededTreeJoin",
+    "index_nested_loop_join",
+    "rtree_join",
+    "seeded_tree_join",
+]

@@ -1,0 +1,38 @@
+"""Space-filling curves and locational codes (S3J's grid mathematics)."""
+
+from repro.sfc.analysis import curve_cost_ops, locality_report, mean_window_clusters, neighbor_code_gap
+from repro.sfc.hilbert import hilbert_decode, hilbert_encode
+from repro.sfc.locational import (
+    CURVES,
+    DEFAULT_MAX_LEVEL,
+    cell_of_rect,
+    cells_for_rect,
+    curve_encoder,
+    is_ancestor_code,
+    mxcif_level,
+    point_cell,
+    preorder_key,
+    size_level,
+)
+from repro.sfc.zorder import z_decode, z_encode
+
+__all__ = [
+    "CURVES",
+    "curve_cost_ops",
+    "locality_report",
+    "mean_window_clusters",
+    "neighbor_code_gap",
+    "DEFAULT_MAX_LEVEL",
+    "cell_of_rect",
+    "cells_for_rect",
+    "curve_encoder",
+    "hilbert_decode",
+    "hilbert_encode",
+    "is_ancestor_code",
+    "mxcif_level",
+    "point_cell",
+    "preorder_key",
+    "size_level",
+    "z_decode",
+    "z_encode",
+]

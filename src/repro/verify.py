@@ -1,0 +1,63 @@
+"""Verification utilities: cross-check any join result against ground
+truth.
+
+Downstream users extending the library (new internal algorithms, new
+partitioning schemes) can validate their changes with one call; the test
+suite builds on the same helpers.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from repro.core.result import JoinResult
+from repro.internal import brute_force_pairs
+
+
+class VerificationError(AssertionError):
+    """A join result disagrees with ground truth."""
+
+
+def verify_result(
+    result: JoinResult,
+    left: Sequence[Tuple],
+    right: Sequence[Tuple],
+    check_duplicates: bool = True,
+) -> None:
+    """Raise :class:`VerificationError` unless *result* is exactly the
+    brute-force filter-step answer, duplicate-free.
+
+    Quadratic — intended for test-sized inputs.
+    """
+    truth = set(brute_force_pairs(left, right))
+    got = result.pair_set()
+    if got != truth:
+        missing = list(truth - got)[:5]
+        extra = list(got - truth)[:5]
+        raise VerificationError(
+            f"{result.stats.algorithm}: result set mismatch "
+            f"({len(got)} vs {len(truth)} pairs; "
+            f"missing e.g. {missing}, extra e.g. {extra})"
+        )
+    if check_duplicates and result.has_duplicates():
+        seen = set()
+        duplicate = next(p for p in result.pairs if p in seen or seen.add(p))
+        raise VerificationError(
+            f"{result.stats.algorithm}: duplicate pair {duplicate} in the "
+            "response set"
+        )
+
+
+def verify_driver(driver, left: Sequence[Tuple], right: Sequence[Tuple]) -> JoinResult:
+    """Run *driver* and verify its result; returns the result on success."""
+    result = driver.run(left, right)
+    verify_result(result, left, right)
+    return result
+
+
+def results_consistent(*results: JoinResult) -> bool:
+    """True iff all results carry the identical pair set."""
+    if not results:
+        return True
+    reference = results[0].pair_set()
+    return all(r.pair_set() == reference for r in results[1:])

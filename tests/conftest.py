@@ -1,0 +1,64 @@
+"""Shared fixtures and hypothesis configuration for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, settings
+
+from repro.core.rect import KPE
+from repro.datasets import clustered_rects, uniform_rects
+
+# A moderate default so the full suite stays fast; CI-style deep runs can
+# select the "thorough" profile via HYPOTHESIS_PROFILE.
+settings.register_profile(
+    "default",
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile(
+    "thorough",
+    max_examples=300,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("default")
+
+
+def random_kpes(n: int, seed: int, start_oid: int = 0, max_edge: float = 0.1):
+    """Plain-random KPEs with a plain `random.Random` (no numpy)."""
+    rng = random.Random(seed)
+    out = []
+    for i in range(n):
+        x = rng.random()
+        y = rng.random()
+        w = rng.random() * max_edge
+        h = rng.random() * max_edge
+        out.append(KPE(start_oid + i, x, y, x + w, y + h))
+    return out
+
+
+@pytest.fixture
+def small_pair():
+    """Two small random relations with a few hundred result pairs."""
+    left = random_kpes(200, seed=11, max_edge=0.06)
+    right = random_kpes(200, seed=22, start_oid=10_000, max_edge=0.06)
+    return left, right
+
+
+@pytest.fixture
+def clustered_pair():
+    """Skewed relations (cluster hot spots)."""
+    left = clustered_rects(300, seed=5)
+    right = clustered_rects(300, seed=6, start_oid=10_000)
+    return left, right
+
+
+@pytest.fixture
+def uniform_pair():
+    """Unskewed relations from the numpy generator."""
+    left = uniform_rects(250, seed=3, mean_edge=0.02)
+    right = uniform_rects(250, seed=4, mean_edge=0.02, start_oid=10_000)
+    return left, right

@@ -1,0 +1,78 @@
+"""Tests for the paper's dataset/join catalog."""
+
+import pytest
+
+from repro.datasets import (
+    JOINS,
+    PAPER_CARDINALITY,
+    PAPER_COVERAGE,
+    coverage,
+    dataset,
+    dataset_cardinality,
+    join_inputs,
+    la_pair,
+)
+
+
+class TestDatasets:
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError):
+            dataset("LA_XX")
+        with pytest.raises(ValueError):
+            dataset_cardinality("LA_XX")
+
+    def test_cardinality_scales(self):
+        tiny = dataset_cardinality("LA_RR", scale=0.01)
+        big = dataset_cardinality("LA_RR", scale=0.1)
+        assert big > tiny
+        assert big == max(64, int(PAPER_CARDINALITY["LA_RR"] * 0.1))
+
+    def test_cal_gets_extra_factor(self):
+        la = dataset_cardinality("LA_RR", scale=0.1)
+        cal = dataset_cardinality("CAL_ST", scale=0.1)
+        # CAL is 14x LA in the paper; even with the extra factor it must
+        # stay the largest dataset.
+        assert cal > la
+
+    @pytest.mark.parametrize("name", ["LA_RR", "LA_ST", "CAL_ST"])
+    def test_coverage_calibrated_to_table1(self, name):
+        d = dataset(name, scale=0.02)
+        assert coverage(d) == pytest.approx(PAPER_COVERAGE[name], rel=0.05)
+
+    def test_edge_scaling_applies(self):
+        base = dataset("LA_RR", scale=0.02)
+        grown = dataset("LA_RR", scale=0.02, p=2.0)
+        assert coverage(grown) > 3.0 * coverage(base)
+
+    def test_memoised(self):
+        assert dataset("LA_RR", scale=0.02) is dataset("LA_RR", scale=0.02)
+
+
+class TestJoins:
+    def test_catalog_names(self):
+        assert set(JOINS) == {"J1", "J2", "J3", "J4", "J5"}
+
+    def test_unknown_join_rejected(self):
+        with pytest.raises(ValueError):
+            join_inputs("J9")
+
+    def test_j1_inputs(self):
+        left, right = join_inputs("J1", scale=0.02)
+        assert len(left) == dataset_cardinality("LA_RR", 0.02)
+        assert len(right) == dataset_cardinality("LA_ST", 0.02)
+
+    def test_j5_is_self_join(self):
+        left, right = join_inputs("J5", scale=0.02)
+        assert left is right
+
+    def test_la_pair_scaling(self):
+        left1, _ = la_pair(1.0, scale=0.02)
+        left3, _ = la_pair(3.0, scale=0.02)
+        w1 = sum(k.xh - k.xl for k in left1)
+        w3 = sum(k.xh - k.xl for k in left3)
+        assert w3 == pytest.approx(3 * w1, rel=1e-6)
+
+    def test_join_specs_match_table2(self):
+        assert JOINS["J2"].p == 2.0
+        assert JOINS["J4"].p == 4.0
+        assert JOINS["J5"].left == JOINS["J5"].right == "CAL_ST"

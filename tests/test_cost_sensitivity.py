@@ -1,0 +1,96 @@
+"""Cost-model sensitivity: the reproduced orderings must not hinge on the
+particular constants chosen in ``repro.io.costmodel``.
+
+EXPERIMENTS.md claims every reproduced ordering is driven by operation
+*counts*, not by the translation constants.  These tests re-run the key
+comparisons under substantially perturbed cost models (cheap seeks /
+expensive seeks / expensive CPU) and assert the paper's orderings hold in
+each regime.
+"""
+
+import pytest
+
+from repro.core.stats import CpuCounters
+from repro.internal import internal_algorithm
+from repro.io.costmodel import CostModel
+from repro.pbsm import PBSM
+from repro.s3j import S3J
+
+from tests.conftest import random_kpes
+
+#: Three deliberately different hardware personalities.
+COST_MODELS = {
+    "cheap_seeks": CostModel(pt_ratio=1.0),
+    "expensive_seeks": CostModel(pt_ratio=25.0),
+    "slow_cpu": CostModel(
+        test_op_seconds=10e-6,
+        comparison_op_seconds=5e-6,
+        structure_op_seconds=8e-6,
+    ),
+}
+
+
+def _workload(n=900):
+    return (
+        random_kpes(n, 91, max_edge=0.02),
+        random_kpes(n, 92, start_oid=50_000, max_edge=0.02),
+    )
+
+
+@pytest.mark.parametrize("name", sorted(COST_MODELS))
+class TestOrderingsAcrossCostModels:
+    def test_rpm_beats_sort_dedup(self, name):
+        """Figure 3's ordering: PBSM+RPM <= PBSM+PD in total runtime."""
+        cost = COST_MODELS[name]
+        left, right = _workload()
+        memory = 1200 * 20
+        rpm = PBSM(memory, dedup="rpm", cost_model=cost).run(left, right)
+        sort = PBSM(memory, dedup="sort", cost_model=cost).run(left, right)
+        assert rpm.stats.sim_seconds <= sort.stats.sim_seconds
+
+    def test_s3j_replication_beats_original(self, name):
+        """Figure 11's ordering, at any hardware personality."""
+        cost = COST_MODELS[name]
+        left, right = _workload()
+        memory = 1200 * 20
+        repl = S3J(memory, replicate=True, cost_model=cost).run(left, right)
+        orig = S3J(memory, replicate=False, cost_model=cost).run(left, right)
+        assert repl.stats.sim_seconds < orig.stats.sim_seconds
+
+    def test_trie_beats_list_on_large_inmemory_join(self, name):
+        """Figure 4's ordering is pure CPU counts: it must hold under any
+        constant scaling that keeps tests >= comparisons in cost."""
+        cost = COST_MODELS[name]
+        left, right = _workload(1200)
+        seconds = {}
+        for algo in ("sweep_list", "sweep_trie"):
+            counters = CpuCounters()
+            internal_algorithm(algo)(left, right, lambda r, s: None, counters)
+            seconds[algo] = cost.cpu_seconds(counters)
+        assert seconds["sweep_trie"] < seconds["sweep_list"]
+
+
+class TestCountsAreModelIndependent:
+    def test_identical_counts_under_all_models(self):
+        """The counted quantities themselves never depend on the model."""
+        left, right = _workload(400)
+        reference = None
+        for cost in COST_MODELS.values():
+            res = PBSM(800 * 20, cost_model=cost).run(left, right)
+            key = (
+                res.stats.n_results,
+                res.stats.records_partitioned,
+                res.stats.duplicates_suppressed,
+                tuple(sorted(res.stats.cpu_by_phase["join"].items())),
+            )
+            if reference is None:
+                reference = key
+            assert key == reference
+
+    def test_io_units_scale_with_pt(self):
+        """More expensive positioning raises unit totals, never counts."""
+        left, right = _workload(400)
+        cheap = PBSM(800 * 20, cost_model=CostModel(pt_ratio=1.0)).run(left, right)
+        dear = PBSM(800 * 20, cost_model=CostModel(pt_ratio=25.0)).run(left, right)
+        assert dear.stats.io_units > cheap.stats.io_units
+        assert dear.stats.io_pages_by_phase == cheap.stats.io_pages_by_phase

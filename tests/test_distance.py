@@ -1,0 +1,90 @@
+"""Tests for the distance (similarity) join — the paper's future work."""
+
+import math
+
+import pytest
+
+from repro.core.distance import distance_join, expand_for_distance, mbr_distance
+from repro.core.rect import KPE
+
+from tests.conftest import random_kpes
+
+
+def brute_distance_pairs(left, right, eps):
+    return {
+        (a.oid, b.oid)
+        for a in left
+        for b in right
+        if mbr_distance(a, b) <= eps
+    }
+
+
+class TestMbrDistance:
+    def test_intersecting_is_zero(self):
+        a = KPE(1, 0.0, 0.0, 0.5, 0.5)
+        b = KPE(2, 0.4, 0.4, 1.0, 1.0)
+        assert mbr_distance(a, b) == 0.0
+
+    def test_horizontal_gap(self):
+        a = KPE(1, 0.0, 0.0, 0.2, 1.0)
+        b = KPE(2, 0.5, 0.0, 1.0, 1.0)
+        assert mbr_distance(a, b) == pytest.approx(0.3)
+
+    def test_diagonal_gap(self):
+        a = KPE(1, 0.0, 0.0, 0.1, 0.1)
+        b = KPE(2, 0.4, 0.5, 1.0, 1.0)
+        assert mbr_distance(a, b) == pytest.approx(math.hypot(0.3, 0.4))
+
+    def test_symmetric(self):
+        a = KPE(1, 0.0, 0.0, 0.1, 0.2)
+        b = KPE(2, 0.7, 0.5, 1.0, 1.0)
+        assert mbr_distance(a, b) == mbr_distance(b, a)
+
+
+class TestExpansion:
+    def test_expand_amount(self):
+        (k,) = expand_for_distance([KPE(1, 0.4, 0.4, 0.6, 0.6)], 0.2)
+        assert (k.xl, k.yl, k.xh, k.yh) == pytest.approx((0.3, 0.3, 0.7, 0.7))
+
+    def test_negative_eps_rejected(self):
+        with pytest.raises(ValueError):
+            expand_for_distance([], -1.0)
+
+    def test_zero_eps_identity(self):
+        kpes = random_kpes(10, 1)
+        assert expand_for_distance(kpes, 0.0) == kpes
+
+
+class TestDistanceJoin:
+    @pytest.mark.parametrize("method", ["pbsm", "s3j", "sssj"])
+    def test_matches_brute_force(self, method):
+        left = random_kpes(120, 61, max_edge=0.02)
+        right = random_kpes(120, 62, start_oid=9_000, max_edge=0.02)
+        eps = 0.05
+        res = distance_join(left, right, eps, 4096, method=method)
+        assert res.pair_set() == brute_distance_pairs(left, right, eps)
+        assert not res.has_duplicates()
+
+    def test_eps_zero_equals_intersection_join(self):
+        from repro.internal import brute_force_pairs
+
+        left = random_kpes(100, 63, max_edge=0.05)
+        right = random_kpes(100, 64, start_oid=9_000, max_edge=0.05)
+        res = distance_join(left, right, 0.0, 4096)
+        assert res.pair_set() == set(brute_force_pairs(left, right))
+
+    def test_result_grows_with_eps(self):
+        left = random_kpes(100, 65, max_edge=0.02)
+        right = random_kpes(100, 66, start_oid=9_000, max_edge=0.02)
+        small = distance_join(left, right, 0.01, 4096)
+        large = distance_join(left, right, 0.10, 4096)
+        assert small.pair_set() <= large.pair_set()
+
+    def test_inexact_mode_is_superset(self):
+        """Without the exact post-filter the corner candidates remain."""
+        left = random_kpes(100, 67, max_edge=0.02)
+        right = random_kpes(100, 68, start_oid=9_000, max_edge=0.02)
+        eps = 0.08
+        exact = distance_join(left, right, eps, 4096, exact=True)
+        loose = distance_join(left, right, eps, 4096, exact=False)
+        assert exact.pair_set() <= loose.pair_set()

@@ -1,0 +1,116 @@
+"""Unit and property tests for the external merge sort."""
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.stats import CpuCounters
+from repro.io.costmodel import CostModel
+from repro.io.disk import SimulatedDisk
+from repro.io.extsort import external_sort, sort_in_memory, sorted_dedup
+from repro.io.pagefile import PageFile
+
+
+def make_file(values, page_size=100, record_bytes=10):
+    disk = SimulatedDisk(CostModel(page_size=page_size, pt_ratio=5.0))
+    f = PageFile(disk, record_bytes=record_bytes, name="input")
+    f.records.extend(values)
+    return f, disk
+
+
+class TestSortInMemory:
+    def test_sorts(self):
+        c = CpuCounters()
+        assert sort_in_memory([3, 1, 2], lambda v: v, c) == [1, 2, 3]
+
+    def test_charges_nlogn_comparisons(self):
+        c = CpuCounters()
+        sort_in_memory(list(range(8)), lambda v: v, c)
+        assert c.comparisons == 8 * 3
+
+    def test_empty_and_singleton_charge_nothing(self):
+        c = CpuCounters()
+        sort_in_memory([], lambda v: v, c)
+        sort_in_memory([1], lambda v: v, c)
+        assert c.comparisons == 0
+
+    def test_stable(self):
+        c = CpuCounters()
+        data = [(1, "a"), (0, "b"), (1, "c")]
+        out = sort_in_memory(data, lambda v: v[0], c)
+        assert out == [(0, "b"), (1, "a"), (1, "c")]
+
+
+class TestExternalSortInMemoryPath:
+    def test_small_file_one_read_one_write(self):
+        f, disk = make_file([5, 3, 9, 1])
+        c = CpuCounters()
+        out = external_sort(f, lambda v: v, memory_bytes=10_000, counters=c)
+        assert out.records == [1, 3, 5, 9]
+        total = disk.total_counters()
+        assert total.read_requests == 1
+        assert total.write_requests == 1
+
+    def test_empty_file(self):
+        f, disk = make_file([])
+        out = external_sort(f, lambda v: v, 1000, CpuCounters())
+        assert out.records == []
+        assert disk.total_units() == 0.0
+
+
+class TestExternalSortExternalPath:
+    def test_large_file_sorted(self):
+        rng = random.Random(9)
+        values = [rng.randrange(10_000) for _ in range(500)]
+        f, disk = make_file(values, page_size=100, record_bytes=10)
+        c = CpuCounters()
+        # memory of 3 pages -> 30 records per run -> ~17 runs, 2-way+ merges
+        out = external_sort(f, lambda v: v, memory_bytes=300, counters=c)
+        assert out.records == sorted(values)
+        assert c.heap_ops > 0
+
+    def test_external_costs_exceed_in_memory(self):
+        values = list(range(500, 0, -1))
+        f1, disk1 = make_file(values)
+        external_sort(f1, lambda v: v, memory_bytes=100_000, counters=CpuCounters())
+        f2, disk2 = make_file(values)
+        external_sort(f2, lambda v: v, memory_bytes=300, counters=CpuCounters())
+        assert disk2.total_units() > disk1.total_units()
+
+    @given(st.lists(st.integers(0, 1000), max_size=300), st.integers(200, 2000))
+    def test_matches_sorted_builtin(self, values, memory):
+        f, _ = make_file(values)
+        out = external_sort(f, lambda v: v, memory, CpuCounters())
+        assert out.records == sorted(values)
+
+
+class TestSortedDedup:
+    def test_removes_adjacent_duplicates(self):
+        f, _ = make_file([1, 1, 2, 3, 3, 3, 4])
+        kept = []
+        n = sorted_dedup(f, CpuCounters(), sink=kept.append)
+        assert n == 4
+        assert kept == [1, 2, 3, 4]
+
+    def test_no_sink(self):
+        f, _ = make_file([1, 2, 2])
+        assert sorted_dedup(f, CpuCounters()) == 2
+
+    def test_empty(self):
+        f, _ = make_file([])
+        assert sorted_dedup(f, CpuCounters()) == 0
+
+    def test_all_duplicates(self):
+        f, _ = make_file([7] * 50)
+        assert sorted_dedup(f, CpuCounters()) == 1
+
+    @given(st.lists(st.tuples(st.integers(0, 50), st.integers(0, 50)), max_size=200))
+    def test_equivalent_to_set(self, pairs):
+        values = sorted(pairs)
+        f, _ = make_file(values)
+        kept = []
+        n = sorted_dedup(f, CpuCounters(), sink=kept.append)
+        assert n == len(set(values))
+        assert kept == sorted(set(values))

@@ -1,0 +1,196 @@
+"""Tests for relation file I/O, the pattern generators, and the codecs."""
+
+import math
+
+import pytest
+
+from repro.core.rect import KPE, valid_kpe
+from repro.datasets.fileio import (
+    load_relation,
+    read_csv,
+    read_npy,
+    save_relation,
+    write_csv,
+    write_npy,
+)
+from repro.datasets.patterns import manhattan_grid, mixed_scale, radial_city
+from repro.io.codec import KpeCodec, LevelEntryCodec, PackedPageFile, PairCodec
+from repro.io.costmodel import CostModel
+from repro.io.disk import SimulatedDisk
+
+from tests.conftest import random_kpes
+
+
+class TestCsvRoundTrip:
+    def test_round_trip(self, tmp_path):
+        kpes = random_kpes(50, 1)
+        path = tmp_path / "rel.csv"
+        write_csv(kpes, path)
+        loaded = read_csv(path)
+        assert loaded == kpes
+
+    def test_headerless(self, tmp_path):
+        kpes = random_kpes(10, 2)
+        path = tmp_path / "rel.csv"
+        write_csv(kpes, path, header=False)
+        assert read_csv(path) == kpes
+
+    def test_bad_field_count(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("1,2,3\n")
+        with pytest.raises(ValueError, match="expected 5 fields"):
+            read_csv(path)
+
+    def test_inverted_mbr_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("1,0.9,0.1,0.2,0.5\n")
+        with pytest.raises(ValueError, match="invalid MBR"):
+            read_csv(path)
+
+    def test_non_numeric_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("1,a,b,c,d\n")
+        with pytest.raises(ValueError):
+            read_csv(path)
+
+
+class TestNpyRoundTrip:
+    def test_round_trip(self, tmp_path):
+        kpes = random_kpes(50, 3)
+        path = tmp_path / "rel.npy"
+        write_npy(kpes, path)
+        assert read_npy(path) == kpes
+
+    def test_wrong_shape_rejected(self, tmp_path):
+        import numpy as np
+
+        path = tmp_path / "bad.npy"
+        np.save(path, np.zeros((4, 3)))
+        with pytest.raises(ValueError, match="expected an"):
+            read_npy(path)
+
+
+class TestDispatch:
+    def test_by_extension(self, tmp_path):
+        kpes = random_kpes(20, 4)
+        for name in ("rel.csv", "rel.npy"):
+            path = tmp_path / name
+            save_relation(kpes, path)
+            assert load_relation(path) == kpes
+
+    def test_unknown_extension(self, tmp_path):
+        with pytest.raises(ValueError, match="unsupported"):
+            save_relation([], tmp_path / "rel.wkt")
+        with pytest.raises(ValueError, match="unsupported"):
+            load_relation(tmp_path / "rel.wkt")
+
+
+@pytest.mark.parametrize("gen", [manhattan_grid, radial_city, mixed_scale])
+class TestPatternGenerators:
+    def test_cardinality_and_validity(self, gen):
+        kpes = gen(300, seed=5)
+        assert len(kpes) == 300
+        assert all(valid_kpe(k) for k in kpes)
+        for k in kpes:
+            assert 0.0 <= k.xl <= k.xh <= 1.0
+            assert 0.0 <= k.yl <= k.yh <= 1.0
+
+    def test_deterministic(self, gen):
+        assert gen(100, seed=6) == gen(100, seed=6)
+
+    def test_empty(self, gen):
+        assert gen(0, seed=1) == []
+
+    def test_start_oid(self, gen):
+        kpes = gen(10, seed=7, start_oid=777)
+        assert kpes[0].oid == 777
+
+
+class TestPatternShapes:
+    def test_manhattan_is_axis_parallel_thin(self):
+        kpes = manhattan_grid(500, seed=8)
+        thin = sum(
+            1
+            for k in kpes
+            if min(k.xh - k.xl, k.yh - k.yl) < 0.01 < max(k.xh - k.xl, k.yh - k.yl)
+        )
+        assert thin > 400
+
+    def test_radial_density_decays(self):
+        kpes = radial_city(2000, seed=9)
+        near = sum(
+            1
+            for k in kpes
+            if math.hypot((k.xl + k.xh) / 2 - 0.5, (k.yl + k.yh) / 2 - 0.5) < 0.2
+        )
+        assert near > 1200
+
+    def test_mixed_scale_has_both_regimes(self):
+        kpes = mixed_scale(2000, seed=10)
+        widths = [k.xh - k.xl for k in kpes]
+        assert max(widths) > 0.1
+        assert sorted(widths)[len(widths) // 2] < 0.01
+
+
+class TestCodecs:
+    def test_kpe_codec_round_trip_float32(self):
+        kpe = KPE(42, 0.125, 0.25, 0.5, 0.75)  # exact float32 values
+        assert KpeCodec.decode(KpeCodec.encode(kpe)) == kpe
+        assert len(KpeCodec.encode(kpe)) == 20
+
+    def test_kpe_codec_float32_precision_contract(self):
+        kpe = KPE(1, 0.1, 0.2, 0.3, 0.4)
+        decoded = KpeCodec.decode(KpeCodec.encode(kpe))
+        assert decoded.oid == 1
+        for a, b in zip(decoded[1:], kpe[1:]):
+            assert a == pytest.approx(b, abs=1e-7)
+
+    def test_pair_codec(self):
+        assert PairCodec.decode(PairCodec.encode((7, 9))) == (7, 9)
+        assert len(PairCodec.encode((0, 0))) == 8
+
+    def test_level_entry_codec_sizes_match_levelfile(self):
+        from repro.s3j.levelfile import record_bytes_for_level
+
+        for level in range(0, 13):
+            codec = LevelEntryCodec(level)
+            assert codec.record_bytes == record_bytes_for_level(level)
+
+    def test_level_entry_round_trip(self):
+        codec = LevelEntryCodec(5)
+        entry = (987, KPE(3, 0.25, 0.5, 0.75, 1.0))
+        code, kpe = codec.decode(codec.encode(entry))
+        assert code == 987
+        assert kpe == entry[1]
+
+    def test_level_entry_code_range_checked(self):
+        codec = LevelEntryCodec(2)
+        with pytest.raises(ValueError):
+            codec.encode((1 << 4, KPE(1, 0, 0, 1, 1)))
+
+
+class TestPackedPageFile:
+    def test_round_trip_and_page_count(self):
+        disk = SimulatedDisk(CostModel(page_size=100))  # 5 KPEs per page
+        f = PackedPageFile(disk, KpeCodec, "packed")
+        kpes = [KPE(i, 0.0, 0.0, 0.5, 0.5) for i in range(12)]
+        f.append_bulk(kpes)
+        assert f.n_records == 12
+        assert f.n_pages == 3
+        assert f.read_all() == kpes
+
+    def test_io_charged(self):
+        disk = SimulatedDisk(CostModel(page_size=100))
+        f = PackedPageFile(disk, PairCodec)
+        f.append_bulk([(i, i) for i in range(100)])
+        f.read_all()
+        counters = disk.total_counters()
+        assert counters.pages_written > 0
+        assert counters.pages_read == counters.pages_written
+
+    def test_bytes_are_real(self):
+        disk = SimulatedDisk(CostModel(page_size=100))
+        f = PackedPageFile(disk, KpeCodec)
+        f.append_bulk([KPE(1, 0.0, 0.0, 1.0, 1.0)])
+        assert f.n_bytes == 20
+        assert isinstance(f.pages[0], bytearray)

@@ -1,0 +1,150 @@
+"""Tests for the extended exact-geometry toolkit (distances, clipping)."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.refine import (
+    ConvexPolygon,
+    Polyline,
+    clip_convex,
+    point_segment_distance,
+    polygon_area,
+    polyline_distance,
+    regular_polygon,
+    segment_distance,
+)
+
+
+class TestPointSegmentDistance:
+    def test_projection_inside(self):
+        assert point_segment_distance((0.5, 1.0), (0, 0), (1, 0)) == pytest.approx(1.0)
+
+    def test_clamped_to_endpoint(self):
+        assert point_segment_distance((2.0, 0.0), (0, 0), (1, 0)) == pytest.approx(1.0)
+
+    def test_degenerate_segment(self):
+        assert point_segment_distance((3, 4), (0, 0), (0, 0)) == pytest.approx(5.0)
+
+    def test_point_on_segment(self):
+        assert point_segment_distance((0.3, 0.0), (0, 0), (1, 0)) == 0.0
+
+
+class TestSegmentDistance:
+    def test_intersecting_is_zero(self):
+        assert segment_distance((0, 0), (1, 1), (0, 1), (1, 0)) == 0.0
+
+    def test_parallel(self):
+        assert segment_distance((0, 0), (1, 0), (0, 0.3), (1, 0.3)) == pytest.approx(0.3)
+
+    def test_collinear_gap(self):
+        assert segment_distance((0, 0), (0.3, 0), (0.7, 0), (1, 0)) == pytest.approx(0.4)
+
+    def test_symmetric(self):
+        a = segment_distance((0, 0), (1, 0), (2, 1), (3, 1))
+        b = segment_distance((2, 1), (3, 1), (0, 0), (1, 0))
+        assert a == pytest.approx(b)
+
+
+class TestPolylineDistance:
+    def test_crossing_is_zero(self):
+        a = Polyline([(0, 0), (1, 1)])
+        b = Polyline([(0, 1), (1, 0)])
+        assert polyline_distance(a, b) == 0.0
+
+    def test_parallel_chains(self):
+        a = Polyline([(0, 0), (0.5, 0), (1, 0)])
+        b = Polyline([(0, 0.25), (1, 0.25)])
+        assert polyline_distance(a, b) == pytest.approx(0.25)
+
+    def test_consistent_with_segment_distance(self):
+        a = Polyline([(0, 0), (1, 0)])
+        b = Polyline([(2, 2), (3, 3)])
+        assert polyline_distance(a, b) == pytest.approx(
+            segment_distance((0, 0), (1, 0), (2, 2), (3, 3))
+        )
+
+
+class TestPolygonArea:
+    def test_unit_square(self):
+        assert polygon_area([(0, 0), (1, 0), (1, 1), (0, 1)]) == pytest.approx(1.0)
+
+    def test_orientation_sign(self):
+        ccw = [(0, 0), (1, 0), (1, 1)]
+        cw = list(reversed(ccw))
+        assert polygon_area(ccw) > 0
+        assert polygon_area(cw) < 0
+
+    def test_regular_polygon_area_formula(self):
+        sides = 6
+        radius = 0.3
+        poly = regular_polygon(0.5, 0.5, radius, sides)
+        expected = 0.5 * sides * radius * radius * math.sin(2 * math.pi / sides)
+        assert abs(polygon_area(poly.points)) == pytest.approx(expected, rel=1e-9)
+
+
+class TestClipConvex:
+    def test_disjoint_returns_none(self):
+        a = regular_polygon(0.2, 0.2, 0.1)
+        b = regular_polygon(0.8, 0.8, 0.1)
+        assert clip_convex(a, b) is None
+
+    def test_contained_returns_inner(self):
+        outer = regular_polygon(0.5, 0.5, 0.4, 16)
+        inner = regular_polygon(0.5, 0.5, 0.1, 16)
+        clipped = clip_convex(inner, outer)
+        assert clipped is not None
+        assert abs(polygon_area(clipped.points)) == pytest.approx(
+            abs(polygon_area(inner.points)), rel=1e-6
+        )
+
+    def test_overlap_area_bounded(self):
+        a = regular_polygon(0.45, 0.5, 0.2, 8)
+        b = regular_polygon(0.55, 0.5, 0.2, 8)
+        clipped = clip_convex(a, b)
+        assert clipped is not None
+        area = abs(polygon_area(clipped.points))
+        assert 0 < area < abs(polygon_area(a.points))
+
+    def test_symmetric_area(self):
+        a = regular_polygon(0.45, 0.5, 0.2, 8)
+        b = regular_polygon(0.55, 0.52, 0.18, 8)
+        ab = clip_convex(a, b)
+        ba = clip_convex(b, a)
+        assert ab is not None and ba is not None
+        assert abs(polygon_area(ab.points)) == pytest.approx(
+            abs(polygon_area(ba.points)), rel=1e-9
+        )
+
+    def test_two_squares_known_overlap(self):
+        sq1 = ConvexPolygon([(0, 0), (1, 0), (1, 1), (0, 1)])
+        sq2 = ConvexPolygon([(0.5, 0.5), (1.5, 0.5), (1.5, 1.5), (0.5, 1.5)])
+        clipped = clip_convex(sq1, sq2)
+        assert clipped is not None
+        assert abs(polygon_area(clipped.points)) == pytest.approx(0.25)
+
+
+coord = st.floats(0, 1, allow_nan=False)
+
+
+class TestGeometryProperties:
+    @given(coord, coord, coord, coord, coord, coord)
+    def test_segment_distance_nonnegative(self, x1, y1, x2, y2, x3, y3):
+        d = segment_distance((x1, y1), (x2, y2), (x3, y3), (x3, y3))
+        assert d >= 0.0
+
+    @given(
+        st.floats(0.2, 0.8),
+        st.floats(0.2, 0.8),
+        st.floats(0.05, 0.2),
+        st.integers(3, 10),
+    )
+    def test_clip_with_self_is_identity_area(self, cx, cy, radius, sides):
+        poly = regular_polygon(cx, cy, radius, sides)
+        clipped = clip_convex(poly, poly)
+        assert clipped is not None
+        assert abs(polygon_area(clipped.points)) == pytest.approx(
+            abs(polygon_area(poly.points)), rel=1e-6
+        )

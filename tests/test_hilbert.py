@@ -1,0 +1,77 @@
+"""Unit and property tests for the Hilbert curve."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sfc.hilbert import hilbert_decode, hilbert_encode
+
+
+class TestHilbertBasics:
+    def test_level1_order(self):
+        # The order-1 Hilbert curve visits (0,0),(0,1),(1,1),(1,0).
+        visits = [hilbert_decode(d, 1) for d in range(4)]
+        assert visits == [(0, 0), (0, 1), (1, 1), (1, 0)]
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            hilbert_encode(4, 0, 2)
+        with pytest.raises(ValueError):
+            hilbert_decode(-1, 2)
+
+    def test_order2_is_a_tour(self):
+        """Consecutive codes map to 4-adjacent cells (the curve is
+        continuous)."""
+        cells = [hilbert_decode(d, 2) for d in range(16)]
+        for (x1, y1), (x2, y2) in zip(cells, cells[1:]):
+            assert abs(x1 - x2) + abs(y1 - y2) == 1
+
+
+@st.composite
+def coords_with_bits(draw):
+    bits = draw(st.integers(1, 16))
+    ix = draw(st.integers(0, (1 << bits) - 1))
+    iy = draw(st.integers(0, (1 << bits) - 1))
+    return ix, iy, bits
+
+
+class TestHilbertProperties:
+    @given(coords_with_bits())
+    def test_roundtrip(self, args):
+        ix, iy, bits = args
+        assert hilbert_decode(hilbert_encode(ix, iy, bits), bits) == (ix, iy)
+
+    @given(coords_with_bits())
+    def test_code_in_range(self, args):
+        ix, iy, bits = args
+        assert 0 <= hilbert_encode(ix, iy, bits) < (1 << (2 * bits))
+
+    @given(coords_with_bits())
+    def test_hierarchical_prefix(self, args):
+        """Self-similarity: the level-(k-1) code of the parent cell equals
+        the level-k code shifted by two bits.  S3J's ancestor logic needs
+        this for Hilbert codes just as for Z codes."""
+        ix, iy, bits = args
+        if bits < 2:
+            return
+        assert (
+            hilbert_encode(ix >> 1, iy >> 1, bits - 1)
+            == hilbert_encode(ix, iy, bits) >> 2
+        )
+
+    @given(st.integers(1, 5))
+    def test_bijective_per_level(self, bits):
+        n = 1 << bits
+        codes = {hilbert_encode(x, y, bits) for x in range(n) for y in range(n)}
+        assert codes == set(range(n * n))
+
+    @given(st.integers(2, 6))
+    def test_continuity_everywhere(self, bits):
+        n = 1 << bits
+        previous = hilbert_decode(0, bits)
+        for d in range(1, min(n * n, 256)):
+            current = hilbert_decode(d, bits)
+            assert (
+                abs(previous[0] - current[0]) + abs(previous[1] - current[1]) == 1
+            )
+            previous = current

@@ -1,0 +1,58 @@
+"""Tests for the index nested-loop join (index on one relation)."""
+
+from repro.internal import brute_force_pairs
+from repro.rtree import RTree
+from repro.rtree.inlj import IndexNestedLoopJoin, index_nested_loop_join
+
+from tests.conftest import random_kpes
+
+
+class TestCorrectness:
+    def test_matches_brute_force(self, small_pair):
+        left, right = small_pair
+        res = IndexNestedLoopJoin(fanout=16).run(left, right)
+        assert res.pair_set() == set(brute_force_pairs(left, right))
+        assert not res.has_duplicates()
+
+    def test_skewed(self, clustered_pair):
+        left, right = clustered_pair
+        res = IndexNestedLoopJoin(fanout=8).run(left, right)
+        assert res.pair_set() == set(brute_force_pairs(left, right))
+
+    def test_empty_inputs(self):
+        assert len(IndexNestedLoopJoin().run([], random_kpes(5, 1))) == 0
+        assert len(IndexNestedLoopJoin().run(random_kpes(5, 1), [])) == 0
+
+    def test_self_join(self):
+        rel = random_kpes(120, 71, max_edge=0.08)
+        res = IndexNestedLoopJoin(fanout=16).run(rel, rel)
+        assert res.pair_set() == set(brute_force_pairs(rel, rel))
+
+    def test_prebuilt_tree_accepted(self, small_pair):
+        left, right = small_pair
+        tree = RTree.bulk_load(left, 16)
+        res = IndexNestedLoopJoin(fanout=16).run(left, right, tree_left=tree)
+        assert res.pair_set() == set(brute_force_pairs(left, right))
+
+    def test_convenience(self, small_pair):
+        left, right = small_pair
+        res = index_nested_loop_join(left, right, fanout=32)
+        assert res.pair_set() == set(brute_force_pairs(left, right))
+
+
+class TestCosts:
+    def test_join_io_charged(self, small_pair):
+        left, right = small_pair
+        res = IndexNestedLoopJoin(fanout=16).run(left, right)
+        assert res.stats.io_units_by_phase["join"] > 0
+
+    def test_no_build_charge(self, small_pair):
+        """The index pre-exists in this class; building is free."""
+        left, right = small_pair
+        res = IndexNestedLoopJoin(fanout=16).run(left, right)
+        assert "build" not in res.stats.io_units_by_phase
+
+    def test_intersection_tests_counted(self, small_pair):
+        left, right = small_pair
+        res = IndexNestedLoopJoin(fanout=16).run(left, right)
+        assert res.stats.cpu_by_phase["join"]["intersection_tests"] > 0

@@ -1,0 +1,108 @@
+"""Cross-algorithm integration: every driver must return the identical
+result set, with zero duplicates, on a spread of workloads and budgets.
+
+This is the suite's strongest guarantee: PBSM (both dedup modes, several
+internal algorithms), S3J (both variants), SSSJ, the in-memory quadtree
+join and brute force all implement the same filter-step semantics.
+"""
+
+import pytest
+
+from repro.core.rect import KPE
+from repro.datasets import clustered_rects, polyline_mbrs, scale_edges, uniform_rects
+from repro.internal import brute_force_pairs
+from repro.pbsm import PBSM
+from repro.rtree import RTreeJoin
+from repro.s3j import S3J, quadtree_join
+from repro.shj import SpatialHashJoin
+from repro.sssj import SSSJ
+
+from tests.conftest import random_kpes
+
+
+def all_drivers(memory):
+    return [
+        PBSM(memory, internal="sweep_list", dedup="rpm"),
+        PBSM(memory, internal="sweep_trie", dedup="rpm"),
+        PBSM(memory, internal="nested_loops", dedup="sort"),
+        PBSM(memory, internal="sweep_tree", dedup="sort"),
+        S3J(memory, replicate=True, internal="nested_loops"),
+        S3J(memory, replicate=True, internal="sweep_list"),
+        S3J(memory, replicate=False, internal="nested_loops"),
+        S3J(memory, replicate=True, curve="hilbert"),
+        SSSJ(memory, internal="sweep_list"),
+        SpatialHashJoin(memory),
+        RTreeJoin(fanout=16),
+    ]
+
+
+WORKLOADS = {
+    "random": lambda: (
+        random_kpes(250, 101, max_edge=0.05),
+        random_kpes(250, 102, start_oid=10_000, max_edge=0.05),
+    ),
+    "uniform": lambda: (
+        uniform_rects(250, 103, mean_edge=0.02),
+        uniform_rects(250, 104, start_oid=10_000, mean_edge=0.02),
+    ),
+    "clustered": lambda: (
+        clustered_rects(250, 105),
+        clustered_rects(250, 106, start_oid=10_000),
+    ),
+    "tiger_like": lambda: (
+        polyline_mbrs(250, 107),
+        polyline_mbrs(250, 108, start_oid=10_000),
+    ),
+    "scaled_up_coverage": lambda: (
+        scale_edges(polyline_mbrs(200, 109), 10.0),
+        scale_edges(polyline_mbrs(200, 110, start_oid=10_000), 10.0),
+    ),
+    "mixed_sizes": lambda: (
+        random_kpes(100, 111, max_edge=0.3) + random_kpes(100, 112, start_oid=500, max_edge=0.005),
+        random_kpes(100, 113, start_oid=20_000, max_edge=0.3)
+        + random_kpes(100, 114, start_oid=20_500, max_edge=0.005),
+    ),
+}
+
+
+@pytest.mark.parametrize("workload", sorted(WORKLOADS))
+@pytest.mark.parametrize("memory", [1024, 16_384])
+def test_all_algorithms_agree(workload, memory):
+    left, right = WORKLOADS[workload]()
+    truth = set(brute_force_pairs(left, right))
+    assert set(quadtree_join(left, right)) == truth
+    for driver in all_drivers(memory):
+        res = driver.run(left, right)
+        label = res.stats.algorithm
+        assert res.pair_set() == truth, f"{label} wrong result set on {workload}"
+        assert not res.has_duplicates(), f"{label} produced duplicates on {workload}"
+        assert res.stats.n_results == len(res.pairs)
+
+
+def test_self_join_all_algorithms():
+    rel = polyline_mbrs(300, 201)
+    truth = set(brute_force_pairs(rel, rel))
+    for driver in all_drivers(4096):
+        res = driver.run(rel, rel)
+        assert res.pair_set() == truth, res.stats.algorithm
+        assert not res.has_duplicates(), res.stats.algorithm
+
+
+def test_extreme_overlap_workload():
+    """Everything overlaps everything: maximal duplicate pressure."""
+    left = [KPE(i, 0.3, 0.3, 0.7, 0.7) for i in range(25)]
+    right = [KPE(100 + i, 0.4, 0.4, 0.8, 0.8) for i in range(25)]
+    truth = set(brute_force_pairs(left, right))
+    assert len(truth) == 625
+    for driver in all_drivers(512):
+        res = driver.run(left, right)
+        assert res.pair_set() == truth, res.stats.algorithm
+        assert not res.has_duplicates(), res.stats.algorithm
+
+
+def test_no_overlap_workload():
+    left = [KPE(i, i * 0.01, 0.0, i * 0.01 + 0.004, 0.4) for i in range(50)]
+    right = [KPE(100 + i, i * 0.01 + 0.005, 0.6, i * 0.01 + 0.009, 0.9) for i in range(50)]
+    for driver in all_drivers(1024):
+        res = driver.run(left, right)
+        assert len(res) == 0, res.stats.algorithm

@@ -1,0 +1,69 @@
+"""Unit tests for the sorted-list interval tree (sweep_tree status)."""
+
+import random
+
+from repro.internal.sweep_tree import IntervalTree
+
+
+def collect_hits(tree, qlo, qhi, sweep_x):
+    hits = []
+    tests = [0]
+    tree.query(qlo, qhi, sweep_x, hits.append, tests)
+    return hits, tests[0]
+
+
+class TestIntervalTree:
+    def test_basic_overlap(self):
+        tree = IntervalTree(0.0, 1.0)
+        tree.insert(0.2, 0.4, 10.0, "a")
+        tree.insert(0.6, 0.8, 10.0, "b")
+        hits, _ = collect_hits(tree, 0.3, 0.7, 0.0)
+        assert sorted(hits) == ["a", "b"]
+
+    def test_early_exit_skips_high_starts(self):
+        tree = IntervalTree(0.0, 1.0)
+        # All at the root node (straddle mid), sorted by start.
+        tree.insert(0.45, 0.55, 10.0, "low")
+        tree.insert(0.49, 0.60, 10.0, "mid")
+        tree.insert(0.50, 0.70, 10.0, "high")
+        hits, tests = collect_hits(tree, 0.40, 0.47, 0.0)
+        assert hits == ["low"]
+        # "high" (start 0.50 > qhi 0.47) must not even be tested.
+        assert tests <= 2
+
+    def test_expiry(self):
+        tree = IntervalTree(0.0, 1.0)
+        tree.insert(0.45, 0.55, expire_x=1.0, payload="old")
+        hits, _ = collect_hits(tree, 0.4, 0.6, sweep_x=2.0)
+        assert hits == []
+        assert tree.size == 0
+
+    def test_entries_stay_sorted_after_compaction(self):
+        tree = IntervalTree(0.0, 1.0)
+        tree.insert(0.44, 0.56, 1.0, "dies")
+        tree.insert(0.46, 0.58, 9.0, "lives1")
+        tree.insert(0.48, 0.60, 9.0, "lives2")
+        collect_hits(tree, 0.45, 0.47, 5.0)  # purges "dies"
+        starts = [e[0] for e in tree.root.entries]
+        assert starts == sorted(starts)
+
+    def test_randomized_against_brute_force(self):
+        rng = random.Random(77)
+        tree = IntervalTree(0.0, 1.0)
+        reference = []
+        for i in range(200):
+            lo = rng.random()
+            hi = min(1.0, lo + rng.random() * 0.15)
+            expire = rng.random() * 10
+            tree.insert(lo, hi, expire, i)
+            reference.append((lo, hi, expire, i))
+        for sweep in sorted(rng.random() * 10 for _ in range(80)):
+            qlo = rng.random()
+            qhi = min(1.0, qlo + rng.random() * 0.25)
+            hits, _ = collect_hits(tree, qlo, qhi, sweep)
+            expected = [
+                payload
+                for lo, hi, expire, payload in reference
+                if expire >= sweep and lo <= qhi and qlo <= hi
+            ]
+            assert sorted(hits) == sorted(expected)

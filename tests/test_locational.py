@@ -1,0 +1,189 @@
+"""Unit and property tests for locational codes and level functions."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.rect import KPE, rect_contains_point
+from repro.core.space import Space
+from repro.sfc.locational import (
+    cell_of_rect,
+    cells_for_rect,
+    curve_decoder,
+    curve_encoder,
+    is_ancestor_code,
+    mxcif_level,
+    point_cell,
+    preorder_key,
+    size_level,
+)
+
+UNIT = Space(0.0, 0.0, 1.0, 1.0)
+
+
+class TestPointCell:
+    def test_level0_single_cell(self):
+        assert point_cell(UNIT, 0.7, 0.2, 0) == (0, 0)
+
+    def test_level1_quadrants(self):
+        assert point_cell(UNIT, 0.25, 0.25, 1) == (0, 0)
+        assert point_cell(UNIT, 0.75, 0.25, 1) == (1, 0)
+        assert point_cell(UNIT, 0.25, 0.75, 1) == (0, 1)
+        assert point_cell(UNIT, 0.75, 0.75, 1) == (1, 1)
+
+    def test_far_border_clamped(self):
+        assert point_cell(UNIT, 1.0, 1.0, 3) == (7, 7)
+
+    def test_boundary_belongs_to_upper_cell(self):
+        # half-open cells: 0.5 at level 1 belongs to cell 1
+        assert point_cell(UNIT, 0.5, 0.5, 1) == (1, 1)
+
+    def test_point_outside_space_clamped(self):
+        assert point_cell(UNIT, -0.5, 2.0, 2) == (0, 3)
+
+    def test_non_unit_space(self):
+        space = Space(10.0, 20.0, 30.0, 40.0)
+        assert point_cell(space, 15.0, 35.0, 1) == (0, 1)
+
+
+class TestMxCifLevel:
+    def test_rect_spanning_centre_is_level0(self):
+        k = KPE(1, 0.49, 0.49, 0.51, 0.51)
+        assert mxcif_level(UNIT, k, 10) == 0
+
+    def test_tiny_rect_away_from_boundaries(self):
+        k = KPE(1, 0.26, 0.26, 0.27, 0.27)
+        assert mxcif_level(UNIT, k, 10) >= 5
+
+    def test_tiny_rect_on_major_boundary_sinks_to_level0(self):
+        """The design flaw of original S3J that motivates replication."""
+        k = KPE(1, 0.4999, 0.4999, 0.5001, 0.5001)
+        assert mxcif_level(UNIT, k, 10) == 0
+
+    def test_capped_at_max_level(self):
+        k = KPE(1, 0.3, 0.3, 0.3, 0.3)  # degenerate point
+        assert mxcif_level(UNIT, k, 6) == 6
+
+    def test_cell_of_rect_covers_rect(self):
+        k = KPE(1, 0.1, 0.6, 0.2, 0.7)
+        level = mxcif_level(UNIT, k, 10)
+        ix, iy = cell_of_rect(UNIT, k, level)
+        n = 1 << level
+        assert ix / n <= k.xl and k.xh <= (ix + 1) / n
+        assert iy / n <= k.yl and k.yh <= (iy + 1) / n
+
+
+class TestSizeLevel:
+    def test_paper_formula_examples(self):
+        # edge 0.3 fits 2^-1 = 0.5 but not 2^-2 -> level 1
+        assert size_level(UNIT, KPE(1, 0.0, 0.0, 0.3, 0.3), 10) == 1
+        # edge exactly 0.25 fits level 2
+        assert size_level(UNIT, KPE(1, 0.0, 0.0, 0.25, 0.25), 10) == 2
+        # edge 1.0 -> level 0
+        assert size_level(UNIT, KPE(1, 0.0, 0.0, 1.0, 1.0), 10) == 0
+
+    def test_min_over_axes(self):
+        k = KPE(1, 0.0, 0.0, 0.3, 0.01)  # x-edge limits the level
+        assert size_level(UNIT, k, 10) == 1
+
+    def test_degenerate_goes_to_max_level(self):
+        assert size_level(UNIT, KPE(1, 0.2, 0.2, 0.2, 0.2), 8) == 8
+
+    def test_position_independent(self):
+        """Unlike the MX-CIF level, the size level ignores placement —
+        the paper's fix for boundary-straddling small rectangles."""
+        a = KPE(1, 0.10, 0.10, 0.13, 0.13)
+        b = KPE(2, 0.49, 0.49, 0.52, 0.52)  # straddles the centre
+        assert size_level(UNIT, a, 10) == size_level(UNIT, b, 10)
+
+    def test_at_least_mxcif_level(self):
+        """Size level >= MX-CIF level: replication can only move
+        rectangles upward (deeper)."""
+        k = KPE(1, 0.4999, 0.4999, 0.5001, 0.5001)
+        assert size_level(UNIT, k, 10) >= mxcif_level(UNIT, k, 10)
+
+
+class TestCellsForRect:
+    def test_contained_rect_single_cell(self):
+        k = KPE(1, 0.1, 0.1, 0.2, 0.2)
+        assert cells_for_rect(UNIT, k, 1) == [(0, 0)]
+
+    def test_straddling_rect_four_cells(self):
+        k = KPE(1, 0.45, 0.45, 0.55, 0.55)
+        assert sorted(cells_for_rect(UNIT, k, 1)) == [(0, 0), (0, 1), (1, 0), (1, 1)]
+
+    def test_row_of_cells(self):
+        k = KPE(1, 0.05, 0.3, 0.95, 0.4)
+        cells = cells_for_rect(UNIT, k, 2)
+        assert sorted(cells) == [(0, 1), (1, 1), (2, 1), (3, 1)]
+
+
+class TestPreorderAndAncestors:
+    def test_preorder_key_alignment(self):
+        assert preorder_key(0b11, 1, 3) == 0b110000
+        assert preorder_key(0b11, 3, 3) == 0b11
+
+    def test_root_is_ancestor_of_all(self):
+        assert is_ancestor_code(0, 0, 0b101101, 3)
+
+    def test_ancestor_by_prefix(self):
+        assert is_ancestor_code(0b10, 1, 0b1011, 2)
+        assert not is_ancestor_code(0b11, 1, 0b1011, 2)
+
+    def test_deeper_never_ancestor_of_shallower(self):
+        assert not is_ancestor_code(0b1011, 2, 0b10, 1)
+
+    def test_equal_cell_is_ancestor(self):
+        assert is_ancestor_code(0b10, 1, 0b10, 1)
+
+
+class TestCurveRegistry:
+    def test_known_curves(self):
+        for name in ("peano", "z", "morton", "hilbert"):
+            assert callable(curve_encoder(name))
+            assert callable(curve_decoder(name))
+
+    def test_unknown_curve_rejected(self):
+        with pytest.raises(ValueError):
+            curve_encoder("dragon")
+        with pytest.raises(ValueError):
+            curve_decoder("dragon")
+
+
+rect = st.tuples(
+    st.floats(0, 1, allow_nan=False),
+    st.floats(0, 1, allow_nan=False),
+    st.floats(0, 1, allow_nan=False),
+    st.floats(0, 1, allow_nan=False),
+).map(lambda c: KPE(0, min(c[0], c[2]), min(c[1], c[3]), max(c[0], c[2]), max(c[1], c[3])))
+
+
+class TestLevelProperties:
+    @given(rect, st.integers(1, 12))
+    def test_replication_bound_of_four(self, k, max_level):
+        """A rectangle at its size level overlaps at most 4 cells — the
+        paper's redundancy bound for S3J."""
+        level = size_level(UNIT, k, max_level)
+        assert len(cells_for_rect(UNIT, k, level)) <= 4
+
+    @given(rect, st.integers(1, 12))
+    def test_size_level_in_range(self, k, max_level):
+        assert 0 <= size_level(UNIT, k, max_level) <= max_level
+
+    @given(rect, st.integers(1, 12))
+    def test_mxcif_cell_unique(self, k, max_level):
+        """At the MX-CIF level the rectangle maps to exactly one cell."""
+        level = mxcif_level(UNIT, k, max_level)
+        assert len(cells_for_rect(UNIT, k, level)) == 1
+
+    @given(rect, st.floats(0, 1), st.floats(0, 1), st.integers(0, 10))
+    def test_point_cell_consistent_with_cells_for_rect(self, k, tx, ty, level):
+        """Every point of a rectangle maps to one of its listed cells."""
+        x = k.xl + tx * (k.xh - k.xl)
+        y = k.yl + ty * (k.yh - k.yl)
+        assert rect_contains_point(k, x, y)
+        assert point_cell(UNIT, x, y, level) in cells_for_rect(UNIT, k, level)
+
+    @given(rect, st.integers(1, 10))
+    def test_size_level_at_least_mxcif(self, k, max_level):
+        assert size_level(UNIT, k, max_level) >= mxcif_level(UNIT, k, max_level)

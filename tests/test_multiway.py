@@ -1,0 +1,88 @@
+"""Tests for the cascaded multiway spatial join."""
+
+import pytest
+
+from repro.operators.multiway import brute_force_multiway, multiway_join
+from repro.pbsm import PBSM
+from repro.s3j import S3J
+
+from tests.conftest import random_kpes
+
+
+def three_relations(seed_base=40, n=50, max_edge=0.25):
+    return [
+        random_kpes(n, seed_base + i, start_oid=(i + 1) * 10_000, max_edge=max_edge)
+        for i in range(3)
+    ]
+
+
+class TestValidation:
+    def test_rejects_unknown_predicate(self):
+        with pytest.raises(ValueError):
+            multiway_join(three_relations(), 4096, predicate="near")
+
+    def test_rejects_single_relation(self):
+        with pytest.raises(ValueError):
+            multiway_join([random_kpes(5, 1)], 4096)
+
+    def test_empty_relation_gives_empty_result(self):
+        rels = three_relations()
+        rels[1] = []
+        assert multiway_join(rels, 4096) == []
+
+
+@pytest.mark.parametrize("predicate", ["chain", "common"])
+class TestCorrectness:
+    def test_matches_brute_force(self, predicate):
+        rels = three_relations()
+        got = multiway_join(rels, 4096, predicate=predicate)
+        want = brute_force_multiway(rels, predicate)
+        assert sorted(got) == sorted(want)
+
+    def test_two_relations_reduce_to_binary_join(self, predicate):
+        rels = three_relations()[:2]
+        got = multiway_join(rels, 4096, predicate=predicate)
+        want = brute_force_multiway(rels, predicate)
+        assert sorted(got) == sorted(want)
+
+    def test_four_relations(self, predicate):
+        rels = three_relations(n=25) + [
+            random_kpes(25, 99, start_oid=90_000, max_edge=0.3)
+        ]
+        got = multiway_join(rels, 4096, predicate=predicate)
+        want = brute_force_multiway(rels, predicate)
+        assert sorted(got) == sorted(want)
+
+    def test_alternate_driver(self, predicate):
+        rels = three_relations()
+        got = multiway_join(
+            rels,
+            4096,
+            predicate=predicate,
+            driver_factory=lambda: S3J(4096),
+        )
+        want = brute_force_multiway(rels, predicate)
+        assert sorted(got) == sorted(want)
+
+
+class TestSemantics:
+    def test_common_subset_of_chain(self):
+        """A common point implies consecutive intersections, never the
+        other way around."""
+        rels = three_relations()
+        chain = set(multiway_join(rels, 4096, predicate="chain"))
+        common = set(multiway_join(rels, 4096, predicate="common"))
+        assert common <= chain
+
+    def test_tuples_have_one_oid_per_relation(self):
+        rels = three_relations()
+        for row in multiway_join(rels, 4096):
+            assert len(row) == 3
+            assert 10_000 <= row[0] < 20_000
+            assert 20_000 <= row[1] < 30_000
+            assert 30_000 <= row[2] < 40_000
+
+    def test_no_duplicate_tuples(self):
+        rels = three_relations()
+        rows = multiway_join(rels, 4096)
+        assert len(rows) == len(set(rows))

@@ -1,0 +1,106 @@
+"""Tests for the operator-tree layer and the pipelining argument."""
+
+import pytest
+
+from repro.internal import brute_force_pairs
+from repro.operators import (
+    CollectOp,
+    FilterOp,
+    LimitOp,
+    ScanOp,
+    SpatialJoinOp,
+    time_to_first_result,
+)
+from repro.pbsm import PBSM
+from repro.s3j import S3J
+from repro.sssj import SSSJ
+
+from tests.conftest import random_kpes
+
+
+class TestBasicOperators:
+    def test_scan(self):
+        assert list(ScanOp([1, 2, 3])) == [1, 2, 3]
+
+    def test_scan_reopens(self):
+        op = ScanOp([1, 2])
+        assert list(op) == [1, 2]
+        assert list(op) == [1, 2]
+
+    def test_filter(self):
+        op = FilterOp(ScanOp(range(10)), lambda v: v % 2 == 0)
+        assert list(op) == [0, 2, 4, 6, 8]
+
+    def test_limit(self):
+        op = LimitOp(ScanOp(range(100)), 3)
+        assert list(op) == [0, 1, 2]
+
+    def test_limit_zero(self):
+        assert list(LimitOp(ScanOp([1]), 0)) == []
+
+    def test_limit_negative_rejected(self):
+        with pytest.raises(ValueError):
+            LimitOp(ScanOp([]), -1)
+
+    def test_collect(self):
+        op = CollectOp(ScanOp([5, 6]))
+        assert list(op) == [5, 6]
+        assert op.collected == [5, 6]
+
+    def test_composed_tree(self):
+        tree = LimitOp(FilterOp(ScanOp(range(100)), lambda v: v > 10), 5)
+        assert list(tree) == [11, 12, 13, 14, 15]
+
+
+class TestSpatialJoinOp:
+    def _pair(self):
+        return (
+            random_kpes(150, 1, max_edge=0.06),
+            random_kpes(150, 2, start_oid=9_000, max_edge=0.06),
+        )
+
+    @pytest.mark.parametrize(
+        "driver_factory",
+        [
+            lambda: PBSM(4096, dedup="rpm"),
+            lambda: PBSM(4096, dedup="sort"),
+            lambda: S3J(4096),
+            lambda: SSSJ(4096),
+        ],
+    )
+    def test_operator_produces_full_result(self, driver_factory):
+        left, right = self._pair()
+        op = SpatialJoinOp(driver_factory(), left, right)
+        pairs = list(op)
+        assert set(pairs) == set(brute_force_pairs(left, right))
+
+    def test_next_before_open_fails(self):
+        op = SpatialJoinOp(PBSM(4096), [], [])
+        with pytest.raises(RuntimeError):
+            op.next()
+
+    def test_limit_on_top_of_join_stops_early(self):
+        """The pipelining payoff: a LIMIT above an RPM join does not need
+        the whole join to finish."""
+        left, right = self._pair()
+        op = LimitOp(SpatialJoinOp(PBSM(4096, dedup="rpm"), left, right), 5)
+        assert len(list(op)) == 5
+
+    def test_time_to_first_result_counts(self):
+        left, right = self._pair()
+        first, total, n = time_to_first_result(PBSM(4096), left, right)
+        assert 0 <= first <= total
+        assert n == len(brute_force_pairs(left, right))
+
+    def test_rpm_first_result_before_sort_variant(self):
+        """PBSM+RPM must produce its first result earlier (relative to its
+        own total) than original PBSM, whose final sort blocks."""
+        left = random_kpes(1500, 3, max_edge=0.03)
+        right = random_kpes(1500, 4, start_oid=50_000, max_edge=0.03)
+        first_rpm, total_rpm, _ = time_to_first_result(
+            PBSM(8192, dedup="rpm"), left, right
+        )
+        first_sort, total_sort, _ = time_to_first_result(
+            PBSM(8192, dedup="sort"), left, right
+        )
+        assert first_rpm / total_rpm < first_sort / total_sort

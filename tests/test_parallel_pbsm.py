@@ -1,0 +1,84 @@
+"""Tests for the simulated parallel PBSM and LPT scheduling."""
+
+import pytest
+
+from repro.internal import brute_force_pairs
+from repro.pbsm.parallel import ParallelPBSM, lpt_schedule
+
+from tests.conftest import random_kpes
+
+
+class TestLptSchedule:
+    def test_empty(self):
+        makespan, loads = lpt_schedule([], 4)
+        assert makespan == 0.0
+        assert loads == [0.0] * 4
+
+    def test_single_worker_sums(self):
+        makespan, _ = lpt_schedule([3.0, 1.0, 2.0], 1)
+        assert makespan == pytest.approx(6.0)
+
+    def test_perfect_split(self):
+        makespan, loads = lpt_schedule([2.0, 2.0, 2.0, 2.0], 2)
+        assert makespan == pytest.approx(4.0)
+        assert sorted(loads) == [4.0, 4.0]
+
+    def test_makespan_bounds(self):
+        tasks = [5.0, 3.0, 3.0, 2.0, 2.0, 1.0]
+        makespan, loads = lpt_schedule(tasks, 3)
+        assert makespan >= max(tasks)
+        assert makespan >= sum(tasks) / 3
+        assert sum(loads) == pytest.approx(sum(tasks))
+
+    def test_more_workers_never_worse(self):
+        tasks = [4.0, 3.0, 3.0, 2.0, 2.0, 2.0, 1.0]
+        previous = float("inf")
+        for workers in (1, 2, 4, 8):
+            makespan, _ = lpt_schedule(tasks, workers)
+            assert makespan <= previous + 1e-12
+            previous = makespan
+
+
+class TestParallelPBSM:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ParallelPBSM(0)
+        with pytest.raises(ValueError):
+            ParallelPBSM(1024, workers=0)
+
+    @pytest.mark.parametrize("workers", [1, 2, 8])
+    def test_matches_brute_force(self, workers, small_pair):
+        left, right = small_pair
+        res = ParallelPBSM(2048, workers=workers).run(left, right)
+        assert res.pair_set() == set(brute_force_pairs(left, right))
+        assert not res.has_duplicates()
+
+    def test_empty_inputs(self):
+        assert len(ParallelPBSM(1024).run([], random_kpes(5, 1))) == 0
+
+    def test_speedup_with_more_workers(self):
+        left = random_kpes(1500, 81, max_edge=0.02)
+        right = random_kpes(1500, 82, start_oid=50_000, max_edge=0.02)
+        memory = 3000 * 20 // 8
+        seq = ParallelPBSM(memory, workers=1).run(left, right)
+        par = ParallelPBSM(memory, workers=8).run(left, right)
+        seq_total = sum(seq.stats.sim_seconds_by_phase.values())
+        par_total = sum(par.stats.sim_seconds_by_phase.values())
+        assert par_total < seq_total
+
+    def test_partition_phase_not_parallelised(self):
+        """Amdahl: the partitioning phase cost is identical regardless of
+        worker count."""
+        left = random_kpes(800, 83, max_edge=0.03)
+        right = random_kpes(800, 84, start_oid=50_000, max_edge=0.03)
+        one = ParallelPBSM(4096, workers=1).run(left, right)
+        many = ParallelPBSM(4096, workers=8).run(left, right)
+        assert one.stats.sim_seconds_by_phase["partition"] == pytest.approx(
+            many.stats.sim_seconds_by_phase["partition"]
+        )
+
+    def test_at_least_one_task_per_worker(self):
+        left = random_kpes(100, 85)
+        right = random_kpes(100, 86, start_oid=9_000)
+        res = ParallelPBSM(10**8, workers=6).run(left, right)
+        assert res.stats.n_partitions >= 6

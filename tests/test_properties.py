@@ -1,0 +1,136 @@
+"""Hypothesis property tests spanning modules: the RPM invariants.
+
+The central theorem of the paper (Section 3.2.1) is that, given a disjoint
+partitioning of the data space and replication of records into every
+overlapped partition, reporting a pair only from the partition containing
+its reference point yields each result exactly once.  These tests state
+that property directly against arbitrary rectangle sets, grids and level
+hierarchies.
+"""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.rect import KPE
+from repro.core.refpoint import reference_point
+from repro.core.space import Space
+from repro.internal import brute_force_pairs
+from repro.pbsm import PBSM, TileGrid
+from repro.s3j import S3J
+from repro.sfc.locational import cells_for_rect, point_cell, size_level
+
+UNIT = Space(0.0, 0.0, 1.0, 1.0)
+
+coord = st.floats(0, 1, allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def kpe(draw, oid):
+    x1, y1, x2, y2 = draw(coord), draw(coord), draw(coord), draw(coord)
+    return KPE(oid, min(x1, x2), min(y1, y2), max(x1, x2), max(y1, y2))
+
+
+@st.composite
+def relation_pair(draw, max_size=25):
+    n_left = draw(st.integers(0, max_size))
+    n_right = draw(st.integers(0, max_size))
+    left = [draw(kpe(i)) for i in range(n_left)]
+    right = [draw(kpe(1000 + i)) for i in range(n_right)]
+    return left, right
+
+
+class TestRpmOverGrids:
+    @given(relation_pair(), st.integers(1, 6), st.integers(1, 9))
+    def test_grid_rpm_exactly_once(self, pair, side, n_partitions):
+        """Manual re-statement of PBSM's RPM over an arbitrary grid:
+        replicate both relations into partitions, join every partition
+        pair, keep a pair iff its reference point's tile belongs to the
+        current partition — the multiset of kept pairs equals the set of
+        intersecting pairs."""
+        if side * side < n_partitions:
+            n_partitions = side * side
+        left, right = pair
+        grid = TileGrid(UNIT, side, side, n_partitions)
+        parts_left = [[] for _ in range(n_partitions)]
+        parts_right = [[] for _ in range(n_partitions)]
+        for k in left:
+            for pid in grid.partitions_for_rect(k):
+                parts_left[pid].append(k)
+        for k in right:
+            for pid in grid.partitions_for_rect(k):
+                parts_right[pid].append(k)
+        reported = []
+        for pid in range(n_partitions):
+            for r in parts_left[pid]:
+                for s in parts_right[pid]:
+                    if not (
+                        r[1] <= s[3] and s[1] <= r[3] and r[2] <= s[4] and s[2] <= r[4]
+                    ):
+                        continue
+                    x, y = reference_point(r, s)
+                    if grid.partition_of_point(x, y) == pid:
+                        reported.append((r[0], s[0]))
+        truth = brute_force_pairs(left, right)
+        assert sorted(reported) == sorted(truth)
+
+    @given(relation_pair(), st.integers(1, 8))
+    def test_level_rpm_exactly_once(self, pair, max_level):
+        """The S3J analogue: size-separated levels, <=4 replicas, pairs
+        kept iff the reference point lies in the deeper cell."""
+        left, right = pair
+        entries_left = [
+            (size_level(UNIT, k, max_level), cell, k)
+            for k in left
+            for cell in cells_for_rect(UNIT, k, size_level(UNIT, k, max_level))
+        ]
+        entries_right = [
+            (size_level(UNIT, k, max_level), cell, k)
+            for k in right
+            for cell in cells_for_rect(UNIT, k, size_level(UNIT, k, max_level))
+        ]
+        reported = []
+        for lvl_r, cell_r, r in entries_left:
+            for lvl_s, cell_s, s in entries_right:
+                # co-located on a quadtree path?
+                shallow, deep = (
+                    ((lvl_r, cell_r), (lvl_s, cell_s))
+                    if lvl_r <= lvl_s
+                    else ((lvl_s, cell_s), (lvl_r, cell_r))
+                )
+                shift = deep[0] - shallow[0]
+                if (deep[1][0] >> shift, deep[1][1] >> shift) != shallow[1]:
+                    continue
+                if not (
+                    r[1] <= s[3] and s[1] <= r[3] and r[2] <= s[4] and s[2] <= r[4]
+                ):
+                    continue
+                if point_cell(UNIT, *reference_point(r, s), deep[0]) == deep[1]:
+                    reported.append((r[0], s[0]))
+        truth = brute_force_pairs(left, right)
+        assert sorted(reported) == sorted(truth)
+
+
+class TestDriversUnderHypothesis:
+    @given(relation_pair(max_size=20), st.sampled_from([512, 8192]))
+    def test_pbsm_rpm_any_input(self, pair, memory):
+        left, right = pair
+        res = PBSM(memory, dedup="rpm").run(left, right)
+        assert sorted(res.pairs) == sorted(brute_force_pairs(left, right))
+
+    @given(relation_pair(max_size=20), st.sampled_from([512, 8192]))
+    def test_pbsm_sort_any_input(self, pair, memory):
+        left, right = pair
+        res = PBSM(memory, dedup="sort").run(left, right)
+        assert sorted(res.pairs) == sorted(brute_force_pairs(left, right))
+
+    @given(relation_pair(max_size=20), st.booleans())
+    def test_s3j_any_input(self, pair, replicate):
+        left, right = pair
+        res = S3J(4096, replicate=replicate).run(left, right)
+        assert sorted(res.pairs) == sorted(brute_force_pairs(left, right))
+
+    @given(relation_pair(max_size=20), st.integers(2, 10))
+    def test_s3j_max_level_irrelevant_to_result(self, pair, max_level):
+        left, right = pair
+        res = S3J(4096, max_level=max_level).run(left, right)
+        assert sorted(res.pairs) == sorted(brute_force_pairs(left, right))

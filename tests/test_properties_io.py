@@ -1,0 +1,145 @@
+"""Property and model-based tests for the I/O substrate.
+
+The buffer manager is tested against a reference model (a dict plus an
+explicit LRU list) under arbitrary operation sequences; page files and
+codecs under arbitrary contents; the external sort under arbitrary
+memory budgets.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.rect import KPE
+from repro.core.stats import CpuCounters
+from repro.io.buffer import BufferFullError, BufferManager
+from repro.io.codec import KpeCodec, LevelEntryCodec, PackedPageFile, PairCodec
+from repro.io.costmodel import CostModel
+from repro.io.disk import SimulatedDisk
+from repro.io.extsort import external_sort
+from repro.io.pagefile import PageFile
+
+
+class TestBufferModelBased:
+    @given(
+        st.lists(
+            st.tuples(st.sampled_from(["pin", "unpin"]), st.integers(0, 9)),
+            max_size=120,
+        ),
+        st.integers(2, 6),
+    )
+    def test_against_reference_model(self, operations, n_frames):
+        """Drive the buffer with arbitrary pin/unpin sequences and check
+        residency/pin counts against an explicit reference model."""
+        buf = BufferManager(SimulatedDisk(), n_frames)
+        model_pins = {}  # page -> pin count (resident pages only)
+        model_lru = []  # unpinned-or-not, residency order
+
+        for op, page in operations:
+            if op == "pin":
+                pinned_pages = sum(1 for c in model_pins.values() if c > 0)
+                expect_full = (
+                    page not in model_pins
+                    and len(model_pins) >= n_frames
+                    and all(c > 0 for c in model_pins.values())
+                )
+                if expect_full:
+                    with pytest.raises(BufferFullError):
+                        buf.pin(page)
+                    continue
+                buf.pin(page)
+                if page in model_pins:
+                    model_pins[page] += 1
+                    model_lru.remove(page)
+                    model_lru.append(page)
+                else:
+                    if len(model_pins) >= n_frames:
+                        victim = next(
+                            p for p in model_lru if model_pins[p] == 0
+                        )
+                        model_lru.remove(victim)
+                        del model_pins[victim]
+                    model_pins[page] = 1
+                    model_lru.append(page)
+            else:
+                if model_pins.get(page, 0) > 0:
+                    buf.unpin(page)
+                    model_pins[page] -= 1
+                else:
+                    with pytest.raises(ValueError):
+                        buf.unpin(page)
+
+        for page, pins in model_pins.items():
+            assert buf.resident(page)
+            assert buf.pin_count(page) == pins
+        assert buf.n_resident == len(model_pins)
+
+
+rects = st.builds(
+    lambda oid, x1, y1, x2, y2: KPE(
+        oid, min(x1, x2), min(y1, y2), max(x1, x2), max(y1, y2)
+    ),
+    st.integers(0, 2**31 - 1),
+    st.floats(0, 1, allow_nan=False, width=32),
+    st.floats(0, 1, allow_nan=False, width=32),
+    st.floats(0, 1, allow_nan=False, width=32),
+    st.floats(0, 1, allow_nan=False, width=32),
+)
+
+
+class TestCodecProperties:
+    @given(rects)
+    def test_kpe_codec_roundtrip(self, kpe):
+        decoded = KpeCodec.decode(KpeCodec.encode(kpe))
+        assert decoded.oid == kpe.oid
+        for a, b in zip(decoded[1:], kpe[1:]):
+            assert a == pytest.approx(b, abs=1e-6)
+
+    @given(st.integers(0, 2**31 - 1), st.integers(0, 2**31 - 1))
+    def test_pair_codec_roundtrip(self, a, b):
+        assert PairCodec.decode(PairCodec.encode((a, b))) == (a, b)
+
+    @given(st.integers(1, 14), st.data())
+    def test_level_entry_roundtrip(self, level, data):
+        codec = LevelEntryCodec(level)
+        code = data.draw(st.integers(0, (1 << (2 * level)) - 1))
+        kpe = KPE(5, 0.25, 0.5, 0.75, 1.0)
+        got_code, got_kpe = codec.decode(codec.encode((code, kpe)))
+        assert got_code == code
+        assert got_kpe == kpe
+
+    @given(st.lists(rects, max_size=60), st.integers(40, 400))
+    def test_packed_pagefile_roundtrip(self, kpes, page_size):
+        disk = SimulatedDisk(CostModel(page_size=page_size))
+        f = PackedPageFile(disk, KpeCodec)
+        f.append_bulk(kpes)
+        decoded = f.read_all()
+        assert len(decoded) == len(kpes)
+        for got, want in zip(decoded, kpes):
+            assert got.oid == want.oid
+
+
+class TestPageFileProperties:
+    @given(st.lists(st.integers(), max_size=300), st.integers(1, 5))
+    def test_iter_records_equals_contents(self, values, buffer_pages):
+        disk = SimulatedDisk(CostModel(page_size=64))
+        f = PageFile(disk, record_bytes=8)
+        f.records.extend(values)
+        assert list(f.iter_records(buffer_pages)) == values
+
+    @given(st.lists(st.integers(), max_size=200))
+    def test_writer_preserves_order(self, values):
+        disk = SimulatedDisk(CostModel(page_size=64))
+        f = PageFile(disk, record_bytes=8)
+        with f.writer(buffer_pages=2) as w:
+            w.write_many(values)
+        assert f.records == values
+
+    @given(st.lists(st.integers(0, 10_000), max_size=300), st.integers(100, 5_000))
+    @settings(max_examples=25)
+    def test_external_sort_any_budget(self, values, memory):
+        disk = SimulatedDisk(CostModel(page_size=64))
+        f = PageFile(disk, record_bytes=8)
+        f.records.extend(values)
+        out = external_sort(f, lambda v: v, memory, CpuCounters())
+        assert out.records == sorted(values)

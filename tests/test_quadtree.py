@@ -1,0 +1,95 @@
+"""Unit tests for the in-memory MX-CIF quadtree and its join (§4.1)."""
+
+from repro.core.rect import KPE
+from repro.core.space import Space
+from repro.core.stats import CpuCounters
+from repro.internal import brute_force_pairs
+from repro.s3j.quadtree import MxCifQuadtree, quadtree_join
+
+from tests.conftest import random_kpes
+
+UNIT = Space(0.0, 0.0, 1.0, 1.0)
+
+
+class TestTreeStructure:
+    def test_insert_counts(self):
+        tree = MxCifQuadtree(UNIT, 6)
+        for k in random_kpes(50, 1):
+            tree.insert(k)
+        assert tree.size == 50
+        assert len(list(tree.iter_items())) == 50
+
+    def test_big_rect_stays_at_root(self):
+        tree = MxCifQuadtree(UNIT, 6)
+        tree.insert(KPE(1, 0.4, 0.4, 0.6, 0.6))  # straddles the centre
+        assert len(tree.root.items) == 1
+        assert not tree.root.children
+
+    def test_small_rect_descends(self):
+        tree = MxCifQuadtree(UNIT, 8)
+        tree.insert(KPE(1, 0.26, 0.26, 0.27, 0.27))
+        assert not tree.root.items
+        assert tree.depth() >= 5
+
+    def test_multiple_rects_per_node(self):
+        """MX-CIF: any number of rectangles per node, nodes need not be
+        leaves."""
+        tree = MxCifQuadtree(UNIT, 6)
+        tree.insert(KPE(1, 0.4, 0.4, 0.6, 0.6))
+        tree.insert(KPE(2, 0.45, 0.45, 0.55, 0.55))
+        tree.insert(KPE(3, 0.1, 0.1, 0.12, 0.12))
+        assert len(tree.root.items) == 2
+        assert tree.root.children
+
+    def test_build_classmethod(self):
+        kpes = random_kpes(30, 2)
+        tree = MxCifQuadtree.build(kpes, max_level=5)
+        assert tree.size == 30
+
+    def test_depth_bounded_by_max_level(self):
+        tree = MxCifQuadtree(UNIT, 3)
+        for k in random_kpes(100, 3, max_edge=0.001):
+            tree.insert(k)
+        assert tree.depth() <= 3
+
+
+class TestQuadtreeJoin:
+    def test_matches_brute_force(self, small_pair):
+        left, right = small_pair
+        pairs = quadtree_join(left, right)
+        assert sorted(pairs) == sorted(brute_force_pairs(left, right))
+
+    def test_no_duplicates(self, small_pair):
+        left, right = small_pair
+        pairs = quadtree_join(left, right)
+        assert len(pairs) == len(set(pairs))
+
+    def test_empty_inputs(self):
+        assert quadtree_join([], random_kpes(5, 1)) == []
+        assert quadtree_join(random_kpes(5, 1), []) == []
+
+    def test_same_cell_residents_paired_once(self):
+        left = [KPE(1, 0.4, 0.4, 0.6, 0.6)]
+        right = [KPE(2, 0.45, 0.45, 0.55, 0.55)]  # same root cell
+        assert quadtree_join(left, right) == [(1, 2)]
+
+    def test_ancestor_descendant_pairing(self):
+        left = [KPE(1, 0.0, 0.0, 1.0, 1.0)]       # root
+        right = [KPE(2, 0.1, 0.1, 0.11, 0.11)]    # deep cell
+        assert quadtree_join(left, right) == [(1, 2)]
+
+    def test_counters(self, small_pair):
+        left, right = small_pair
+        counters = CpuCounters()
+        quadtree_join(left, right, counters)
+        assert counters.intersection_tests > 0
+
+    def test_self_join(self):
+        rel = random_kpes(80, 9, max_edge=0.1)
+        pairs = quadtree_join(rel, rel)
+        assert sorted(pairs) == sorted(brute_force_pairs(rel, rel))
+
+    def test_skewed(self, clustered_pair):
+        left, right = clustered_pair
+        pairs = quadtree_join(left, right)
+        assert sorted(pairs) == sorted(brute_force_pairs(left, right))

@@ -1,0 +1,199 @@
+"""Unit tests for repro.core.rect."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.rect import (
+    KPE,
+    OID,
+    SIZEOF_KPE,
+    XH,
+    XL,
+    YH,
+    YL,
+    area,
+    intersection,
+    intersects,
+    make_kpe,
+    mbr_of,
+    rect_contains_point,
+    valid_kpe,
+)
+
+
+class TestKpeBasics:
+    def test_kpe_is_a_tuple(self):
+        k = make_kpe(1, 0.0, 0.0, 1.0, 1.0)
+        assert isinstance(k, tuple)
+        assert k == (1, 0.0, 0.0, 1.0, 1.0)
+
+    def test_positional_indices_match_fields(self):
+        k = make_kpe(7, 0.1, 0.2, 0.3, 0.4)
+        assert k[OID] == k.oid == 7
+        assert k[XL] == k.xl == 0.1
+        assert k[YL] == k.yl == 0.2
+        assert k[XH] == k.xh == 0.3
+        assert k[YH] == k.yh == 0.4
+
+    def test_sizeof_kpe_is_paper_layout(self):
+        # 4-byte id plus four 4-byte coordinates
+        assert SIZEOF_KPE == 20
+
+    def test_degenerate_point_rectangle_is_valid(self):
+        k = make_kpe(1, 0.5, 0.5, 0.5, 0.5)
+        assert valid_kpe(k)
+
+    def test_inverted_x_rejected(self):
+        with pytest.raises(ValueError):
+            make_kpe(1, 0.6, 0.0, 0.5, 1.0)
+
+    def test_inverted_y_rejected(self):
+        with pytest.raises(ValueError):
+            make_kpe(1, 0.0, 0.6, 1.0, 0.5)
+
+    def test_non_finite_rejected(self):
+        with pytest.raises(ValueError):
+            make_kpe(1, 0.0, 0.0, math.inf, 1.0)
+        with pytest.raises(ValueError):
+            make_kpe(1, math.nan, 0.0, 1.0, 1.0)
+
+    def test_valid_kpe_rejects_wrong_arity(self):
+        assert not valid_kpe((1, 0.0, 0.0, 1.0))
+
+    def test_valid_kpe_rejects_inverted(self):
+        assert not valid_kpe((1, 1.0, 0.0, 0.0, 1.0))
+
+    def test_valid_kpe_rejects_nan(self):
+        assert not valid_kpe((1, math.nan, 0.0, 1.0, 1.0))
+
+
+class TestIntersects:
+    def test_overlapping(self):
+        a = make_kpe(1, 0.0, 0.0, 0.5, 0.5)
+        b = make_kpe(2, 0.4, 0.4, 1.0, 1.0)
+        assert intersects(a, b)
+        assert intersects(b, a)
+
+    def test_disjoint_x(self):
+        a = make_kpe(1, 0.0, 0.0, 0.3, 1.0)
+        b = make_kpe(2, 0.4, 0.0, 1.0, 1.0)
+        assert not intersects(a, b)
+
+    def test_disjoint_y(self):
+        a = make_kpe(1, 0.0, 0.0, 1.0, 0.3)
+        b = make_kpe(2, 0.0, 0.4, 1.0, 1.0)
+        assert not intersects(a, b)
+
+    def test_touching_edge_counts_as_intersecting(self):
+        a = make_kpe(1, 0.0, 0.0, 0.5, 1.0)
+        b = make_kpe(2, 0.5, 0.0, 1.0, 1.0)
+        assert intersects(a, b)
+
+    def test_touching_corner_counts_as_intersecting(self):
+        a = make_kpe(1, 0.0, 0.0, 0.5, 0.5)
+        b = make_kpe(2, 0.5, 0.5, 1.0, 1.0)
+        assert intersects(a, b)
+
+    def test_containment_intersects(self):
+        outer = make_kpe(1, 0.0, 0.0, 1.0, 1.0)
+        inner = make_kpe(2, 0.4, 0.4, 0.6, 0.6)
+        assert intersects(outer, inner)
+        assert intersects(inner, outer)
+
+    def test_self_intersects(self):
+        a = make_kpe(1, 0.1, 0.2, 0.3, 0.4)
+        assert intersects(a, a)
+
+
+class TestIntersection:
+    def test_overlap_rectangle(self):
+        a = make_kpe(1, 0.0, 0.0, 0.6, 0.6)
+        b = make_kpe(2, 0.4, 0.2, 1.0, 1.0)
+        assert intersection(a, b) == (0.4, 0.2, 0.6, 0.6)
+
+    def test_disjoint_returns_none(self):
+        a = make_kpe(1, 0.0, 0.0, 0.2, 0.2)
+        b = make_kpe(2, 0.5, 0.5, 1.0, 1.0)
+        assert intersection(a, b) is None
+
+    def test_touching_returns_degenerate(self):
+        a = make_kpe(1, 0.0, 0.0, 0.5, 1.0)
+        b = make_kpe(2, 0.5, 0.0, 1.0, 1.0)
+        assert intersection(a, b) == (0.5, 0.0, 0.5, 1.0)
+
+
+class TestAreaAndMbr:
+    def test_area(self):
+        assert area(make_kpe(1, 0.0, 0.0, 0.5, 0.25)) == pytest.approx(0.125)
+
+    def test_area_degenerate_is_zero(self):
+        assert area(make_kpe(1, 0.3, 0.3, 0.3, 0.9)) == 0.0
+
+    def test_mbr_of_empty_is_none(self):
+        assert mbr_of([]) is None
+
+    def test_mbr_of_single(self):
+        k = make_kpe(1, 0.1, 0.2, 0.3, 0.4)
+        assert mbr_of([k]) == (0.1, 0.2, 0.3, 0.4)
+
+    def test_mbr_of_many(self):
+        ks = [
+            make_kpe(1, 0.1, 0.5, 0.2, 0.6),
+            make_kpe(2, 0.0, 0.7, 0.05, 0.9),
+            make_kpe(3, 0.3, 0.2, 0.9, 0.4),
+        ]
+        assert mbr_of(ks) == (0.0, 0.2, 0.9, 0.9)
+
+    def test_contains_point_closed(self):
+        k = make_kpe(1, 0.0, 0.0, 1.0, 1.0)
+        assert rect_contains_point(k, 0.0, 0.0)
+        assert rect_contains_point(k, 1.0, 1.0)
+        assert not rect_contains_point(k, 1.0001, 0.5)
+
+
+rect_coords = st.tuples(
+    st.floats(0, 1, allow_nan=False),
+    st.floats(0, 1, allow_nan=False),
+    st.floats(0, 1, allow_nan=False),
+    st.floats(0, 1, allow_nan=False),
+)
+
+
+def _norm(coords):
+    x1, y1, x2, y2 = coords
+    return (min(x1, x2), min(y1, y2), max(x1, x2), max(y1, y2))
+
+
+class TestIntersectsProperties:
+    @given(rect_coords, rect_coords)
+    def test_symmetry(self, ca, cb):
+        a = KPE(1, *_norm(ca))
+        b = KPE(2, *_norm(cb))
+        assert intersects(a, b) == intersects(b, a)
+
+    @given(rect_coords, rect_coords)
+    def test_intersection_consistent_with_predicate(self, ca, cb):
+        a = KPE(1, *_norm(ca))
+        b = KPE(2, *_norm(cb))
+        assert (intersection(a, b) is not None) == intersects(a, b)
+
+    @given(rect_coords)
+    def test_reflexive(self, c):
+        a = KPE(1, *_norm(c))
+        assert intersects(a, a)
+
+    @given(rect_coords, rect_coords)
+    def test_intersection_contained_in_both(self, ca, cb):
+        a = KPE(1, *_norm(ca))
+        b = KPE(2, *_norm(cb))
+        result = intersection(a, b)
+        if result is None:
+            return
+        xl, yl, xh, yh = result
+        assert a.xl <= xl <= xh <= a.xh
+        assert b.xl <= xl <= xh <= b.xh
+        assert a.yl <= yl <= yh <= a.yh
+        assert b.yl <= yl <= yh <= b.yh

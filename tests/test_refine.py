@@ -1,0 +1,228 @@
+"""Tests for the refinement step: geometry, store, and refine()."""
+
+import random
+
+import pytest
+
+from repro.core.stats import CpuCounters
+from repro.io.disk import SimulatedDisk
+from repro.refine import (
+    ConvexPolygon,
+    GeometryStore,
+    Polyline,
+    refine,
+    regular_polygon,
+    segments_intersect,
+)
+
+
+class TestSegments:
+    def test_crossing(self):
+        assert segments_intersect((0, 0), (1, 1), (0, 1), (1, 0))
+
+    def test_disjoint(self):
+        assert not segments_intersect((0, 0), (0.4, 0.4), (0.6, 0.6), (1, 1))
+
+    def test_touching_endpoint(self):
+        assert segments_intersect((0, 0), (0.5, 0.5), (0.5, 0.5), (1, 0))
+
+    def test_collinear_overlap(self):
+        assert segments_intersect((0, 0), (0.6, 0), (0.4, 0), (1, 0))
+
+    def test_collinear_disjoint(self):
+        assert not segments_intersect((0, 0), (0.3, 0), (0.5, 0), (1, 0))
+
+    def test_parallel(self):
+        assert not segments_intersect((0, 0), (1, 0), (0, 0.1), (1, 0.1))
+
+
+class TestPolyline:
+    def test_needs_two_points(self):
+        with pytest.raises(ValueError):
+            Polyline([(0, 0)])
+
+    def test_mbr(self):
+        pl = Polyline([(0.2, 0.8), (0.5, 0.1), (0.9, 0.4)])
+        assert pl.mbr() == (0.2, 0.1, 0.9, 0.8)
+
+    def test_intersects(self):
+        a = Polyline([(0, 0), (1, 1)])
+        b = Polyline([(0, 1), (1, 0)])
+        assert a.intersects(b)
+        assert b.intersects(a)
+
+    def test_mbrs_overlap_but_lines_do_not(self):
+        """The refinement step's raison d'etre: a filter-step false
+        positive."""
+        a = Polyline([(0, 0), (0.1, 0.1)])
+        b = Polyline([(0.9, 0.9), (1.0, 1.0)])
+        big_a = Polyline([(0, 0), (0.05, 1.0)])
+        big_b = Polyline([(0.95, 0), (1.0, 1.0)])
+        assert not a.intersects(b)
+        assert not big_a.intersects(big_b)
+
+    def test_no_kernel(self):
+        assert Polyline([(0, 0), (1, 1)]).kernel() is None
+
+
+class TestConvexPolygon:
+    def test_needs_three_points(self):
+        with pytest.raises(ValueError):
+            ConvexPolygon([(0, 0), (1, 1)])
+
+    def test_contains_point(self):
+        square = ConvexPolygon([(0, 0), (1, 0), (1, 1), (0, 1)])
+        assert square.contains_point(0.5, 0.5)
+        assert square.contains_point(0.0, 0.0)  # boundary is closed
+        assert not square.contains_point(1.5, 0.5)
+
+    def test_intersects_overlapping(self):
+        a = regular_polygon(0.4, 0.4, 0.2)
+        b = regular_polygon(0.5, 0.5, 0.2)
+        assert a.intersects(b)
+
+    def test_intersects_containment(self):
+        outer = regular_polygon(0.5, 0.5, 0.4)
+        inner = regular_polygon(0.5, 0.5, 0.05)
+        assert outer.intersects(inner)
+        assert inner.intersects(outer)
+
+    def test_disjoint(self):
+        a = regular_polygon(0.2, 0.2, 0.1)
+        b = regular_polygon(0.8, 0.8, 0.1)
+        assert not a.intersects(b)
+
+    def test_kernel_inside_polygon(self):
+        poly = regular_polygon(0.5, 0.5, 0.3, sides=7)
+        kernel = poly.kernel()
+        assert kernel is not None
+        xl, yl, xh, yh = kernel
+        assert xl < xh and yl < yh
+        for x in (xl, xh):
+            for y in (yl, yh):
+                assert poly.contains_point(x, y)
+
+    def test_kernel_intersection_implies_exact_intersection(self):
+        rng = random.Random(9)
+        for _ in range(50):
+            a = regular_polygon(rng.random(), rng.random(), 0.1 + rng.random() * 0.1)
+            b = regular_polygon(rng.random(), rng.random(), 0.1 + rng.random() * 0.1)
+            ka, kb = a.kernel(), b.kernel()
+            if ka and kb and (
+                ka[0] <= kb[2] and kb[0] <= ka[2] and ka[1] <= kb[3] and kb[1] <= ka[3]
+            ):
+                assert a.intersects(b)
+
+
+class TestGeometryStore:
+    def test_add_and_fetch(self):
+        store = GeometryStore(SimulatedDisk())
+        poly = regular_polygon(0.5, 0.5, 0.1)
+        store.add(7, poly)
+        assert store.fetch(7) is poly
+        assert len(store) == 1
+
+    def test_duplicate_oid_rejected(self):
+        store = GeometryStore(SimulatedDisk())
+        store.add(1, regular_polygon(0.5, 0.5, 0.1))
+        with pytest.raises(ValueError):
+            store.add(1, regular_polygon(0.5, 0.5, 0.1))
+
+    def test_page_layout(self):
+        store = GeometryStore(SimulatedDisk(), objects_per_page=4)
+        for i in range(10):
+            store.add(i, regular_polygon(0.5, 0.5, 0.01))
+        assert store.page_of(0) == 0
+        assert store.page_of(3) == 0
+        assert store.page_of(4) == 1
+        assert store.n_pages == 3
+
+    def test_buffer_hit_avoids_io(self):
+        disk = SimulatedDisk()
+        store = GeometryStore(disk, objects_per_page=4)
+        for i in range(8):
+            store.add(i, regular_polygon(0.5, 0.5, 0.01))
+        store.fetch(0)
+        units = disk.total_units()
+        store.fetch(1)  # same page: buffered
+        assert disk.total_units() == units
+        assert store.page_misses == 1
+
+    def test_clustered_fetch_coalesces_requests(self):
+        disk = SimulatedDisk()
+        store = GeometryStore(disk, objects_per_page=1, buffer_pages=1)
+        for i in range(32):
+            store.add(i, regular_polygon(0.5, 0.5, 0.01))
+        store.fetch_clustered(list(range(32)))
+        counters = disk.total_counters()
+        assert counters.pages_read == 32
+        assert counters.read_requests == 1  # one contiguous run
+
+
+class TestRefine:
+    def _stores(self, n=60, seed=3, buffer_pages=32):
+        rng = random.Random(seed)
+        disk = SimulatedDisk()
+        left = GeometryStore(disk, buffer_pages=buffer_pages)
+        right = GeometryStore(disk, buffer_pages=buffer_pages)
+        for i in range(n):
+            left.add(i, regular_polygon(rng.random(), rng.random(), 0.08))
+        for i in range(n):
+            right.add(1000 + i, regular_polygon(rng.random(), rng.random(), 0.08))
+        candidates = [
+            (i, 1000 + j)
+            for i in range(n)
+            for j in range(n)
+            if abs(i - j) < 10  # keep it small
+        ]
+        return left, right, candidates
+
+    def test_modes_agree(self):
+        left, right, candidates = self._stores()
+        a = refine(candidates, left, right, clustered=False, use_kernels=False)
+        left.reset_buffer()
+        right.reset_buffer()
+        b = refine(candidates, left, right, clustered=True, use_kernels=False)
+        left.reset_buffer()
+        right.reset_buffer()
+        c = refine(candidates, left, right, clustered=False, use_kernels=True)
+        assert sorted(a.pairs) == sorted(b.pairs) == sorted(c.pairs)
+
+    def test_kernels_save_exact_tests(self):
+        left, right, candidates = self._stores()
+        with_k = refine(candidates, left, right, use_kernels=True)
+        left.reset_buffer()
+        right.reset_buffer()
+        without_k = refine(candidates, left, right, use_kernels=False)
+        assert with_k.stats.kernel_hits > 0
+        assert with_k.stats.exact_tests < without_k.stats.exact_tests
+
+    def test_clustered_mode_reduces_io(self):
+        """The paper's §3.1 trade-off: address-ordered fetching (possible
+        for the sorted candidate set of original PBSM) beats random
+        fetching under a small buffer."""
+        left, right, candidates = self._stores(buffer_pages=2)
+        rng = random.Random(4)
+        shuffled = candidates[:]
+        rng.shuffle(shuffled)
+        random_mode = refine(shuffled, left, right, clustered=False, use_kernels=False)
+        left.reset_buffer()
+        right.reset_buffer()
+        clustered_mode = refine(
+            shuffled, left, right, clustered=True, use_kernels=False
+        )
+        assert clustered_mode.stats.io_units < random_mode.stats.io_units
+
+    def test_counters_and_stats(self):
+        left, right, candidates = self._stores()
+        counters = CpuCounters()
+        result = refine(candidates, left, right, use_kernels=False, counters=counters)
+        assert counters.intersection_tests == result.stats.exact_tests
+        assert result.stats.candidates == len(candidates)
+        assert 0.0 <= result.stats.false_positive_rate <= 1.0
+
+    def test_empty_candidates(self):
+        left, right, _ = self._stores()
+        result = refine([], left, right)
+        assert result.pairs == []
+        assert result.stats.false_positive_rate == 0.0

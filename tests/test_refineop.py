@@ -1,0 +1,95 @@
+"""Tests for the pipelined refinement operator."""
+
+import random
+
+from repro.io.disk import SimulatedDisk
+from repro.operators import LimitOp, ScanOp, SpatialJoinOp
+from repro.operators.refineop import RefineOp
+from repro.pbsm import PBSM
+from repro.refine import GeometryStore, refine, regular_polygon
+
+from tests.conftest import random_kpes
+
+
+def build_world(n=120, seed=7):
+    """Relations of polygon MBRs plus their geometry stores."""
+    rng = random.Random(seed)
+    disk = SimulatedDisk()
+    store_left = GeometryStore(disk)
+    store_right = GeometryStore(disk)
+    left_kpes = []
+    right_kpes = []
+    from repro.core.rect import KPE
+
+    for i in range(n):
+        poly = regular_polygon(rng.random(), rng.random(), 0.04 + rng.random() * 0.04)
+        store_left.add(i, poly)
+        left_kpes.append(KPE(i, *poly.mbr()))
+    for i in range(n):
+        poly = regular_polygon(rng.random(), rng.random(), 0.04 + rng.random() * 0.04)
+        store_right.add(10_000 + i, poly)
+        right_kpes.append(KPE(10_000 + i, *poly.mbr()))
+    return left_kpes, right_kpes, store_left, store_right
+
+
+class TestRefineOp:
+    def test_matches_batch_refine(self):
+        left, right, store_left, store_right = build_world()
+        join = PBSM(2048)
+        candidates = join.run(left, right).pairs
+        batch = refine(candidates, store_left, store_right, use_kernels=True)
+
+        store_left.reset_buffer()
+        store_right.reset_buffer()
+        op = RefineOp(
+            SpatialJoinOp(PBSM(2048), left, right), store_left, store_right
+        )
+        streamed = list(op)
+        assert sorted(streamed) == sorted(batch.pairs)
+        assert op.stats.confirmed == len(streamed)
+        assert op.stats.candidates == len(candidates)
+
+    def test_kernels_reduce_exact_tests(self):
+        left, right, store_left, store_right = build_world()
+        with_k = RefineOp(
+            SpatialJoinOp(PBSM(2048), left, right), store_left, store_right, True
+        )
+        list(with_k)
+        without_k = RefineOp(
+            SpatialJoinOp(PBSM(2048), left, right), store_left, store_right, False
+        )
+        list(without_k)
+        assert with_k.stats.kernel_hits > 0
+        assert with_k.stats.exact_tests < without_k.stats.exact_tests
+
+    def test_limit_over_refinement_stops_early(self):
+        """The full multi-step pipeline is stoppable: LIMIT over
+        refinement over a pipelined join touches only a prefix."""
+        left, right, store_left, store_right = build_world(n=200)
+        op = RefineOp(
+            SpatialJoinOp(PBSM(2048), left, right), store_left, store_right
+        )
+        limited = list(LimitOp(op, 5))
+        assert len(limited) == 5
+        # Far fewer candidates examined than the whole join produces.
+        full = PBSM(2048).run(left, right)
+        assert op.stats.candidates < len(full)
+
+    def test_over_plain_scan(self):
+        """RefineOp composes with any child producing oid pairs."""
+        left, right, store_left, store_right = build_world(n=40)
+        pairs = [(a.oid, b.oid) for a in left[:10] for b in right[:10]]
+        op = RefineOp(ScanOp(pairs), store_left, store_right)
+        confirmed = list(op)
+        assert all(p in pairs for p in confirmed)
+        assert op.stats.candidates == 100
+
+    def test_reopen_resets_stats(self):
+        left, right, store_left, store_right = build_world(n=30)
+        op = RefineOp(
+            SpatialJoinOp(PBSM(2048), left, right), store_left, store_right
+        )
+        first = len(list(op))
+        second = len(list(op))
+        assert first == second
+        assert op.stats.confirmed == second

@@ -1,0 +1,66 @@
+"""Unit and property tests for the Reference Point Method primitive."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.rect import KPE, intersection, intersects, rect_contains_point
+from repro.core.refpoint import reference_point
+
+
+class TestReferencePointBasics:
+    def test_paper_definition(self):
+        r = KPE(1, 0.0, 0.0, 0.6, 0.6)
+        s = KPE(2, 0.4, 0.2, 1.0, 0.5)
+        # x = (max of left edges, min of upper edges)
+        assert reference_point(r, s) == (0.4, 0.5)
+
+    def test_symmetric(self):
+        r = KPE(1, 0.0, 0.0, 0.6, 0.6)
+        s = KPE(2, 0.4, 0.2, 1.0, 0.5)
+        assert reference_point(r, s) == reference_point(s, r)
+
+    def test_identical_rectangles(self):
+        r = KPE(1, 0.2, 0.3, 0.4, 0.5)
+        assert reference_point(r, r) == (0.2, 0.5)
+
+    def test_is_upper_left_corner_of_intersection(self):
+        r = KPE(1, 0.1, 0.1, 0.9, 0.9)
+        s = KPE(2, 0.5, 0.0, 1.0, 0.7)
+        x, y = reference_point(r, s)
+        inter = intersection(r, s)
+        assert inter is not None
+        assert (x, y) == (inter[0], inter[3])
+
+
+coords = st.floats(0, 1, allow_nan=False)
+rect = st.tuples(coords, coords, coords, coords).map(
+    lambda c: (min(c[0], c[2]), min(c[1], c[3]), max(c[0], c[2]), max(c[1], c[3]))
+)
+
+
+class TestReferencePointProperties:
+    @given(rect, rect)
+    def test_symmetry(self, ra, rb):
+        a = KPE(1, *ra)
+        b = KPE(2, *rb)
+        assert reference_point(a, b) == reference_point(b, a)
+
+    @given(rect, rect)
+    def test_point_inside_both_when_intersecting(self, ra, rb):
+        """The crucial RPM property: the reference point of an intersecting
+        pair lies inside both rectangles, so the owning partition holds a
+        copy of each."""
+        a = KPE(1, *ra)
+        b = KPE(2, *rb)
+        if not intersects(a, b):
+            return
+        x, y = reference_point(a, b)
+        assert rect_contains_point(a, x, y)
+        assert rect_contains_point(b, x, y)
+
+    @given(rect, rect)
+    def test_point_unique_per_pair(self, ra, rb):
+        """Determinism: the same pair always produces the same point."""
+        a = KPE(1, *ra)
+        b = KPE(2, *rb)
+        assert reference_point(a, b) == reference_point(a, b)

@@ -1,0 +1,93 @@
+"""Tests for the stats report formatter and verification utilities."""
+
+import pytest
+
+from repro import (
+    PBSM,
+    VerificationError,
+    results_consistent,
+    verify_driver,
+    verify_result,
+)
+from repro.core.report import format_stats
+from repro.core.result import JoinResult, JoinStats
+
+from tests.conftest import random_kpes
+
+
+class TestFormatStats:
+    def _stats(self):
+        left = random_kpes(150, 1, max_edge=0.08)
+        right = random_kpes(150, 2, start_oid=9_000, max_edge=0.08)
+        return PBSM(2048).run(left, right).stats
+
+    def test_contains_headline_fields(self):
+        text = format_stats(self._stats())
+        assert "algorithm" in text
+        assert "PBSM" in text
+        assert "results" in text
+        assert "io units" in text
+        assert "simulated seconds" in text
+
+    def test_verbose_adds_phases(self):
+        stats = self._stats()
+        brief = format_stats(stats, verbose=False)
+        verbose = format_stats(stats, verbose=True)
+        assert "per-phase simulated seconds:" not in brief
+        assert "per-phase simulated seconds:" in verbose
+        assert "per-phase operation counts:" in verbose
+        assert "partition" in verbose
+
+    def test_empty_stats_render(self):
+        text = format_stats(JoinStats(algorithm="X"))
+        assert "algorithm          X" in text
+
+    def test_conditional_lines(self):
+        stats = JoinStats(algorithm="Y", duplicates_sorted_out=5, memory_overruns=2)
+        text = format_stats(stats)
+        assert "duplicates (sort)  5" in text
+        assert "memory overruns    2" in text
+        assert "duplicates (RPM)" not in text
+
+
+class TestVerify:
+    def test_accepts_correct_result(self, small_pair):
+        left, right = small_pair
+        result = verify_driver(PBSM(2048), left, right)
+        assert len(result) > 0
+
+    def test_rejects_missing_pair(self, small_pair):
+        left, right = small_pair
+        result = PBSM(2048).run(left, right)
+        result.pairs.pop()
+        with pytest.raises(VerificationError, match="mismatch"):
+            verify_result(result, left, right)
+
+    def test_rejects_extra_pair(self, small_pair):
+        left, right = small_pair
+        result = PBSM(2048).run(left, right)
+        result.pairs.append((-1, -2))
+        with pytest.raises(VerificationError, match="mismatch"):
+            verify_result(result, left, right)
+
+    def test_rejects_duplicates(self, small_pair):
+        left, right = small_pair
+        result = PBSM(2048).run(left, right)
+        result.pairs.append(result.pairs[0])
+        with pytest.raises(VerificationError, match="duplicate"):
+            verify_result(result, left, right)
+
+    def test_duplicate_check_can_be_disabled(self, small_pair):
+        left, right = small_pair
+        result = PBSM(2048).run(left, right)
+        result.pairs.append(result.pairs[0])
+        verify_result(result, left, right, check_duplicates=False)
+
+    def test_results_consistent(self, small_pair):
+        left, right = small_pair
+        a = PBSM(2048).run(left, right)
+        b = PBSM(4096, internal="sweep_trie").run(left, right)
+        assert results_consistent(a, b)
+        b.pairs.pop()
+        assert not results_consistent(a, b)
+        assert results_consistent()

@@ -1,0 +1,109 @@
+"""Tests for S3J assignment strategies (original / size / hybrid)."""
+
+import pytest
+
+from repro.core.space import Space
+from repro.core.stats import CpuCounters
+from repro.datasets import mixed_scale
+from repro.internal import brute_force_pairs
+from repro.s3j import S3J
+from repro.s3j.levels import (
+    ASSIGNMENT_STRATEGIES,
+    assign_hybrid,
+    assign_original,
+    assign_replicated,
+)
+from repro.sfc.locational import curve_encoder
+
+from tests.conftest import random_kpes
+
+UNIT = Space(0.0, 0.0, 1.0, 1.0)
+Z = curve_encoder("peano")
+STRATEGIES = sorted(ASSIGNMENT_STRATEGIES)
+
+
+class TestRegistry:
+    def test_names(self):
+        assert set(ASSIGNMENT_STRATEGIES) == {"original", "size", "hybrid"}
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError, match="unknown strategy"):
+            S3J(1024, strategy="fractal")
+
+    def test_replicate_flag_maps_to_strategy(self):
+        assert S3J(1024, replicate=True).strategy == "size"
+        assert S3J(1024, replicate=False).strategy == "original"
+        assert S3J(1024, replicate=False, strategy="hybrid").strategy == "hybrid"
+
+    def test_algorithm_labels(self):
+        left = random_kpes(20, 1)
+        right = random_kpes(20, 2, start_oid=100)
+        assert "hybrid" in S3J(1024, strategy="hybrid").run(left, right).stats.algorithm
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+class TestCorrectness:
+    def test_matches_brute_force(self, strategy, small_pair):
+        left, right = small_pair
+        res = S3J(4096, strategy=strategy).run(left, right)
+        assert res.pair_set() == set(brute_force_pairs(left, right))
+        assert not res.has_duplicates()
+
+    def test_mixed_scale_workload(self, strategy):
+        left = mixed_scale(400, 31)
+        right = mixed_scale(400, 32, start_oid=9_000)
+        res = S3J(4096, strategy=strategy).run(left, right)
+        assert res.pair_set() == set(brute_force_pairs(left, right))
+        assert not res.has_duplicates()
+
+    def test_boundary_straddlers(self, strategy):
+        from repro.core.rect import KPE
+
+        eps = 1e-4
+        left = [
+            KPE(i, 0.5 - eps, i * 0.03, 0.5 + eps, i * 0.03 + eps) for i in range(15)
+        ]
+        right = [
+            KPE(100 + i, 0.5 - eps, i * 0.03, 0.5 + eps, i * 0.03 + eps)
+            for i in range(15)
+        ]
+        res = S3J(4096, strategy=strategy).run(left, right)
+        assert res.pair_set() == set(brute_force_pairs(left, right))
+        assert not res.has_duplicates()
+
+
+class TestHybridBehaviour:
+    def test_hybrid_replication_between_extremes(self):
+        left = random_kpes(600, 33, max_edge=0.05)
+        right = random_kpes(600, 34, start_oid=9_000, max_edge=0.05)
+        rates = {}
+        for strategy in STRATEGIES:
+            res = S3J(8192, strategy=strategy).run(left, right)
+            rates[strategy] = res.stats.replication_rate
+        assert rates["original"] == pytest.approx(1.0)
+        assert rates["original"] <= rates["hybrid"] <= rates["size"]
+
+    def test_hybrid_tests_between_extremes(self):
+        left = random_kpes(800, 35, max_edge=0.02)
+        right = random_kpes(800, 36, start_oid=9_000, max_edge=0.02)
+        tests = {}
+        for strategy in STRATEGIES:
+            res = S3J(8192, strategy=strategy).run(left, right)
+            tests[strategy] = res.stats.cpu_by_phase["join"]["intersection_tests"]
+        assert tests["size"] <= tests["hybrid"] <= tests["original"]
+
+    def test_hybrid_entry_counts(self):
+        kpes = random_kpes(300, 37, max_edge=0.1)
+        counters = CpuCounters()
+        original = list(assign_original(kpes, UNIT, 8, Z, counters))
+        size = list(assign_replicated(kpes, UNIT, 8, Z, counters))
+        hybrid = list(assign_hybrid(kpes, UNIT, 8, Z, counters))
+        assert len(original) <= len(hybrid) <= len(size)
+
+    def test_hybrid_gap_parameter(self):
+        kpes = random_kpes(300, 38, max_edge=0.05)
+        counters = CpuCounters()
+        tight = list(assign_hybrid(kpes, UNIT, 8, Z, counters, gap=0))
+        loose = list(assign_hybrid(kpes, UNIT, 8, Z, counters, gap=6))
+        # a larger gap tolerates more straddling -> fewer replicas
+        assert len(loose) <= len(tight)

@@ -1,0 +1,191 @@
+"""Tests for the seeded-tree join, buffer manager, and SFC analysis."""
+
+import pytest
+
+from repro.internal import brute_force_pairs
+from repro.io.buffer import BufferFullError, BufferManager
+from repro.io.disk import SimulatedDisk
+from repro.rtree import RTree
+from repro.rtree.seeded import SeededTreeJoin, seeded_tree_join
+from repro.sfc.analysis import (
+    curve_cost_ops,
+    locality_report,
+    mean_window_clusters,
+    neighbor_code_gap,
+)
+
+from tests.conftest import random_kpes
+
+
+class TestSeededTreeJoin:
+    def test_matches_brute_force(self, small_pair):
+        left, right = small_pair
+        res = SeededTreeJoin(fanout=16).run(left, right)
+        assert res.pair_set() == set(brute_force_pairs(left, right))
+        assert not res.has_duplicates()
+
+    def test_skewed(self, clustered_pair):
+        left, right = clustered_pair
+        res = SeededTreeJoin(fanout=8, seed_levels=2).run(left, right)
+        assert res.pair_set() == set(brute_force_pairs(left, right))
+
+    def test_empty_inputs(self):
+        assert len(SeededTreeJoin().run([], random_kpes(5, 1))) == 0
+        assert len(SeededTreeJoin().run(random_kpes(5, 1), [])) == 0
+
+    def test_prebuilt_seed_tree(self, small_pair):
+        left, right = small_pair
+        tree = RTree.bulk_load(left, 16)
+        res = SeededTreeJoin(fanout=16).run(left, right, tree_left=tree)
+        assert res.pair_set() == set(brute_force_pairs(left, right))
+
+    @pytest.mark.parametrize("seed_levels", [1, 2, 3])
+    def test_seed_depth_variants(self, seed_levels, small_pair):
+        left, right = small_pair
+        res = SeededTreeJoin(fanout=8, seed_levels=seed_levels).run(left, right)
+        assert res.pair_set() == set(brute_force_pairs(left, right))
+
+    def test_invalid_seed_levels(self):
+        with pytest.raises(ValueError):
+            SeededTreeJoin(seed_levels=0)
+
+    def test_build_phase_charged(self, small_pair):
+        left, right = small_pair
+        res = SeededTreeJoin(fanout=16).run(left, right)
+        assert res.stats.io_units_by_phase["build"] > 0
+        assert res.stats.io_units_by_phase["join"] > 0
+
+    def test_seeded_tree_holds_all_records(self, small_pair):
+        left, right = small_pair
+        joiner = SeededTreeJoin(fanout=8)
+        seed = RTree.bulk_load(left, 8)
+        from repro.core.stats import CpuCounters
+
+        grown = joiner.build_seeded(seed, right, CpuCounters())
+        assert sorted(k[0] for k in grown.iter_kpes()) == sorted(
+            k[0] for k in right
+        )
+        for node in grown.iter_nodes():
+            assert len(node.entries) <= 8
+
+    def test_convenience(self, small_pair):
+        left, right = small_pair
+        res = seeded_tree_join(left, right, fanout=32)
+        assert res.pair_set() == set(brute_force_pairs(left, right))
+
+
+class TestBufferManager:
+    def test_pin_loads_once(self):
+        disk = SimulatedDisk()
+        buf = BufferManager(disk, 4)
+        loads = []
+        loader = lambda pid: loads.append(pid) or f"page{pid}"
+        assert buf.pin(1, loader) == "page1"
+        buf.unpin(1)
+        assert buf.pin(1, loader) == "page1"
+        buf.unpin(1)
+        assert loads == [1]
+        assert buf.hits == 1 and buf.misses == 1
+        assert disk.total_counters().pages_read == 1
+
+    def test_lru_eviction_order(self):
+        buf = BufferManager(SimulatedDisk(), 2)
+        buf.pin("a"); buf.unpin("a")
+        buf.pin("b"); buf.unpin("b")
+        buf.pin("a"); buf.unpin("a")  # refresh a
+        buf.pin("c"); buf.unpin("c")  # evicts b (least recent)
+        assert buf.resident("a") and buf.resident("c")
+        assert not buf.resident("b")
+
+    def test_pinned_pages_not_evicted(self):
+        buf = BufferManager(SimulatedDisk(), 2)
+        buf.pin("a")
+        buf.pin("b")
+        with pytest.raises(BufferFullError):
+            buf.pin("c")
+        buf.unpin("a")
+        buf.pin("c")  # now fits by evicting a
+        assert not buf.resident("a")
+
+    def test_dirty_writeback_on_eviction(self):
+        disk = SimulatedDisk()
+        buf = BufferManager(disk, 1)
+        buf.pin("a")
+        buf.unpin("a", dirty=True)
+        writes_before = disk.total_counters().pages_written
+        buf.pin("b")
+        assert disk.total_counters().pages_written == writes_before + 1
+        assert buf.writebacks == 1
+
+    def test_unpin_validation(self):
+        buf = BufferManager(SimulatedDisk(), 2)
+        with pytest.raises(ValueError):
+            buf.unpin("ghost")
+        buf.pin("a")
+        buf.unpin("a")
+        with pytest.raises(ValueError):
+            buf.unpin("a")  # double unpin
+
+    def test_flush(self):
+        disk = SimulatedDisk()
+        buf = BufferManager(disk, 4)
+        for pid in ("a", "b"):
+            buf.pin(pid)
+            buf.unpin(pid, dirty=True)
+        assert buf.flush() == 2
+        assert buf.flush() == 0  # idempotent
+
+    def test_hit_rate(self):
+        buf = BufferManager(SimulatedDisk(), 4)
+        assert buf.hit_rate() == 0.0
+        buf.pin("a"); buf.unpin("a")
+        buf.pin("a"); buf.unpin("a")
+        assert buf.hit_rate() == pytest.approx(0.5)
+
+    def test_frame_validation(self):
+        with pytest.raises(ValueError):
+            BufferManager(SimulatedDisk(), 0)
+
+
+class TestSfcAnalysis:
+    def test_hilbert_fewer_window_clusters(self):
+        """The classical Hilbert advantage, on its proper metric: fewer
+        contiguous code runs per range-query window."""
+        for level in (3, 4, 5):
+            assert mean_window_clusters("hilbert", level) < mean_window_clusters(
+                "peano", level
+            )
+
+    def test_mean_neighbor_gap_favours_z(self):
+        """Counter-intuitively the *mean* adjacent-cell code gap is lower
+        for Z: Hilbert trades a few huge jumps for many step-1 moves."""
+        for level in (3, 4, 5):
+            assert neighbor_code_gap("peano", level) < neighbor_code_gap(
+                "hilbert", level
+            )
+
+    def test_window_validation(self):
+        import pytest as _pytest
+
+        with _pytest.raises(ValueError):
+            mean_window_clusters("peano", 2, window=100)
+
+    def test_z_cheaper_to_compute(self):
+        """The paper's winning argument for Peano."""
+        for level in (4, 8, 10, 16):
+            assert curve_cost_ops("peano", level) < curve_cost_ops(
+                "hilbert", level
+            )
+
+    def test_locality_report_shape(self):
+        report = locality_report(level=4)
+        assert set(report) == {"peano", "hilbert"}
+        for metrics in report.values():
+            assert metrics["neighbor_gap"] > 0
+            assert metrics["ops_per_code"] > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            neighbor_code_gap("peano", 0)
+        with pytest.raises(ValueError):
+            curve_cost_ops("dragon", 4)

@@ -1,0 +1,104 @@
+"""Unit tests for CPU counters, phase timers, and join statistics."""
+
+import time
+
+import pytest
+
+from repro.core.result import JoinResult, JoinStats, empty_result
+from repro.core.stats import CpuCounters, PhaseTimer, merge_counters
+
+
+class TestCpuCounters:
+    def test_starts_at_zero(self):
+        c = CpuCounters()
+        assert c.total_ops() == 0
+        assert all(v == 0 for v in c.as_dict().values())
+
+    def test_add_accumulates(self):
+        a = CpuCounters(intersection_tests=5, comparisons=2)
+        b = CpuCounters(intersection_tests=1, heap_ops=7)
+        a.add(b)
+        assert a.intersection_tests == 6
+        assert a.comparisons == 2
+        assert a.heap_ops == 7
+
+    def test_reset(self):
+        c = CpuCounters(intersection_tests=9, structure_ops=3)
+        c.reset()
+        assert c.total_ops() == 0
+
+    def test_merge_counters(self):
+        merged = merge_counters(
+            CpuCounters(comparisons=1),
+            CpuCounters(comparisons=2, code_computations=5),
+        )
+        assert merged.comparisons == 3
+        assert merged.code_computations == 5
+
+    def test_total_ops_excludes_result_tallies(self):
+        c = CpuCounters(results_reported=100, duplicates_suppressed=50)
+        assert c.total_ops() == 0
+
+    def test_as_dict_round_trips_fields(self):
+        c = CpuCounters(intersection_tests=1, refpoint_tests=2)
+        d = c.as_dict()
+        assert d["intersection_tests"] == 1
+        assert d["refpoint_tests"] == 2
+
+
+class TestPhaseTimer:
+    def test_accumulates_across_phases(self):
+        timer = PhaseTimer()
+        with timer.time("a"):
+            time.sleep(0.002)
+        with timer.time("b"):
+            time.sleep(0.001)
+        with timer.time("a"):
+            pass
+        assert timer.seconds["a"] >= 0.002
+        assert timer.seconds["b"] >= 0.001
+        assert timer.total() == pytest.approx(
+            timer.seconds["a"] + timer.seconds["b"]
+        )
+
+
+class TestJoinStats:
+    def test_replication_rate(self):
+        s = JoinStats(n_left=100, n_right=100, records_partitioned=250)
+        assert s.replication_rate == pytest.approx(1.25)
+
+    def test_replication_rate_empty_inputs(self):
+        assert JoinStats().replication_rate == 0.0
+
+    def test_selectivity(self):
+        s = JoinStats(n_left=10, n_right=20, n_results=4)
+        assert s.selectivity() == pytest.approx(0.02)
+
+    def test_selectivity_empty(self):
+        assert JoinStats().selectivity() == 0.0
+
+    def test_sim_seconds_sums_io_and_cpu(self):
+        s = JoinStats(sim_io_seconds=1.5, sim_cpu_seconds=0.5)
+        assert s.sim_seconds == pytest.approx(2.0)
+
+    def test_io_units_sums_phases(self):
+        s = JoinStats(io_units_by_phase={"a": 10.0, "b": 4.0})
+        assert s.io_units == pytest.approx(14.0)
+
+
+class TestJoinResult:
+    def test_pair_set_and_len(self):
+        r = JoinResult(pairs=[(1, 2), (3, 4), (1, 2)], stats=JoinStats())
+        assert len(r) == 3
+        assert r.pair_set() == {(1, 2), (3, 4)}
+
+    def test_has_duplicates(self):
+        assert JoinResult(pairs=[(1, 2), (1, 2)], stats=JoinStats()).has_duplicates()
+        assert not JoinResult(pairs=[(1, 2), (2, 1)], stats=JoinStats()).has_duplicates()
+
+    def test_empty_result(self):
+        r = empty_result("X", 5, 6)
+        assert len(r) == 0
+        assert r.stats.algorithm == "X"
+        assert r.stats.n_left == 5
+        assert r.stats.n_right == 6

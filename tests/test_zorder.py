@@ -1,0 +1,84 @@
+"""Unit and property tests for the Z (Peano/Morton) curve."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sfc.zorder import z_decode, z_encode
+
+
+class TestZEncodeBasics:
+    def test_origin(self):
+        assert z_encode(0, 0, 4) == 0
+
+    def test_level1_quadrants(self):
+        # bit 0 <- x, bit 1 <- y
+        assert z_encode(0, 0, 1) == 0
+        assert z_encode(1, 0, 1) == 1
+        assert z_encode(0, 1, 1) == 2
+        assert z_encode(1, 1, 1) == 3
+
+    def test_known_interleave(self):
+        # x=0b101, y=0b011 -> code 0b011011 -> y1 x1 pairs ...
+        assert z_encode(0b101, 0b011, 3) == 0b011011
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            z_encode(4, 0, 2)
+        with pytest.raises(ValueError):
+            z_encode(0, -1, 2)
+
+    def test_decode_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            z_decode(16, 2)
+
+    def test_wide_coordinates(self):
+        # beyond one byte: exercises the multi-chunk path
+        ix, iy = 0x1234, 0xABC
+        assert z_decode(z_encode(ix, iy, 16), 16) == (ix, iy)
+
+
+@st.composite
+def coords_with_bits(draw):
+    bits = draw(st.integers(1, 20))
+    ix = draw(st.integers(0, (1 << bits) - 1))
+    iy = draw(st.integers(0, (1 << bits) - 1))
+    return ix, iy, bits
+
+
+class TestZProperties:
+    @given(coords_with_bits())
+    def test_roundtrip(self, args):
+        ix, iy, bits = args
+        assert z_decode(z_encode(ix, iy, bits), bits) == (ix, iy)
+
+    @given(coords_with_bits())
+    def test_code_in_range(self, args):
+        ix, iy, bits = args
+        code = z_encode(ix, iy, bits)
+        assert 0 <= code < (1 << (2 * bits))
+
+    @given(coords_with_bits())
+    def test_hierarchical_prefix(self, args):
+        """The ancestor cell's code is the descendant's code shifted by 2 —
+        the property S3J's path logic relies on."""
+        ix, iy, bits = args
+        if bits < 2:
+            return
+        assert z_encode(ix >> 1, iy >> 1, bits - 1) == z_encode(ix, iy, bits) >> 2
+
+    @given(st.integers(1, 12))
+    def test_bijective_per_level(self, bits):
+        if bits > 6:
+            bits = 6  # keep the exhaustive check small
+        n = 1 << bits
+        codes = {z_encode(x, y, bits) for x in range(n) for y in range(n)}
+        assert codes == set(range(n * n))
+
+    @given(coords_with_bits())
+    def test_x_monotone_along_row(self, args):
+        """Within the same 2x2 block, x+1 increases the code."""
+        ix, iy, bits = args
+        if ix % 2 == 1:
+            ix -= 1
+        assert z_encode(ix, iy, bits) < z_encode(ix + 1, iy, bits)

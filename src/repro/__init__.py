@@ -37,6 +37,7 @@ from repro.estimate import GridHistogram
 from repro.internal import INTERNAL_ALGORITHMS, internal_algorithm
 from repro.io import CostModel, SimulatedDisk, mb
 from repro.pbsm import PBSM, ParallelPBSM, pbsm_join
+from repro.planner import JoinPlan, PlannerCache, plan_join
 from repro.rtree import IndexNestedLoopJoin, RTree, RTreeJoin, index_nested_loop_join, rtree_join
 from repro.s3j import S3J, quadtree_join, s3j_join
 from repro.shj import SpatialHashJoin, spatial_hash_join
@@ -45,8 +46,11 @@ from repro.verify import VerificationError, results_consistent, verify_driver, v
 
 __version__ = "1.0.0"
 
-#: Join method registry for :func:`spatial_join`.
+#: Fixed join method registry for :func:`spatial_join`.
 JOIN_METHODS = ("pbsm", "s3j", "sssj", "shj", "rtree")
+
+#: Everything :func:`spatial_join` accepts, including the planner.
+SPATIAL_JOIN_METHODS = JOIN_METHODS + ("auto",)
 
 
 def spatial_join(
@@ -66,17 +70,32 @@ def spatial_join(
         Main-memory budget for the join (see :func:`repro.io.mb`).
     method:
         "pbsm" (default — the paper's overall winner), "s3j", "sssj",
-        "shj" (spatial hash join), or "rtree" (index on both relations).
+        "shj" (spatial hash join), "rtree" (index on both relations), or
+        "auto" — let the cost-based planner profile the inputs and pick
+        algorithm, internal join and ``t``-factor itself.
     kwargs:
         Forwarded to the driver (e.g. ``internal="sweep_trie"``,
-        ``dedup="rpm"``, ``replicate=True``, ``curve="peano"``).
+        ``dedup="rpm"``, ``replicate=True``, ``curve="peano"``).  With
+        ``method="auto"``: forwarded to :func:`repro.planner.plan_join`
+        (e.g. ``cache=...``, ``t_grid=...``, ``methods=...``).
 
     Returns
     -------
     JoinResult
         All ``(left_oid, right_oid)`` pairs whose MBRs intersect, each
-        exactly once, plus execution statistics.
+        exactly once, plus execution statistics.  For ``method="auto"``
+        the chosen :class:`~repro.planner.JoinPlan` is attached as
+        ``result.plan`` (``result.plan.explain()`` renders the EXPLAIN
+        report with estimated-vs-actual counters).
     """
+    if method == "auto":
+        from repro.planner.cache import DEFAULT_CACHE
+
+        kwargs.setdefault("cache", DEFAULT_CACHE)
+        plan = plan_join(left, right, memory_bytes, **kwargs)
+        result = plan.execute(left, right)
+        result.plan = plan
+        return result
     if method == "pbsm":
         return PBSM(memory_bytes, **kwargs).run(left, right)
     if method == "s3j":
@@ -88,7 +107,9 @@ def spatial_join(
     if method == "rtree":
         # The index join has no memory knob; its budget is the buffer.
         return RTreeJoin(**kwargs).run(left, right)
-    raise ValueError(f"unknown method {method!r}; choose from {JOIN_METHODS}")
+    raise ValueError(
+        f"unknown method {method!r}; choose from {SPATIAL_JOIN_METHODS}"
+    )
 
 
 __all__ = [
@@ -98,14 +119,17 @@ __all__ = [
     "CpuCounters",
     "INTERNAL_ALGORITHMS",
     "JOIN_METHODS",
+    "JoinPlan",
     "JoinResult",
     "JoinStats",
     "KPE",
     "PBSM",
     "ParallelPBSM",
+    "PlannerCache",
     "RTree",
     "RTreeJoin",
     "S3J",
+    "SPATIAL_JOIN_METHODS",
     "SSSJ",
     "SpatialHashJoin",
     "SimulatedDisk",
@@ -118,6 +142,7 @@ __all__ = [
     "make_kpe",
     "mb",
     "pbsm_join",
+    "plan_join",
     "quadtree_join",
     "reference_point",
     "rtree_join",

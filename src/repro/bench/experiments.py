@@ -11,19 +11,20 @@ measured-vs-paper record lives in EXPERIMENTS.md.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Tuple
+from typing import Callable, Dict
 
 from repro.bench.render import ExperimentResult
 from repro.bench.workloads import (
     EXTENDED_MEMORY_FRACTIONS,
     MEMORY_FRACTIONS,
+    PLANNER_MEMORY_FRACTIONS,
     REDUCED_MEMORY_FRACTIONS,
-    input_bytes,
     j5_inputs,
     la_join,
     la_memory,
     la_p_sweep,
     memory_for_fraction,
+    planner_sweep,
 )
 from repro.core.stats import CpuCounters
 from repro.datasets import (
@@ -567,6 +568,75 @@ def run_ablation_s3j_strategy() -> ExperimentResult:
     )
 
 
+# ----------------------------------------------------------------------
+# Planner: method="auto" vs every fixed method
+# ----------------------------------------------------------------------
+def run_planner_sweep(
+    n: int = 2000, fractions=PLANNER_MEMORY_FRACTIONS
+) -> ExperimentResult:
+    """The cost-based planner against every fixed method.
+
+    The Fig. 4/12-style grid (dataset shape x memory budget) on which no
+    fixed plan wins everywhere; ``method="auto"`` must track the best
+    fixed method within 1.25x on every point, and the second planning of
+    each workload must come from the plan cache in ~zero time.
+    """
+    from repro import JOIN_METHODS, spatial_join
+    from repro.planner import PlannerCache, plan_join
+
+    cache = PlannerCache()
+    rows = []
+    for label, left, right, memory in planner_sweep(n, fractions):
+        plan = plan_join(left, right, memory, cache=cache)
+        cold_ms = plan.planning_seconds * 1e3
+        auto_sec = plan.execute(left, right).stats.sim_seconds
+        replanned = plan_join(left, right, memory, cache=cache)
+        warm_ms = replanned.planning_seconds * 1e3
+        fixed = {
+            method: spatial_join(left, right, memory, method=method).stats.sim_seconds
+            for method in JOIN_METHODS
+        }
+        best_method = min(fixed, key=fixed.get)
+        best_sec = fixed[best_method]
+        rows.append(
+            (
+                label,
+                plan.chosen.describe(),
+                round(auto_sec, 3),
+                best_method,
+                round(best_sec, 3),
+                round(auto_sec / best_sec, 3) if best_sec else 1.0,
+                round(cold_ms, 2),
+                round(warm_ms, 3),
+                int(replanned.from_cache),
+            )
+        )
+    return ExperimentResult(
+        exp_id="Planner",
+        title=f"method='auto' vs fixed methods (n={n} per side)",
+        columns=[
+            "workload",
+            "auto_plan",
+            "auto_sec",
+            "best_fixed",
+            "best_sec",
+            "ratio",
+            "plan_ms",
+            "replan_ms",
+            "cached",
+        ],
+        rows=rows,
+        notes=[
+            "fixed baselines run each method with its default knobs",
+            "replan_ms is the second plan_join over the same inputs/budget",
+        ],
+        paper_claim=(
+            "no single configuration wins across dataset shape and memory "
+            "(Figs. 4, 12); a cost model must choose per join"
+        ),
+    )
+
+
 #: Registry used by the CLI runner and the benches.
 EXPERIMENTS: Dict[str, Callable[[], ExperimentResult]] = {
     "table1": run_table1,
@@ -585,4 +655,5 @@ EXPERIMENTS: Dict[str, Callable[[], ExperimentResult]] = {
     "ablation_ntiles": run_ablation_ntiles,
     "ablation_max_level": run_ablation_max_level,
     "ablation_s3j_strategy": run_ablation_s3j_strategy,
+    "planner": run_planner_sweep,
 }

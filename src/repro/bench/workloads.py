@@ -13,7 +13,8 @@ from __future__ import annotations
 from typing import List, Sequence, Tuple
 
 from repro.core.rect import SIZEOF_KPE
-from repro.datasets import join_inputs, la_pair
+from repro.datasets import clustered_rects, join_inputs, la_pair, uniform_rects
+from repro.datasets.patterns import mixed_scale
 
 #: Memory fractions used by the J5 sweeps (Figures 6, 11, 12).
 MEMORY_FRACTIONS = (0.05, 0.10, 0.20, 0.35, 0.50, 0.75, 1.00)
@@ -60,3 +61,56 @@ def la_memory(left: Sequence, right: Sequence) -> int:
 def la_p_sweep(p_values=range(1, 11)) -> List[Tuple[float, List, List]]:
     """The Figure 13 workload family: (p, LA_RR(p), LA_ST(p))."""
     return [(float(p), *la_pair(float(p))) for p in p_values]
+
+
+# ----------------------------------------------------------------------
+# planner sweep (Fig. 4 / Fig. 12 style, over dataset shape x memory)
+# ----------------------------------------------------------------------
+
+#: Dataset shapes the planner sweep covers: the three regimes in which
+#: different fixed plans win (PBSM on uniform, SHJ on clustered, and a
+#: memory-dependent choice on mixed-scale).
+PLANNER_PATTERNS = ("uniform", "clustered", "mixed")
+
+#: Memory fractions for the planner sweep: tight, comfortable, all-fits.
+PLANNER_MEMORY_FRACTIONS = (0.15, 0.5, 1.0)
+
+_PLANNER_GENERATORS = {
+    "uniform": uniform_rects,
+    "clustered": clustered_rects,
+    "mixed": mixed_scale,
+}
+
+
+def planner_pair(pattern: str, n: int, seeds=(3, 4)) -> Tuple[List, List]:
+    """A synthetic relation pair of one planner-sweep *pattern*."""
+    generator = _PLANNER_GENERATORS[pattern]
+    return (
+        generator(n, seed=seeds[0]),
+        generator(n, seed=seeds[1], start_oid=1_000_000),
+    )
+
+
+def planner_sweep(
+    n: int = 2000,
+    fractions: Sequence[float] = PLANNER_MEMORY_FRACTIONS,
+) -> List[Tuple[str, List, List, int]]:
+    """The planner bench workload family.
+
+    Yields ``(label, left, right, memory_bytes)`` for every pattern and
+    memory fraction — the grid on which ``method="auto"`` must stay
+    within 1.25x of the best fixed plan.
+    """
+    workloads = []
+    for pattern in PLANNER_PATTERNS:
+        left, right = planner_pair(pattern, n)
+        for fraction in fractions:
+            workloads.append(
+                (
+                    f"{pattern}/m={fraction:.2f}",
+                    left,
+                    right,
+                    memory_for_fraction(left, right, fraction),
+                )
+            )
+    return workloads

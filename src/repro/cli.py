@@ -6,6 +6,8 @@ Usage examples::
     python -m repro generate --pattern manhattan --n 20000 streets.csv
     python -m repro join roads.npy streets.csv --method pbsm \\
         --memory-mb 2.5 --internal sweep_trie --out pairs.csv
+    python -m repro join roads.npy streets.csv --method auto
+    python -m repro explain roads.npy streets.csv --memory-mb 2.5
     python -m repro info roads.npy
 
 The bench CLI lives separately under ``python -m repro.bench``.
@@ -19,7 +21,7 @@ import sys
 import time
 from pathlib import Path
 
-from repro import JOIN_METHODS, spatial_join
+from repro import SPATIAL_JOIN_METHODS, spatial_join
 from repro.core.report import format_stats
 from repro.datasets import (
     clustered_rects,
@@ -64,14 +66,32 @@ def _cmd_info(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_pair(left_path: str, right_path: str):
+    """Load both relations, reusing one load for a self-join.
+
+    Paths are compared resolved, so ``./a.npy`` vs ``a.npy`` (or a
+    symlink) still load the relation once.
+    """
+    left = load_relation(left_path)
+    if Path(right_path).resolve() == Path(left_path).resolve():
+        return left, left
+    return left, load_relation(right_path)
+
+
 def _cmd_join(args: argparse.Namespace) -> int:
-    left = load_relation(args.left)
-    right = left if args.right == args.left else load_relation(args.right)
+    left, right = _load_pair(args.left, args.right)
     kwargs = {}
     if args.internal:
         kwargs["internal"] = args.internal
     if args.dedup:
         kwargs["dedup"] = args.dedup
+    if args.method == "auto" and kwargs:
+        print(
+            "note: --internal/--dedup are ignored with --method auto "
+            "(the planner chooses them)",
+            file=sys.stderr,
+        )
+        kwargs = {}
     started = time.perf_counter()
     result = spatial_join(
         left, right, mb(args.memory_mb), method=args.method, **kwargs
@@ -79,13 +99,30 @@ def _cmd_join(args: argparse.Namespace) -> int:
     wall = time.perf_counter() - started
     stats = result.stats
     print(format_stats(stats, verbose=args.verbose))
-    print(f"wall seconds       {wall:.3f}")
+    # format_stats reports the driver's own wall time; this one also
+    # covers planning, so label it distinctly.
+    print(f"total wall seconds {wall:.3f}")
+    if args.method == "auto":
+        print()
+        print(result.plan.explain(verbose=args.verbose))
     if args.out:
         with open(args.out, "w", newline="") as handle:
             writer = csv.writer(handle)
             writer.writerow(("left_oid", "right_oid"))
             writer.writerows(result.pairs)
         print(f"wrote {len(result):,} pairs to {args.out}")
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    from repro.planner import plan_join
+    from repro.planner.cache import DEFAULT_CACHE
+
+    left, right = _load_pair(args.left, args.right)
+    plan = plan_join(left, right, mb(args.memory_mb), cache=DEFAULT_CACHE)
+    if args.execute:
+        plan.execute(left, right)
+    print(plan.explain(verbose=args.verbose))
     return 0
 
 
@@ -111,15 +148,32 @@ def build_parser() -> argparse.ArgumentParser:
     join = sub.add_parser("join", help="run a spatial join on two relation files")
     join.add_argument("left")
     join.add_argument("right")
-    join.add_argument("--method", choices=JOIN_METHODS, default="pbsm")
+    join.add_argument("--method", choices=SPATIAL_JOIN_METHODS, default="pbsm")
     join.add_argument("--memory-mb", type=float, default=2.5)
     join.add_argument("--internal", default=None, help="internal algorithm name")
-    join.add_argument("--dedup", default=None, choices=(None, "rpm", "sort"))
+    join.add_argument("--dedup", default=None, choices=("rpm", "sort"))
     join.add_argument("--out", default=None, help="write result pairs as CSV")
     join.add_argument(
         "--verbose", action="store_true", help="per-phase cost breakdown"
     )
     join.set_defaults(func=_cmd_join)
+
+    explain = sub.add_parser(
+        "explain",
+        help="plan a join with the cost-based planner and show every candidate",
+    )
+    explain.add_argument("left")
+    explain.add_argument("right")
+    explain.add_argument("--memory-mb", type=float, default=2.5)
+    explain.add_argument(
+        "--execute",
+        action="store_true",
+        help="also run the chosen plan and report estimated vs. actual",
+    )
+    explain.add_argument(
+        "--verbose", action="store_true", help="include the phase-level estimate"
+    )
+    explain.set_defaults(func=_cmd_explain)
     return parser
 
 

@@ -10,7 +10,7 @@ I/O and CPU shares, wall time, and redundancy/duplicate accounting.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 
 @dataclass

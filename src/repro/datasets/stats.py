@@ -26,6 +26,47 @@ def coverage(kpes: Sequence[Tuple]) -> float:
     return sum(area(k) for k in kpes) / total_area
 
 
+def average_edges(kpes: Sequence[Tuple]) -> Tuple[float, float]:
+    """Mean rectangle width and height (0.0 for an empty relation)."""
+    n = len(kpes)
+    if n == 0:
+        return 0.0, 0.0
+    avg_w = sum(k[3] - k[1] for k in kpes) / n
+    avg_h = sum(k[4] - k[2] for k in kpes) / n
+    return avg_w, avg_h
+
+
+def average_area(kpes: Sequence[Tuple]) -> float:
+    """Mean rectangle area E[w*h] (0.0 for an empty relation).
+
+    Distinct from ``average_edges`` multiplied out: on heavy-tailed
+    extent distributions (mixed-scale data) E[w*h] far exceeds
+    E[w]*E[h], and replication estimates built on the product silently
+    undercount the copies the few huge rectangles generate.
+    """
+    n = len(kpes)
+    if n == 0:
+        return 0.0
+    return sum((k[3] - k[1]) * (k[4] - k[2]) for k in kpes) / n
+
+
+def density_skew(cell_counts: Sequence[float]) -> float:
+    """Max occupied-cell count over the mean occupied-cell count (>= 1).
+
+    A cheap distribution-skew measure over any spatial binning (grid
+    histogram cells, partitions): 1.0 means perfectly even occupancy;
+    clustered data pushes it far above 1.  Used by the join planner to
+    correct per-partition cost estimates for the largest partition.
+    """
+    occupied = [c for c in cell_counts if c > 0]
+    if not occupied:
+        return 1.0
+    mean = sum(occupied) / len(occupied)
+    if mean <= 0:
+        return 1.0
+    return max(occupied) / mean
+
+
 def selectivity(n_results: int, n_left: int, n_right: int) -> float:
     """Results over cross-product size (Table 2)."""
     denominator = n_left * n_right
@@ -53,6 +94,5 @@ def summarize(name: str, kpes: Sequence[Tuple]) -> DatasetSummary:
     n = len(kpes)
     if n == 0:
         return DatasetSummary(name, 0, 0.0, 0.0, 0.0)
-    avg_w = sum(k[3] - k[1] for k in kpes) / n
-    avg_h = sum(k[4] - k[2] for k in kpes) / n
+    avg_w, avg_h = average_edges(kpes)
     return DatasetSummary(name, n, coverage(kpes), avg_w, avg_h)

@@ -17,7 +17,7 @@ All generators are deterministic in their ``seed``.
 from __future__ import annotations
 
 import math
-from typing import List, Optional, Sequence, Tuple
+from typing import List
 
 import numpy as np
 

@@ -13,7 +13,7 @@ algorithms behind a buffered storage layer.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Dict, Hashable, Optional, Tuple
+from typing import Hashable
 
 from repro.io.disk import SimulatedDisk
 

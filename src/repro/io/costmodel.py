@@ -109,6 +109,37 @@ class CostModel:
             + counters.code_computations * code_cost
         )
 
+    def cpu_seconds_from_counts(
+        self,
+        *,
+        intersection_tests: float = 0.0,
+        comparisons: float = 0.0,
+        heap_ops: float = 0.0,
+        structure_ops: float = 0.0,
+        refpoint_tests: float = 0.0,
+        code_computations: float = 0.0,
+        hilbert: bool = False,
+    ) -> float:
+        """Simulated CPU seconds for *predicted* (fractional) counts.
+
+        The planner's counterpart of :meth:`cpu_seconds`: estimated
+        operation counts are real-valued expectations, not integer
+        tallies, so this takes keywords instead of a :class:`CpuCounters`.
+        Using the same per-operation constants keeps estimated and
+        measured simulated seconds directly comparable in EXPLAIN output.
+        """
+        code_cost = (
+            self.hilbert_code_op_seconds if hilbert else self.zcode_op_seconds
+        )
+        return (
+            intersection_tests * self.test_op_seconds
+            + comparisons * self.comparison_op_seconds
+            + heap_ops * self.heap_op_seconds
+            + structure_ops * self.structure_op_seconds
+            + refpoint_tests * self.refpoint_op_seconds
+            + code_computations * code_cost
+        )
+
 
 DEFAULT_COST_MODEL = CostModel()
 

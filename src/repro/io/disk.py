@@ -15,7 +15,7 @@ genuinely staged through the "files" and re-read by later phases).
 from __future__ import annotations
 
 from contextlib import contextmanager
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterator, Optional
 
 from repro.io.costmodel import CostModel, DEFAULT_COST_MODEL

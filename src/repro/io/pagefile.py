@@ -13,7 +13,7 @@ granularity the real algorithm would use:
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, List, Sequence, Tuple
+from typing import Iterable, Iterator, List, Sequence
 
 from repro.io.disk import SimulatedDisk
 

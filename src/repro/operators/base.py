@@ -11,7 +11,7 @@ through a small operator tree.
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional
+from typing import Iterator, List
 
 
 class Operator:

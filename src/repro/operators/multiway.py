@@ -49,7 +49,6 @@ def multiway_join(
 
     # tuples[i] is the oid tuple represented by intermediate KPE oid i.
     tuples: List[Tuple[int, ...]] = [(k[0],) for k in relations[0]]
-    by_oid = {k[0]: k for k in relations[0]}
     intermediate: List[KPE] = [
         KPE(i, k[1], k[2], k[3], k[4]) for i, k in enumerate(relations[0])
     ]

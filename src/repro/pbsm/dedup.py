@@ -13,7 +13,6 @@ from __future__ import annotations
 from typing import List, Tuple
 
 from repro.core.stats import CpuCounters
-from repro.io.disk import SimulatedDisk
 from repro.io.extsort import external_sort, sorted_dedup
 from repro.io.pagefile import PageFile
 

@@ -11,6 +11,7 @@ the ceiling avoids that cliff.
 from __future__ import annotations
 
 import math
+import warnings
 
 
 def estimate_partitions(
@@ -24,11 +25,30 @@ def estimate_partitions(
 
     ``t_factor=1.0`` reproduces the original formula exactly; the paper's
     improvement uses a value slightly above one.
+
+    The estimate is clamped to the total input cardinality: when the
+    memory budget is smaller than ``t`` KPEs, formula (1) asks for more
+    partitions than there are records, which only manufactures empty
+    partition files (each still paying grid and I/O overhead).  A clamp
+    to one-record partitions is the finest split that can ever help;
+    memory pressure beyond that is repartitioning's problem.
     """
     if memory_bytes <= 0:
         raise ValueError("memory budget must be positive")
     if t_factor <= 0:
         raise ValueError("t_factor must be positive")
-    total_bytes = (n_left + n_right) * kpe_bytes
+    total_records = n_left + n_right
+    total_bytes = total_records * kpe_bytes
     raw = t_factor * total_bytes / memory_bytes
-    return max(1, math.ceil(raw))
+    estimate = max(1, math.ceil(raw))
+    cap = max(1, total_records)
+    if estimate > cap:
+        warnings.warn(
+            f"partition estimate {estimate} exceeds the input cardinality "
+            f"{total_records} (memory_bytes={memory_bytes} is below one KPE "
+            f"per partition); clamping to {cap}",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return cap
+    return estimate

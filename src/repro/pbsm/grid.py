@@ -14,7 +14,7 @@ half-open) tile.
 from __future__ import annotations
 
 import math
-from typing import Iterator, List, Set, Tuple
+from typing import Iterator, Set, Tuple
 
 from repro.core.space import Space
 

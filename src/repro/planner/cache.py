@@ -1,0 +1,115 @@
+"""Content-keyed caches for profiles, joint histograms, and whole plans.
+
+The planner's catalog: relations are identified by the strided-sample
+fingerprint of :func:`repro.planner.stats.relation_fingerprint`, so the
+second join over the same inputs re-uses the cached
+:class:`~repro.planner.stats.RelationProfile`, joint-space histograms and
+— when the memory budget and knobs match — the complete
+:class:`~repro.planner.plan.JoinPlan`, skipping profiling *and*
+enumeration (the bench's "second run plans in ~zero time" property).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.core.space import Space
+from repro.estimate import GridHistogram
+from repro.planner.stats import (
+    PROFILE_RESOLUTION,
+    RelationProfile,
+    relation_fingerprint,
+)
+
+
+class PlannerCache:
+    """Profile / histogram / plan cache with hit-miss accounting."""
+
+    def __init__(self, max_plans: int = 128):
+        self.max_plans = max_plans
+        self._profiles: Dict[str, RelationProfile] = {}
+        self._histograms: Dict[Tuple, GridHistogram] = {}
+        self._plans: Dict[Tuple, object] = {}
+        self.profile_hits = 0
+        self.profile_misses = 0
+        self.plan_hits = 0
+        self.plan_misses = 0
+
+    # ------------------------------------------------------------------
+    # profiles and histograms
+    # ------------------------------------------------------------------
+    def relation_profile(self, kpes: Sequence[Tuple]) -> RelationProfile:
+        """Profile *kpes*, reusing the cached profile on a fingerprint hit."""
+        fingerprint = relation_fingerprint(kpes)
+        cached = self._profiles.get(fingerprint)
+        if cached is not None:
+            self.profile_hits += 1
+            return cached
+        self.profile_misses += 1
+        profile = RelationProfile.build(kpes, fingerprint)
+        self._profiles[fingerprint] = profile
+        return profile
+
+    def joint_histogram(
+        self,
+        kpes: Sequence[Tuple],
+        fingerprint: str,
+        space_key: Tuple[float, float, float, float],
+    ) -> GridHistogram:
+        """Histogram of *kpes* over a joint space, cached per (relation, space)."""
+        key = (fingerprint, space_key, PROFILE_RESOLUTION)
+        cached = self._histograms.get(key)
+        if cached is not None:
+            return cached
+        hist = GridHistogram.build(
+            kpes, Space(*space_key), PROFILE_RESOLUTION
+        )
+        self._histograms[key] = hist
+        return hist
+
+    # ------------------------------------------------------------------
+    # plans
+    # ------------------------------------------------------------------
+    @staticmethod
+    def plan_key(
+        fingerprint_left: str,
+        fingerprint_right: str,
+        memory_bytes: int,
+        extra: Tuple = (),
+    ) -> Tuple:
+        return (fingerprint_left, fingerprint_right, memory_bytes) + tuple(extra)
+
+    def get_plan(self, key: Tuple) -> Optional[object]:
+        plan = self._plans.get(key)
+        if plan is not None:
+            self.plan_hits += 1
+        return plan
+
+    def put_plan(self, key: Tuple, plan: object) -> None:
+        self.plan_misses += 1
+        if len(self._plans) >= self.max_plans:
+            # Drop the oldest entry (insertion order); a planning cache
+            # needs no smarter policy than bounded memory.
+            self._plans.pop(next(iter(self._plans)))
+        self._plans[key] = plan
+
+    # ------------------------------------------------------------------
+    def clear(self) -> None:
+        self._profiles.clear()
+        self._histograms.clear()
+        self._plans.clear()
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "profiles": len(self._profiles),
+            "histograms": len(self._histograms),
+            "plans": len(self._plans),
+            "profile_hits": self.profile_hits,
+            "profile_misses": self.profile_misses,
+            "plan_hits": self.plan_hits,
+            "plan_misses": self.plan_misses,
+        }
+
+
+#: The module-level cache ``spatial_join(method="auto")`` uses by default.
+DEFAULT_CACHE = PlannerCache()

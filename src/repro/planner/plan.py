@@ -1,0 +1,213 @@
+"""Join plans: choose, execute, and EXPLAIN.
+
+:func:`plan_join` profiles the inputs (through the cache), enumerates the
+candidate space, and wraps the winner in a :class:`JoinPlan`.  The plan
+executes through the ordinary drivers and keeps the estimates alongside
+the measured :class:`~repro.core.result.JoinStats`, so
+:meth:`JoinPlan.explain` can render estimated-versus-actual counters —
+making the estimator's error observable instead of hidden.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.result import JoinResult
+from repro.io.costmodel import CostModel
+from repro.pbsm import PBSM
+from repro.planner.cache import PlannerCache
+from repro.planner.enumerate import (
+    DEFAULT_T_GRID,
+    PlanCandidate,
+    enumerate_candidates,
+)
+from repro.planner.stats import JoinProfile, profile_join
+from repro.rtree import RTreeJoin
+from repro.s3j import S3J
+from repro.shj import SpatialHashJoin
+from repro.sssj import SSSJ
+
+
+def _run_candidate(
+    candidate: PlanCandidate,
+    left: Sequence[Tuple],
+    right: Sequence[Tuple],
+    memory_bytes: int,
+    cost_model: Optional[CostModel],
+) -> JoinResult:
+    """Execute one candidate through its driver."""
+    kwargs = dict(candidate.kwargs)
+    if cost_model is not None:
+        kwargs["cost_model"] = cost_model
+    method = candidate.method
+    if method == "pbsm":
+        return PBSM(memory_bytes, **kwargs).run(left, right)
+    if method == "s3j":
+        return S3J(memory_bytes, **kwargs).run(left, right)
+    if method == "sssj":
+        return SSSJ(memory_bytes, **kwargs).run(left, right)
+    if method == "shj":
+        return SpatialHashJoin(memory_bytes, **kwargs).run(left, right)
+    if method == "rtree":
+        return RTreeJoin(**kwargs).run(left, right)
+    raise ValueError(f"planner cannot execute method {candidate.method!r}")
+
+
+@dataclass
+class JoinPlan:
+    """A chosen plan, its rejected rivals, and (after execution) actuals."""
+
+    chosen: PlanCandidate
+    candidates: List[PlanCandidate]
+    profile: JoinProfile
+    memory_bytes: int
+    cost_model: CostModel
+    #: wall seconds spent profiling + enumerating (≈ 0 on a cache hit)
+    planning_seconds: float = 0.0
+    from_cache: bool = False
+    last_result: Optional[JoinResult] = field(default=None, repr=False)
+
+    # ------------------------------------------------------------------
+    def execute(
+        self, left: Sequence[Tuple], right: Sequence[Tuple]
+    ) -> JoinResult:
+        """Run the chosen candidate and remember the measured statistics."""
+        result = _run_candidate(
+            self.chosen, left, right, self.memory_bytes, self.cost_model
+        )
+        self.last_result = result
+        return result
+
+    # ------------------------------------------------------------------
+    def explain(self, verbose: bool = False) -> str:
+        """Render the plan: inputs, every candidate, and est-vs-actual."""
+        jp = self.profile
+        est = self.chosen.estimate
+        lines: List[str] = []
+        lines.append("JOIN PLAN")
+        lines.append(
+            f"  inputs             {jp.n_left:,} x {jp.n_right:,} KPEs, "
+            f"memory {self.memory_bytes:,} bytes"
+        )
+        lines.append(
+            f"  profile            coverage {jp.left.coverage:.3f}/{jp.right.coverage:.3f}, "
+            f"skew {jp.left.skew:.1f}/{jp.right.skew:.1f}"
+        )
+        lines.append(
+            f"  est. results       {jp.est_results:,.0f} "
+            f"(selectivity {jp.est_selectivity:.3e})"
+        )
+        source = "plan cache" if self.from_cache else "fresh enumeration"
+        lines.append(
+            f"  planning           {self.planning_seconds * 1000:.2f} ms ({source})"
+        )
+        lines.append(
+            f"  chosen             {self.chosen.describe()} "
+            f"-> est {est.total_seconds:.3f}s "
+            f"(io {est.io_seconds:.3f} + cpu {est.cpu_seconds:.3f})"
+        )
+        lines.append("  candidates (by estimated simulated seconds):")
+        for rank, candidate in enumerate(self.candidates, start=1):
+            marker = "*" if candidate is self.chosen else " "
+            lines.append(
+                f"   {marker}{rank:>2}. {candidate.describe():<44}"
+                f"{candidate.estimate.total_seconds:>10.3f}s"
+            )
+        if verbose:
+            lines.append("  chosen-plan phase estimate:")
+            for phase, seconds in sorted(est.breakdown.items()):
+                lines.append(f"    {phase:<14} {seconds:>10.3f}s")
+        if self.last_result is not None:
+            lines.extend(self._explain_actuals())
+        return "\n".join(lines)
+
+    def _explain_actuals(self) -> List[str]:
+        stats = self.last_result.stats
+        est = self.chosen.estimate
+        predicted = est.predicted
+        lines = ["  estimated vs. actual (after execution):"]
+
+        def row(label: str, estimate: float, actual: float, fmt: str = ",.0f") -> str:
+            ratio = estimate / actual if actual else float("inf") if estimate else 1.0
+            return (
+                f"    {label:<18}{estimate:>14{fmt}}{actual:>14{fmt}}"
+                f"{ratio:>8.2f}x"
+            )
+
+        lines.append(f"    {'':<18}{'estimated':>14}{'actual':>14}{'ratio':>8}")
+        lines.append(row("results", predicted.get("est_results", 0.0), stats.n_results))
+        detected_actual = stats.n_results + stats.duplicates_suppressed + stats.duplicates_sorted_out
+        lines.append(
+            row("detected pairs", predicted.get("detected_pairs", 0.0), detected_actual)
+        )
+        if stats.n_partitions:
+            lines.append(
+                row("partitions", predicted.get("n_partitions", 0.0), stats.n_partitions)
+            )
+        if stats.records_partitioned:
+            lines.append(
+                row(
+                    "replication",
+                    predicted.get("replication_rate", 1.0),
+                    stats.replication_rate,
+                    ".3f",
+                )
+            )
+        lines.append(row("io units", est.io_units, stats.io_units))
+        lines.append(row("sim seconds", est.total_seconds, stats.sim_seconds, ".3f"))
+        return lines
+
+
+def plan_join(
+    left: Sequence[Tuple],
+    right: Sequence[Tuple],
+    memory_bytes: int,
+    *,
+    cache: Optional[PlannerCache] = None,
+    cost_model: Optional[CostModel] = None,
+    t_grid: Sequence[float] = DEFAULT_T_GRID,
+    methods: Optional[Sequence[str]] = None,
+) -> JoinPlan:
+    """Choose the cheapest plan for joining *left* and *right*.
+
+    With a *cache*, repeated planning of the same inputs and budget
+    returns the cached :class:`JoinPlan` without re-profiling.
+    """
+    if memory_bytes <= 0:
+        raise ValueError("memory_bytes must be positive")
+    cost = cost_model or CostModel()
+    started = time.perf_counter()
+
+    key = None
+    if cache is not None:
+        key = cache.plan_key(
+            cache.relation_profile(left).fingerprint,
+            cache.relation_profile(right).fingerprint,
+            memory_bytes,
+            (tuple(t_grid), tuple(methods) if methods is not None else None),
+        )
+        cached = cache.get_plan(key)
+        if cached is not None:
+            cached.from_cache = True
+            cached.planning_seconds = time.perf_counter() - started
+            return cached
+
+    jp = profile_join(left, right, cache)
+    candidates = enumerate_candidates(
+        jp, memory_bytes, cost, t_grid=t_grid, methods=methods
+    )
+    if not candidates:
+        raise ValueError("no candidate plans enumerated (check `methods`)")
+    plan = JoinPlan(
+        chosen=candidates[0],
+        candidates=candidates,
+        profile=jp,
+        memory_bytes=memory_bytes,
+        cost_model=cost,
+        planning_seconds=time.perf_counter() - started,
+    )
+    if cache is not None:
+        cache.put_plan(key, plan)
+    return plan

@@ -20,7 +20,7 @@ while RPM can.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.core.stats import CpuCounters
 from repro.refine.store import GeometryStore

@@ -19,7 +19,6 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-from repro.io.costmodel import CostModel
 from repro.io.disk import SimulatedDisk
 
 

@@ -29,7 +29,7 @@ from repro.internal import internal_algorithm
 from repro.io.costmodel import CostModel
 from repro.io.disk import SimulatedDisk
 from repro.s3j.levelfile import build_level_files, sort_level_files
-from repro.s3j.levels import ASSIGNMENT_STRATEGIES, assign_original, assign_replicated
+from repro.s3j.levels import ASSIGNMENT_STRATEGIES
 from repro.s3j.scan import ScanStats, scan_pairs
 from repro.sfc.locational import (
     DEFAULT_MAX_LEVEL,

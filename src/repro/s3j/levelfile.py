@@ -8,7 +8,7 @@ Level 0 stores no code at all.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, List, Tuple
+from typing import Iterable, List, Tuple
 
 from repro.core.rect import SIZEOF_KPE
 from repro.core.stats import CpuCounters

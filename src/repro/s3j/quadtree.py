@@ -14,7 +14,7 @@ must agree with) and by the quadtree example.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.core.space import Space
 from repro.core.stats import CpuCounters

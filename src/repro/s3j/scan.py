@@ -17,7 +17,7 @@ Reference Point Method filters the redundant detections.
 from __future__ import annotations
 
 import heapq
-from typing import Callable, Dict, Iterator, List, NamedTuple, Optional, Tuple
+from typing import Callable, Iterator, List, NamedTuple, Optional, Tuple
 
 from repro.core.stats import CpuCounters
 from repro.io.pagefile import PageFile

@@ -6,7 +6,6 @@ import repro
 from repro import JOIN_METHODS, spatial_join
 from repro.internal import brute_force_pairs
 
-from tests.conftest import random_kpes
 
 
 class TestSpatialJoin:

@@ -114,3 +114,77 @@ class TestJoin:
             ]
         )
         assert "PBSM(sweep_trie,PD)" in capsys.readouterr().out
+
+    def test_self_join_relative_vs_resolved_path(self, tmp_path, capsys, monkeypatch):
+        left, _ = self._two_relations(tmp_path)
+        monkeypatch.chdir(tmp_path)
+        capsys.readouterr()
+        # ./left.npy and left.npy are the same file: still a self join.
+        assert main(
+            ["join", f"./{left.name}", left.name, "--memory-mb", "0.05"]
+        ) == 0
+        assert "results" in capsys.readouterr().out
+
+    def test_join_auto_prints_plan(self, tmp_path, capsys):
+        left, right = self._two_relations(tmp_path)
+        capsys.readouterr()
+        assert main(
+            ["join", str(left), str(right), "--method", "auto", "--memory-mb", "0.05"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "results" in out
+        assert "JOIN PLAN" in out
+        assert "chosen" in out
+
+    def test_join_auto_ignores_fixed_knobs(self, tmp_path, capsys):
+        left, right = self._two_relations(tmp_path)
+        capsys.readouterr()
+        assert main(
+            [
+                "join",
+                str(left),
+                str(right),
+                "--method",
+                "auto",
+                "--internal",
+                "sweep_trie",
+                "--memory-mb",
+                "0.05",
+            ]
+        ) == 0
+        captured = capsys.readouterr()
+        assert "ignored with --method auto" in captured.err
+        assert "JOIN PLAN" in captured.out
+
+
+class TestExplain:
+    def _two_relations(self, tmp_path):
+        return TestJoin._two_relations(self, tmp_path)
+
+    def test_explain_without_execution(self, tmp_path, capsys):
+        left, right = self._two_relations(tmp_path)
+        capsys.readouterr()
+        assert main(["explain", str(left), str(right), "--memory-mb", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "JOIN PLAN" in out
+        assert "candidates (by estimated simulated seconds):" in out
+        # (no assertion on est-vs-actual: the shared DEFAULT_CACHE may
+        # hold an already-executed plan for these relations)
+
+    def test_explain_execute_verbose(self, tmp_path, capsys):
+        left, right = self._two_relations(tmp_path)
+        capsys.readouterr()
+        assert main(
+            [
+                "explain",
+                str(left),
+                str(right),
+                "--memory-mb",
+                "0.05",
+                "--execute",
+                "--verbose",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "estimated vs. actual" in out
+        assert "phase estimate" in out

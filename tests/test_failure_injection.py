@@ -5,7 +5,6 @@ than the ones they were designed for: memory too small for any partition
 pair, pathological replication, coordinate extremes.
 """
 
-import pytest
 
 from repro.core.rect import KPE
 from repro.internal import brute_force_pairs

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.operators.multiway import brute_force_multiway, multiway_join
-from repro.pbsm import PBSM
 from repro.s3j import S3J
 
 from tests.conftest import random_kpes

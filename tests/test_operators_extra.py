@@ -5,7 +5,6 @@ seeds: any change to partitioning, sweeping or dedup logic that alters
 behaviour (rather than just code shape) trips these immediately.
 """
 
-import pytest
 
 from repro.operators import (
     DistinctOp,

@@ -4,7 +4,7 @@ import pytest
 
 from repro.core.rect import KPE
 from repro.internal import brute_force_pairs
-from repro.io.costmodel import CostModel, mb
+from repro.io.costmodel import mb
 from repro.pbsm import PBSM, pbsm_join
 
 from tests.conftest import random_kpes

@@ -1,0 +1,294 @@
+"""The cost-based join planner: profiles, costs, cache, and method="auto"."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import JOIN_METHODS, SPATIAL_JOIN_METHODS, mb, spatial_join
+from repro.bench.workloads import (
+    PLANNER_PATTERNS,
+    memory_for_fraction,
+    planner_pair,
+)
+from repro.datasets import clustered_rects, uniform_rects
+from repro.datasets.patterns import mixed_scale
+from repro.io.costmodel import CostModel
+from repro.planner import (
+    DEFAULT_T_GRID,
+    JoinPlan,
+    PlanCandidate,
+    PlannerCache,
+    enumerate_candidates,
+    estimate_pbsm,
+    estimate_shj,
+    estimate_sssj,
+    plan_join,
+    profile_join,
+    relation_fingerprint,
+)
+from repro.planner.stats import RelationProfile
+
+from tests.conftest import random_kpes
+
+
+COST = CostModel()
+
+
+# ----------------------------------------------------------------------
+# profiles and fingerprints
+# ----------------------------------------------------------------------
+class TestRelationProfile:
+    def test_profile_derivation(self):
+        kpes = random_kpes(500, seed=7, max_edge=0.1)
+        profile = RelationProfile.build(kpes)
+        assert profile.n == 500
+        # random_kpes edges are uniform on [0, 0.1): the mean is ~0.05.
+        assert 0.03 < profile.avg_width < 0.07
+        assert 0.03 < profile.avg_height < 0.07
+        assert profile.coverage > 0
+        assert profile.skew >= 1.0
+        # E[w*h] of independent edges ~ E[w]*E[h].
+        assert profile.avg_area == pytest.approx(
+            profile.avg_width * profile.avg_height, rel=0.25
+        )
+
+    def test_empty_relation(self):
+        profile = RelationProfile.build([])
+        assert profile.n == 0
+        assert profile.skew == 1.0
+
+    def test_skew_orders_clustered_above_uniform(self):
+        uniform = RelationProfile.build(uniform_rects(800, seed=1))
+        clustered = RelationProfile.build(clustered_rects(800, seed=1))
+        assert clustered.skew > uniform.skew
+
+    def test_heavy_tail_shows_in_avg_area(self):
+        uniform = RelationProfile.build(uniform_rects(800, seed=1))
+        mixed = RelationProfile.build(mixed_scale(800, seed=1))
+        uniform_gap = uniform.avg_area / (uniform.avg_width * uniform.avg_height)
+        mixed_gap = mixed.avg_area / (mixed.avg_width * mixed.avg_height)
+        assert mixed_gap > uniform_gap * 2
+
+    def test_fingerprint_distinguishes_content(self):
+        a = random_kpes(300, seed=1)
+        b = random_kpes(300, seed=2)
+        assert relation_fingerprint(a) == relation_fingerprint(a)
+        assert relation_fingerprint(a) != relation_fingerprint(b)
+        assert relation_fingerprint(a) != relation_fingerprint(a[:-1])
+
+
+class TestJoinProfile:
+    def test_estimates_result_cardinality(self, small_pair):
+        left, right = small_pair
+        actual = len(spatial_join(left, right, mb(0.25)))
+        jp = profile_join(left, right)
+        assert jp.n_left == len(left)
+        assert jp.n_right == len(right)
+        # Order-of-magnitude sanity: the planner only needs ranking.
+        assert actual / 4 <= jp.est_results <= actual * 4
+
+    def test_profiles_carry_joint_space(self, small_pair):
+        jp = profile_join(*small_pair)
+        xl, yl, xh, yh = jp.space
+        assert xl < xh and yl < yh
+
+
+# ----------------------------------------------------------------------
+# cost model
+# ----------------------------------------------------------------------
+class TestCostRanking:
+    def _profile(self, n):
+        left = random_kpes(n, seed=3, max_edge=0.05)
+        right = random_kpes(n, seed=4, start_oid=10**6, max_edge=0.05)
+        return profile_join(left, right)
+
+    def test_costs_monotone_in_input_size(self):
+        """Bigger inputs never get cheaper, for every estimator."""
+        small = self._profile(300)
+        large = self._profile(3000)
+        memory = 16_000
+        for estimate in (estimate_pbsm, estimate_shj, estimate_sssj):
+            cheap = estimate(small, memory, COST)
+            dear = estimate(large, memory, COST)
+            assert dear.total_seconds > cheap.total_seconds, estimate.__name__
+
+    def test_pbsm_cost_monotone_in_memory(self):
+        jp = self._profile(2000)
+        tight = estimate_pbsm(jp, 8_000, COST)
+        roomy = estimate_pbsm(jp, 160_000, COST)
+        assert roomy.total_seconds < tight.total_seconds
+
+    def test_estimates_have_breakdown_and_predictions(self):
+        jp = self._profile(500)
+        est = estimate_pbsm(jp, 16_000, COST)
+        assert est.total_seconds == pytest.approx(
+            est.io_seconds + est.cpu_seconds
+        )
+        assert est.breakdown
+        assert est.predicted["n_partitions"] >= 1
+        assert est.predicted["detected_pairs"] >= est.predicted["est_results"]
+
+
+class TestEnumeration:
+    def test_candidates_cover_methods_and_sort_by_cost(self, small_pair):
+        jp = profile_join(*small_pair)
+        candidates = enumerate_candidates(jp, 16_000, COST)
+        methods = {c.method for c in candidates}
+        assert {"pbsm", "s3j", "sssj", "shj"} <= methods
+        totals = [c.estimate.total_seconds for c in candidates]
+        assert totals == sorted(totals)
+        # The PBSM family spans the full internal x t grid.
+        pbsm = [c for c in candidates if c.method == "pbsm"]
+        assert len(pbsm) >= 3 * len(DEFAULT_T_GRID)
+
+    def test_methods_filter(self, small_pair):
+        jp = profile_join(*small_pair)
+        only = enumerate_candidates(jp, 16_000, COST, methods=("sssj",))
+        assert {c.method for c in only} == {"sssj"}
+
+    def test_describe_is_readable(self, small_pair):
+        jp = profile_join(*small_pair)
+        candidates = enumerate_candidates(jp, 16_000, COST)
+        described = " ".join(c.describe() for c in candidates)
+        assert "pbsm(" in described and "t=1.2" in described
+
+
+# ----------------------------------------------------------------------
+# planner cache
+# ----------------------------------------------------------------------
+class TestPlannerCache:
+    def test_profile_cache_hits_on_same_content(self, small_pair):
+        left, right = small_pair
+        cache = PlannerCache()
+        plan_join(left, right, 16_000, cache=cache)
+        first = dict(cache.stats())
+        plan_join(list(left), list(right), 16_000, cache=cache)
+        second = cache.stats()
+        assert second["plan_hits"] == first["plan_hits"] + 1
+        assert second["profile_misses"] == first["profile_misses"]
+
+    def test_cached_plan_skips_profiling(self, small_pair):
+        left, right = small_pair
+        cache = PlannerCache()
+        cold = plan_join(left, right, 16_000, cache=cache)
+        cold_choice = cold.chosen.describe()
+        cold_seconds = cold.planning_seconds
+        warm = plan_join(left, right, 16_000, cache=cache)
+        assert warm.from_cache
+        assert warm.chosen.describe() == cold_choice
+        # A cache hit must cost (near) nothing: no re-profiling.
+        assert warm.planning_seconds < cold_seconds
+
+    def test_memory_budget_is_part_of_the_key(self, small_pair):
+        left, right = small_pair
+        cache = PlannerCache()
+        plan_join(left, right, 16_000, cache=cache)
+        other = plan_join(left, right, 64_000, cache=cache)
+        assert not other.from_cache
+
+    def test_plan_eviction_bounds_the_cache(self, small_pair):
+        left, right = small_pair
+        cache = PlannerCache(max_plans=2)
+        for memory in (8_000, 16_000, 32_000):
+            plan_join(left, right, memory, cache=cache)
+        assert cache.stats()["plans"] <= 2
+
+
+# ----------------------------------------------------------------------
+# end-to-end: method="auto"
+# ----------------------------------------------------------------------
+def _pair_set(result):
+    return set(result.pairs)
+
+
+WORKLOADS = [
+    ("uniform", lambda: (
+        uniform_rects(400, seed=3),
+        uniform_rects(400, seed=4, start_oid=10**6),
+    )),
+    ("clustered", lambda: (
+        clustered_rects(400, seed=5),
+        clustered_rects(400, seed=6, start_oid=10**6),
+    )),
+    ("mixed", lambda: (
+        mixed_scale(400, seed=7),
+        mixed_scale(400, seed=8, start_oid=10**6),
+    )),
+]
+
+
+class TestAutoMethod:
+    @pytest.mark.parametrize("name,make", WORKLOADS, ids=[w[0] for w in WORKLOADS])
+    def test_auto_matches_every_fixed_method(self, name, make):
+        left, right = make()
+        memory = 6_000
+        auto = spatial_join(left, right, memory, method="auto")
+        expected = _pair_set(auto)
+        assert expected, "workload must produce results"
+        for method in JOIN_METHODS:
+            fixed = spatial_join(left, right, memory, method=method)
+            assert _pair_set(fixed) == expected, (name, method)
+
+    def test_auto_attaches_plan(self, small_pair):
+        left, right = small_pair
+        result = spatial_join(left, right, 16_000, method="auto")
+        assert isinstance(result.plan, JoinPlan)
+        assert isinstance(result.plan.chosen, PlanCandidate)
+        assert result.plan.last_result is result
+
+    def test_choice_is_cost_based_not_hardcoded(self):
+        """Different workload shapes must produce different choices.
+
+        Small inputs all route to SSSJ (correctly — sorting a few pages
+        beats partitioning), so this runs at a size where the regimes
+        separate: the planner must not collapse to one answer.
+        """
+        chosen = set()
+        for pattern in PLANNER_PATTERNS:
+            left, right = planner_pair(pattern, 3000)
+            for fraction in (0.15, 1.0):
+                memory = memory_for_fraction(left, right, fraction)
+                plan = plan_join(left, right, memory)
+                chosen.add(plan.chosen.describe())
+        assert len(chosen) > 1
+
+    def test_auto_rejects_unknown_method(self, small_pair):
+        left, right = small_pair
+        with pytest.raises(ValueError, match="auto"):
+            spatial_join(left, right, 16_000, method="nope")
+
+    def test_registry_exposes_auto(self):
+        assert "auto" in SPATIAL_JOIN_METHODS
+        assert "auto" not in JOIN_METHODS
+
+
+class TestExplain:
+    def test_explain_lists_chosen_and_rejected(self, small_pair):
+        left, right = small_pair
+        plan = plan_join(left, right, 16_000)
+        text = plan.explain()
+        assert "JOIN PLAN" in text
+        assert plan.chosen.describe() in text
+        # All rejected candidates are visible too.
+        for candidate in plan.candidates:
+            assert candidate.describe() in text
+        assert "estimated vs. actual" not in text
+
+    def test_explain_after_execution_reports_actuals(self, small_pair):
+        left, right = small_pair
+        plan = plan_join(left, right, 16_000)
+        result = plan.execute(left, right)
+        text = plan.explain(verbose=True)
+        assert "estimated vs. actual" in text
+        assert f"{result.stats.n_results:,}" in text
+        assert "sim seconds" in text
+        assert "phase estimate" in text
+
+    def test_estimates_land_near_actuals(self, small_pair):
+        """The EXPLAIN est-vs-actual ratio stays within a small factor."""
+        left, right = small_pair
+        plan = plan_join(left, right, 16_000)
+        result = plan.execute(left, right)
+        est = plan.chosen.estimate.total_seconds
+        actual = result.stats.sim_seconds
+        assert actual / 3 <= est <= actual * 3

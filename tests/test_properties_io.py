@@ -37,7 +37,6 @@ class TestBufferModelBased:
 
         for op, page in operations:
             if op == "pin":
-                pinned_pages = sum(1 for c in model_pins.values() if c > 0)
                 expect_full = (
                     page not in model_pins
                     and len(model_pins) >= n_frames

@@ -8,7 +8,6 @@ from repro.operators.refineop import RefineOp
 from repro.pbsm import PBSM
 from repro.refine import GeometryStore, refine, regular_polygon
 
-from tests.conftest import random_kpes
 
 
 def build_world(n=120, seed=7):

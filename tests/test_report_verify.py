@@ -10,7 +10,7 @@ from repro import (
     verify_result,
 )
 from repro.core.report import format_stats
-from repro.core.result import JoinResult, JoinStats
+from repro.core.result import JoinStats
 
 from tests.conftest import random_kpes
 

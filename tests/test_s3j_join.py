@@ -4,7 +4,6 @@ import pytest
 
 from repro.core.rect import KPE
 from repro.internal import brute_force_pairs
-from repro.io.costmodel import mb
 from repro.s3j import S3J, s3j_join
 
 from tests.conftest import random_kpes

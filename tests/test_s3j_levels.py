@@ -1,6 +1,5 @@
 """Unit tests for S3J level assignment and level files."""
 
-import pytest
 
 from repro.core.rect import KPE, SIZEOF_KPE
 from repro.core.space import Space

@@ -79,7 +79,11 @@ class TestBufferManager:
         disk = SimulatedDisk()
         buf = BufferManager(disk, 4)
         loads = []
-        loader = lambda pid: loads.append(pid) or f"page{pid}"
+
+        def loader(pid):
+            loads.append(pid)
+            return f"page{pid}"
+
         assert buf.pin(1, loader) == "page1"
         buf.unpin(1)
         assert buf.pin(1, loader) == "page1"

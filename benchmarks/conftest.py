@@ -6,6 +6,12 @@ it under ``benchmarks/results/``, and asserts the *shape* claims the paper
 makes about that table or figure.  Absolute numbers are not asserted — the
 substrate is a simulator, not the authors' SPARCstation.
 
+Each recorded experiment is persisted twice: the aligned text table
+(``results/<name>.txt``, unchanged) and a machine-readable
+``results/BENCH_<name>.json`` carrying the same rows plus the execution
+environment (backend, CPU count, Python version) and any bench-specific
+metadata (workload, wall seconds, pairs/sec) passed through ``record``.
+
 Run with::
 
     pytest benchmarks/ --benchmark-only
@@ -16,17 +22,39 @@ Scale is controlled by the ``REPRO_SCALE`` environment variable (default
 
 from __future__ import annotations
 
+import platform
 from pathlib import Path
+
+from repro.kernels.backend import active_backend, cpu_count
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
 
-def record(name: str, result) -> None:
-    """Print an experiment result and persist it under results/."""
+def environment() -> dict:
+    """The execution environment every BENCH_*.json records."""
+    return {
+        "backend": active_backend(),
+        "cpu_count": cpu_count(),
+        "python": platform.python_version(),
+        "platform": platform.system().lower(),
+    }
+
+
+def record(name: str, result, **meta) -> None:
+    """Print an experiment result and persist it under results/.
+
+    Writes the aligned text table to ``<name>.txt`` and a JSON document to
+    ``BENCH_<name>.json``.  Extra keyword arguments (``workload=...``,
+    ``wall_seconds=...``, ``pairs_per_second=...``) are embedded in the
+    JSON so downstream tooling needs no table parsing.
+    """
     text = result.to_text()
     print("\n" + text)
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    (RESULTS_DIR / f"BENCH_{name}.json").write_text(
+        result.to_json(environment=environment(), **meta) + "\n"
+    )
 
 
 def column(result, name: str):

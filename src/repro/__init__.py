@@ -20,7 +20,7 @@ See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-versus-measured record of every table and figure.
 """
 
-from typing import Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 from repro.core import (
     KPE,
@@ -58,6 +58,7 @@ def spatial_join(
     right: Sequence[Tuple],
     memory_bytes: int,
     method: str = "pbsm",
+    workers: Optional[int] = None,
     **kwargs,
 ) -> JoinResult:
     """Run the filter step of a spatial intersection join.
@@ -73,6 +74,12 @@ def spatial_join(
         "shj" (spatial hash join), "rtree" (index on both relations), or
         "auto" — let the cost-based planner profile the inputs and pick
         algorithm, internal join and ``t``-factor itself.
+    workers:
+        When given (and > 1), execute the join-phase partition pairs on a
+        real process pool via :class:`~repro.pbsm.ParallelPBSM` —
+        supported for ``method="pbsm"`` only.  ``workers=1`` runs the
+        same task decomposition in-process.  Result pairs are identical
+        to the sequential execution.
     kwargs:
         Forwarded to the driver (e.g. ``internal="sweep_trie"``,
         ``dedup="rpm"``, ``replicate=True``, ``curve="peano"``).  With
@@ -88,6 +95,15 @@ def spatial_join(
         ``result.plan`` (``result.plan.explain()`` renders the EXPLAIN
         report with estimated-vs-actual counters).
     """
+    if workers is not None:
+        if method != "pbsm":
+            raise ValueError(
+                f"workers= requires method='pbsm', got method={method!r}"
+            )
+        kwargs.setdefault("internal", "sweep_numpy")
+        return ParallelPBSM(
+            memory_bytes, workers, executor="process", **kwargs
+        ).run(left, right)
     if method == "auto":
         from repro.planner.cache import DEFAULT_CACHE
 

@@ -27,6 +27,25 @@ class ExperimentResult:
             lines.append(f"note: {note}")
         return "\n".join(lines)
 
+    def as_dict(self) -> Dict:
+        """The result as a JSON-ready dict (rows become lists)."""
+        return {
+            "exp_id": self.exp_id,
+            "title": self.title,
+            "paper_claim": self.paper_claim,
+            "columns": list(self.columns),
+            "rows": [list(row) for row in self.rows],
+            "notes": list(self.notes),
+        }
+
+    def to_json(self, **extra) -> str:
+        """JSON rendering; *extra* keys (workload, backend, ...) ride along."""
+        import json
+
+        payload = self.as_dict()
+        payload.update(extra)
+        return json.dumps(payload, indent=2, sort_keys=True, default=str)
+
 
 def _fmt(value) -> str:
     if isinstance(value, float):

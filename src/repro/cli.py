@@ -92,6 +92,13 @@ def _cmd_join(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         kwargs = {}
+    if args.workers is not None:
+        if args.method != "pbsm":
+            parser_error = "--workers requires --method pbsm"
+            print(f"error: {parser_error}", file=sys.stderr)
+            return 2
+        kwargs.pop("dedup", None)  # parallel PBSM is always RPM
+        kwargs["workers"] = args.workers
     started = time.perf_counter()
     result = spatial_join(
         left, right, mb(args.memory_mb), method=args.method, **kwargs
@@ -152,6 +159,12 @@ def build_parser() -> argparse.ArgumentParser:
     join.add_argument("--memory-mb", type=float, default=2.5)
     join.add_argument("--internal", default=None, help="internal algorithm name")
     join.add_argument("--dedup", default=None, choices=("rpm", "sort"))
+    join.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="run the PBSM join phase on a process pool with N workers",
+    )
     join.add_argument("--out", default=None, help="write result pairs as CSV")
     join.add_argument(
         "--verbose", action="store_true", help="per-phase cost breakdown"

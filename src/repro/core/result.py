@@ -18,6 +18,12 @@ class JoinStats:
     """Everything measured during one join execution."""
 
     algorithm: str = ""
+    #: execution backend of the internal algorithm: "numpy" (columnar
+    #: kernels), "python" (kernel fallback), or "" for classic tuple paths
+    backend: str = ""
+    #: how partition joins were executed: "process" (multiprocess
+    #: fan-out), "simulated" (modelled parallelism), or "" for sequential
+    executor: str = ""
     # --- cardinalities -------------------------------------------------
     n_left: int = 0
     n_right: int = 0

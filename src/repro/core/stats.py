@@ -41,6 +41,12 @@ class CpuCounters:
     refpoint_tests:
         Reference-point computations plus region membership tests (the
         paper's "at most six comparisons" per produced result).
+    batch_ops:
+        Array-element operations performed by the columnar (numpy) kernel
+        path — the batch-level currency replacing per-element
+        intersection/refpoint/structure counts when a vectorized kernel
+        runs.  Much cheaper per element than the scalar ops, which is how
+        the cost model reflects the kernels' speed.
     results_reported:
         Pairs emitted to the caller (after duplicate suppression).
     duplicates_suppressed:
@@ -53,6 +59,7 @@ class CpuCounters:
     code_computations: int = 0
     structure_ops: int = 0
     refpoint_tests: int = 0
+    batch_ops: int = 0
     results_reported: int = 0
     duplicates_suppressed: int = 0
 
@@ -79,6 +86,7 @@ class CpuCounters:
             + self.code_computations
             + self.structure_ops
             + self.refpoint_tests
+            + self.batch_ops
         )
 
 

@@ -19,14 +19,18 @@ from repro.internal.nested_loops import nested_loops_join
 from repro.internal.sweep_list import sweep_list_join
 from repro.internal.sweep_tree import IntervalTree, sweep_tree_join
 from repro.internal.sweep_trie import sweep_trie_join
+from repro.kernels.sweep import sweep_numpy_join
 
 #: name -> algorithm; the keys are the names used throughout benchmarks,
-#: figures and EXPERIMENTS.md.
+#: figures and EXPERIMENTS.md.  ``sweep_numpy`` is the columnar
+#: forward-scan kernel; without numpy it transparently runs its
+#: pure-Python fallback with identical results.
 INTERNAL_ALGORITHMS: Dict[str, Callable] = {
     "nested_loops": nested_loops_join,
     "sweep_list": sweep_list_join,
     "sweep_trie": sweep_trie_join,
     "sweep_tree": sweep_tree_join,
+    "sweep_numpy": sweep_numpy_join,
 }
 
 
@@ -49,6 +53,7 @@ __all__ = [
     "internal_algorithm",
     "nested_loops_join",
     "sweep_list_join",
+    "sweep_numpy_join",
     "sweep_tree_join",
     "sweep_trie_join",
 ]

@@ -19,7 +19,7 @@ from __future__ import annotations
 from typing import Callable, List, Sequence, Tuple
 
 from repro.core.stats import CpuCounters
-from repro.io.extsort import sort_in_memory
+from repro.io.extsort import ensure_sorted_by_xl
 
 
 def sweep_list_join(
@@ -31,8 +31,8 @@ def sweep_list_join(
     """Join two KPE sets with the list-based plane sweep of [BKS 93]."""
     if not left or not right:
         return
-    sorted_left = sort_in_memory(list(left), _by_xl, counters)
-    sorted_right = sort_in_memory(list(right), _by_xl, counters)
+    sorted_left = ensure_sorted_by_xl(left, counters)
+    sorted_right = ensure_sorted_by_xl(right, counters)
 
     tests = 0
     structure_ops = 0
@@ -106,7 +106,3 @@ def _step(
                 emit(rect, other)
     del other_active[keep:]
     return tests, structure_ops
-
-
-def _by_xl(kpe: Tuple) -> float:
-    return kpe[1]

@@ -17,7 +17,7 @@ from bisect import insort
 from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.core.stats import CpuCounters
-from repro.io.extsort import sort_in_memory
+from repro.io.extsort import ensure_sorted_by_xl
 
 _MAX_DEPTH = 20
 
@@ -134,8 +134,8 @@ def sweep_tree_join(
     tree_left = IntervalTree(y_lo, y_hi)
     tree_right = IntervalTree(y_lo, y_hi)
 
-    sorted_left = sort_in_memory(list(left), _by_xl, counters)
-    sorted_right = sort_in_memory(list(right), _by_xl, counters)
+    sorted_left = ensure_sorted_by_xl(left, counters)
+    sorted_right = ensure_sorted_by_xl(right, counters)
 
     tests_out = [0]
     i = 0
@@ -164,7 +164,3 @@ def sweep_tree_join(
                 tree_right.insert(s[2], s[4], s[3], s)
     counters.intersection_tests += tests_out[0]
     counters.structure_ops += tree_left.ops + tree_right.ops
-
-
-def _by_xl(kpe: Tuple) -> float:
-    return kpe[1]

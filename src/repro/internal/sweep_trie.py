@@ -15,7 +15,7 @@ from typing import Callable, Sequence, Tuple
 
 from repro.core.stats import CpuCounters
 from repro.internal.interval_trie import DEFAULT_MAX_DEPTH, IntervalTrie
-from repro.io.extsort import sort_in_memory
+from repro.io.extsort import ensure_sorted_by_xl
 
 
 def sweep_trie_join(
@@ -34,8 +34,8 @@ def sweep_trie_join(
     trie_left = IntervalTrie(y_lo, y_hi, max_depth)
     trie_right = IntervalTrie(y_lo, y_hi, max_depth)
 
-    sorted_left = sort_in_memory(list(left), _by_xl, counters)
-    sorted_right = sort_in_memory(list(right), _by_xl, counters)
+    sorted_left = ensure_sorted_by_xl(left, counters)
+    sorted_right = ensure_sorted_by_xl(right, counters)
 
     tests_out = [0]
     i = 0
@@ -64,7 +64,3 @@ def sweep_trie_join(
                 trie_right.insert(s[2], s[4], s[3], s)
     counters.intersection_tests += tests_out[0]
     counters.structure_ops += trie_left.ops + trie_right.ops
-
-
-def _by_xl(kpe: Tuple) -> float:
-    return kpe[1]

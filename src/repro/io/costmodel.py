@@ -44,7 +44,9 @@ class CostModel:
         comparisons and structure operations get one constant; heap
         operations and Hilbert codes are more expensive; Z codes are cheap
         (two table lookups), which is exactly why Section 4.4.2 prefers the
-        Peano curve.
+        Peano curve.  ``batch_op_seconds`` prices one array *element*
+        touched by the columnar kernels — orders of magnitude below the
+        scalar constants, reflecting SIMD/C-loop execution.
     """
 
     page_size: int = 8192
@@ -57,6 +59,7 @@ class CostModel:
     heap_op_seconds: float = 3.0e-6
     structure_op_seconds: float = 1.5e-6
     refpoint_op_seconds: float = 3.0e-6
+    batch_op_seconds: float = 5.0e-8
     zcode_op_seconds: float = 1.0e-6
     hilbert_code_op_seconds: float = 8.0e-6
 
@@ -106,6 +109,7 @@ class CostModel:
             + counters.heap_ops * self.heap_op_seconds
             + counters.structure_ops * self.structure_op_seconds
             + counters.refpoint_tests * self.refpoint_op_seconds
+            + counters.batch_ops * self.batch_op_seconds
             + counters.code_computations * code_cost
         )
 
@@ -117,6 +121,7 @@ class CostModel:
         heap_ops: float = 0.0,
         structure_ops: float = 0.0,
         refpoint_tests: float = 0.0,
+        batch_ops: float = 0.0,
         code_computations: float = 0.0,
         hilbert: bool = False,
     ) -> float:
@@ -137,6 +142,7 @@ class CostModel:
             + heap_ops * self.heap_op_seconds
             + structure_ops * self.structure_op_seconds
             + refpoint_tests * self.refpoint_op_seconds
+            + batch_ops * self.batch_op_seconds
             + code_computations * code_cost
         )
 

@@ -19,10 +19,38 @@ from __future__ import annotations
 
 import heapq
 import math
-from typing import Callable, List, Optional
+import operator
+from typing import Callable, List, Optional, Sequence
 
 from repro.core.stats import CpuCounters
 from repro.io.pagefile import PageFile
+
+#: The sweep algorithms' sort key (``kpe[1]``), shared module-wide so the
+#: hot loops pay one C-level itemgetter instead of a per-call lambda.
+BY_XL = operator.itemgetter(1)
+
+
+class XlSorted(list):
+    """A list of KPEs flagged as already sorted by ``xl``.
+
+    Drivers that sort an input once (SSSJ's sorting phase, a columnar
+    kernel handing records back) wrap the result in this type so the
+    internal algorithms skip their own re-sort — and its comparison
+    charge, which was already paid when the list was first sorted.
+    """
+
+    __slots__ = ()
+
+    @property
+    def sorted_by_xl(self) -> bool:
+        return True
+
+
+def ensure_sorted_by_xl(records: Sequence, counters: CpuCounters) -> Sequence:
+    """*records* sorted by ``xl``, re-sorting (and charging) only if needed."""
+    if getattr(records, "sorted_by_xl", False):
+        return records
+    return XlSorted(sort_in_memory(list(records), BY_XL, counters))
 
 
 def _charge_sort_comparisons(counters: CpuCounters, n: int) -> None:

@@ -1,0 +1,75 @@
+"""Columnar numpy kernels for the hot paths of the join drivers.
+
+The tuple-at-a-time representation every driver streams through partition
+files is kept as the system's interchange format; this package adds a
+*columnar* execution backend beneath it:
+
+* :mod:`repro.kernels.columnar` — a relation as five parallel numpy
+  arrays (``oid`` int64, ``xl/yl/xh/yh`` float64) with loss-free
+  converters from/to KPE tuples;
+* :mod:`repro.kernels.sweep` — the vectorized forward-scan plane sweep
+  (registered as internal algorithm ``"sweep_numpy"``) plus its
+  pure-Python fallback with identical results;
+* :mod:`repro.kernels.rpm` — batched Reference Point Method: refpoints
+  and partition ownership of whole candidate batches in a handful of
+  array operations;
+* :mod:`repro.kernels.assign` — vectorized tile assignment for the PBSM
+  partitioning phase.
+
+Everything degrades gracefully without numpy (or with
+``REPRO_DISABLE_NUMPY=1``): same result sets, classic per-element
+counters, Python speed.  :func:`numpy_enabled` / :func:`active_backend`
+are the single switch the drivers consult.
+"""
+
+from repro.kernels.backend import (
+    HAVE_NUMPY,
+    active_backend,
+    cpu_count,
+    get_numpy,
+    numpy_backend,
+    numpy_enabled,
+    python_backend,
+    require_numpy,
+    set_numpy_enabled,
+)
+from repro.kernels.columnar import ColumnarRelation, from_kpes
+from repro.kernels.sweep import (
+    DEFAULT_BATCH_CANDIDATES,
+    forward_scan_batches,
+    python_forward_scan,
+    sorted_columns,
+    sweep_numpy_join,
+)
+from repro.kernels.rpm import (
+    point_partitions,
+    point_tiles,
+    rpm_join_task,
+    tile_partitions,
+)
+from repro.kernels.assign import partition_plan, tile_ranges
+
+__all__ = [
+    "ColumnarRelation",
+    "DEFAULT_BATCH_CANDIDATES",
+    "HAVE_NUMPY",
+    "active_backend",
+    "cpu_count",
+    "forward_scan_batches",
+    "from_kpes",
+    "get_numpy",
+    "numpy_backend",
+    "numpy_enabled",
+    "partition_plan",
+    "point_partitions",
+    "point_tiles",
+    "python_backend",
+    "python_forward_scan",
+    "require_numpy",
+    "rpm_join_task",
+    "set_numpy_enabled",
+    "sorted_columns",
+    "sweep_numpy_join",
+    "tile_partitions",
+    "tile_ranges",
+]

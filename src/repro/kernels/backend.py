@@ -1,0 +1,101 @@
+"""The numpy gate: one place that decides whether vectorized kernels run.
+
+Everything under :mod:`repro.kernels` funnels its "is numpy usable?"
+question through :func:`numpy_enabled` so the whole columnar backend can
+be switched off in one move — either because numpy genuinely is not
+installed (the ``[perf]`` extra was skipped) or because the environment
+variable ``REPRO_DISABLE_NUMPY`` is set (how CI exercises the pure-Python
+fallback without building a second interpreter image).
+
+The contract every caller relies on: with the backend disabled, every
+kernel entry point still works and produces the *identical result set*
+through its pure-Python fallback — only the operation counters differ
+(per-element counts instead of batch-level counts) and, of course, the
+wall clock.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Optional
+
+try:  # pragma: no cover - exercised by the no-numpy CI job
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
+#: Module-level switch; start from the environment so a single env var
+#: flips every kernel to the fallback path.
+_disabled = bool(os.environ.get("REPRO_DISABLE_NUMPY"))
+
+#: True when the interpreter has numpy at all (env var aside).
+HAVE_NUMPY = _np is not None
+
+
+def numpy_enabled() -> bool:
+    """True when the vectorized kernel path should be used."""
+    return _np is not None and not _disabled
+
+
+def get_numpy():
+    """The numpy module, or ``None`` when the backend is disabled."""
+    return _np if numpy_enabled() else None
+
+
+def require_numpy():
+    """The numpy module; raises when the backend is disabled."""
+    np = get_numpy()
+    if np is None:
+        raise RuntimeError(
+            "numpy backend is disabled (numpy missing or REPRO_DISABLE_NUMPY "
+            "set); call repro.kernels.numpy_enabled() before using columnar "
+            "kernels directly"
+        )
+    return np
+
+
+def active_backend() -> str:
+    """The backend tag recorded in JoinStats: ``"numpy"`` or ``"python"``."""
+    return "numpy" if numpy_enabled() else "python"
+
+
+def set_numpy_enabled(enabled: bool) -> None:
+    """Force the backend on or off (tests and benchmarks only).
+
+    Enabling has no effect when numpy is genuinely not importable.
+    """
+    global _disabled
+    _disabled = not enabled
+
+
+@contextmanager
+def python_backend():
+    """Context manager forcing the pure-Python fallback (tests only)."""
+    global _disabled
+    previous = _disabled
+    _disabled = True
+    try:
+        yield
+    finally:
+        _disabled = previous
+
+
+@contextmanager
+def numpy_backend():
+    """Context manager forcing the numpy path (skips silently sans numpy)."""
+    global _disabled
+    previous = _disabled
+    _disabled = False
+    try:
+        yield
+    finally:
+        _disabled = previous
+
+
+def cpu_count(default: int = 1) -> Optional[int]:
+    """Usable CPU count (affinity-aware where the platform supports it)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):
+        return os.cpu_count() or default

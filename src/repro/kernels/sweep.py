@@ -1,0 +1,415 @@
+"""Vectorized forward-scan plane sweep over columnar relations.
+
+The kernel is the batched formulation of the forward-scan sweep that
+*Parallel In-Memory Evaluation of Spatial Joins* (Tsitsigkos et al.)
+identifies as the fastest in-memory algorithm: with both inputs sorted by
+``xl``, every x-overlapping pair ``(r, s)`` is found exactly once by two
+symmetric passes —
+
+* pass 1 anchors on ``r`` and takes every ``s`` whose left edge starts
+  inside ``[r.xl, r.xh]``;
+* pass 2 anchors on ``s`` and takes every ``r`` whose left edge starts
+  inside ``(s.xl, s.xh]`` (strict on the left so ties are not reported
+  twice).
+
+Each pass is fully array-shaped: one ``searchsorted`` pair delivers every
+anchor's candidate window, a repeat/arange expansion materialises the
+candidate index pairs, and one boolean mask applies the y-overlap test.
+Candidate expansion is chunked (``batch_candidates``) so memory stays
+bounded on dense inputs.
+
+On large inputs the x-sorted scan alone generates every *x*-overlapping
+pair as a candidate, which is quadratic in the active-set size.  The
+kernel therefore stripes the y-axis first — the paper's own partitioning
+idea applied inside a partition: records are replicated into every y
+stripe they overlap, each stripe runs the (now much smaller) forward
+scan, and a reference-point rule keeps a pair only in the first stripe
+both rectangles overlap (``max`` of their bottom stripes), so results
+stay exact and duplicate-free.  Striping changes the order in which
+pairs are produced (stripe-major), never the set.
+
+The pure-Python fallback (:func:`python_forward_scan`) runs the
+unstriped two passes with two cursors over sorted lists, producing the
+identical pair *set* — only the order and the counters differ: the
+kernel charges batch-level ``batch_ops``, the fallback charges classic
+per-element counts.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Iterator, Sequence, Tuple
+
+from repro.core.stats import CpuCounters
+from repro.io.extsort import BY_XL, ensure_sorted_by_xl
+from repro.kernels.backend import get_numpy
+from repro.kernels.columnar import ColumnarRelation
+
+#: Maximum candidate pairs expanded per batch (bounds peak memory: five
+#: int64/float64 scratch arrays of this length, ~160 MB at the default).
+DEFAULT_BATCH_CANDIDATES = 1 << 22
+
+#: Elementwise array operations charged per candidate pair (window
+#: expansion, two y comparisons, mask combine).
+BATCH_OPS_PER_CANDIDATE = 4
+
+#: Below this many total records striping cannot pay for its layout work.
+STRIPE_MIN_RECORDS = 4096
+
+#: Target records per stripe and the stripe-count ceiling.
+STRIPE_RECORDS = 512
+STRIPE_MAX = 1024
+
+#: Stripe count is capped at ``y_span / (REPLICATION_EDGES * mean_height)``
+#: so the expected replication factor stays below 1 + 1/REPLICATION_EDGES.
+REPLICATION_EDGES = 4.0
+
+
+def _charge_batch_sort(counters: CpuCounters, n: int) -> None:
+    """Charge one vectorized ``argsort`` as batch-level operations."""
+    if n > 1:
+        counters.batch_ops += n * max(1, math.ceil(math.log2(n)))
+
+
+def sorted_columns(
+    kpes: Sequence[Tuple], counters: CpuCounters
+) -> ColumnarRelation:
+    """Columnar copy of *kpes* sorted by ``xl``, with the sort charged.
+
+    Inputs flagged as already sorted (:class:`repro.io.extsort.XlSorted`)
+    skip both the argsort and its charge.
+    """
+    cols = ColumnarRelation.from_kpes(kpes)
+    if getattr(kpes, "sorted_by_xl", False):
+        cols.sorted_by_xl = True
+        return cols
+    _charge_batch_sort(counters, cols.n)
+    return cols.sort_by_xl()
+
+
+# ----------------------------------------------------------------------
+# the kernel proper
+# ----------------------------------------------------------------------
+def _pass_batches(
+    np,
+    anchor_yl,
+    anchor_yh,
+    probe_yl,
+    probe_yh,
+    lo,
+    hi,
+    counters: CpuCounters,
+    batch_candidates: int,
+    swap: bool,
+    anchor_slo=None,
+    probe_slo=None,
+    stripe: int = -1,
+) -> Iterator[Tuple]:
+    """Yield ``(anchor_idx, probe_idx)`` pairs of one pass, in batches.
+
+    ``lo``/``hi`` bound each anchor's candidate window in the probe
+    columns; ``swap`` reports pairs as ``(probe, anchor)`` so pass 2 can
+    keep the (left, right) orientation of the join.  When ``stripe`` is
+    given, only pairs owned by that y stripe (the first stripe both
+    rectangles overlap) survive the mask.
+    """
+    counts = hi - lo
+    csum = np.cumsum(counts)
+    total = int(csum[-1]) if counts.size else 0
+    if total == 0:
+        return
+    n_anchors = counts.shape[0]
+    arange = np.arange
+    repeat = np.repeat
+    per_candidate = BATCH_OPS_PER_CANDIDATE + (2 if stripe >= 0 else 0)
+    start = 0
+    base = 0
+    while start < n_anchors:
+        stop = int(np.searchsorted(csum, base + batch_candidates, side="right"))
+        stop = min(max(stop, start + 1), n_anchors)
+        lo_c = lo[start:stop]
+        counts_c = counts[start:stop]
+        chunk_total = int(csum[stop - 1]) - base
+        base = int(csum[stop - 1])
+        start_prev, start = start, stop
+        if chunk_total == 0:
+            continue
+        offsets = np.cumsum(counts_c) - counts_c
+        # Flat probe positions: one arange plus a single fused repeat.
+        flat = arange(chunk_total) + repeat(lo_c - offsets, counts_c)
+        # Anchor-side values expand with repeat (contiguous reads);
+        # probe-side values gather through ``flat``.
+        mask = (probe_yl[flat] <= repeat(anchor_yh[start_prev:stop], counts_c)) & (
+            repeat(anchor_yl[start_prev:stop], counts_c) <= probe_yh[flat]
+        )
+        if stripe >= 0:
+            mask &= (
+                np.maximum(
+                    repeat(anchor_slo[start_prev:stop], counts_c),
+                    probe_slo[flat],
+                )
+                == stripe
+            )
+        counters.batch_ops += per_candidate * chunk_total
+        anchor_hit = repeat(arange(start_prev, stop), counts_c)[mask]
+        probe_hit = flat[mask]
+        if anchor_hit.size:
+            yield (probe_hit, anchor_hit) if swap else (anchor_hit, probe_hit)
+
+
+def _stripe_count(np, a: ColumnarRelation, b: ColumnarRelation, span: float) -> int:
+    """How many y stripes to use (1 = no striping).
+
+    Bounded three ways: enough records per stripe to amortise the
+    per-stripe setup, a hard ceiling, and a replication cap so records
+    spanning many stripes do not blow up the working set.
+    """
+    n = a.n + b.n
+    if n < STRIPE_MIN_RECORDS or span <= 0.0:
+        return 1
+    height_sum = float((a.yh - a.yl).sum() + (b.yh - b.yl).sum())
+    mean_height = height_sum / n
+    k = n // STRIPE_RECORDS
+    if mean_height > 0.0:
+        k = min(k, int(span / (REPLICATION_EDGES * mean_height)))
+    return max(1, min(k, STRIPE_MAX))
+
+
+def _stripe_layout(
+    np, rel: ColumnarRelation, ylo: float, inv_height: float, k: int,
+    counters: CpuCounters,
+) -> Tuple:
+    """Replicate *rel* into its overlapping y stripes.
+
+    Returns ``(orig, bounds, slo)``: ``orig[bounds[s]:bounds[s+1]]`` are
+    the indices (into *rel*, xl order preserved) of stripe ``s``'s
+    records, and ``slo`` is each record's bottom stripe — the ownership
+    key of the reference-point rule.
+    """
+    slo = ((rel.yl - ylo) * inv_height).astype(np.int64)
+    np.clip(slo, 0, k - 1, out=slo)
+    shi = ((rel.yh - ylo) * inv_height).astype(np.int64)
+    np.clip(shi, 0, k - 1, out=shi)
+    counts = shi - slo + 1
+    total = int(counts.sum())
+    orig = np.repeat(np.arange(rel.n), counts)
+    offsets = np.cumsum(counts) - counts
+    stripe = np.arange(total) - np.repeat(offsets - slo, counts)
+    # Stable sort groups replicas by stripe while preserving xl order
+    # inside every stripe — each stripe is forward-scan ready as-is.
+    order = np.argsort(stripe, kind="stable")
+    bounds = np.searchsorted(stripe[order], np.arange(k + 1))
+    counters.batch_ops += 6 * rel.n + 2 * total
+    _charge_batch_sort(counters, total)
+    return orig[order], bounds, slo
+
+
+def _stripe_passes(
+    np,
+    a: ColumnarRelation,
+    b: ColumnarRelation,
+    k: int,
+    ylo: float,
+    inv_height: float,
+    counters: CpuCounters,
+    batch_candidates: int,
+) -> Iterator[Tuple]:
+    """The striped scan: per stripe, both passes plus the ownership rule."""
+    a_orig, a_bounds, a_slo = _stripe_layout(np, a, ylo, inv_height, k, counters)
+    b_orig, b_bounds, b_slo = _stripe_layout(np, b, ylo, inv_height, k, counters)
+    searchsorted = np.searchsorted
+    for s in range(k):
+        ai = a_orig[a_bounds[s] : a_bounds[s + 1]]
+        bi = b_orig[b_bounds[s] : b_bounds[s + 1]]
+        if ai.size == 0 or bi.size == 0:
+            continue
+        a_xl = a.xl[ai]
+        b_xl = b.xl[bi]
+        a_yl = a.yl[ai]
+        a_yh = a.yh[ai]
+        b_yl = b.yl[bi]
+        b_yh = b.yh[bi]
+        a_s = a_slo[ai]
+        b_s = b_slo[bi]
+        counters.batch_ops += 8 * (int(ai.size) + int(bi.size))
+        lo = searchsorted(b_xl, a_xl, side="left")
+        hi = searchsorted(b_xl, a.xh[ai], side="right")
+        for a_hit, b_hit in _pass_batches(
+            np, a_yl, a_yh, b_yl, b_yh, lo, hi, counters, batch_candidates,
+            False, a_s, b_s, s,
+        ):
+            yield ai[a_hit], bi[b_hit]
+        lo = searchsorted(a_xl, b_xl, side="right")
+        hi = searchsorted(a_xl, b.xh[bi], side="right")
+        for a_hit, b_hit in _pass_batches(
+            np, b_yl, b_yh, a_yl, a_yh, lo, hi, counters, batch_candidates,
+            True, b_s, a_s, s,
+        ):
+            yield ai[a_hit], bi[b_hit]
+
+
+def forward_scan_batches(
+    a: ColumnarRelation,
+    b: ColumnarRelation,
+    counters: CpuCounters,
+    batch_candidates: int = DEFAULT_BATCH_CANDIDATES,
+) -> Iterator[Tuple]:
+    """All intersecting pairs of two xl-sorted columnar relations.
+
+    Yields batches of ``(a_idx, b_idx)`` index arrays (positions in the
+    *sorted* relations); every intersecting pair appears in exactly one
+    batch, exactly once.  Batch order is deterministic but otherwise an
+    implementation detail (the striped path emits stripe-major).
+    Charges batch-level counters only.
+    """
+    np = get_numpy()
+    if np is None:  # pragma: no cover - callers gate on numpy_enabled()
+        raise RuntimeError("forward_scan_batches requires the numpy backend")
+    if not (a.sorted_by_xl and b.sorted_by_xl):
+        raise ValueError("forward_scan_batches needs xl-sorted inputs")
+    if a.n == 0 or b.n == 0:
+        return
+    ylo = min(float(a.yl.min()), float(b.yl.min()))
+    yhi = max(float(a.yh.max()), float(b.yh.max()))
+    span = yhi - ylo
+    k = _stripe_count(np, a, b, span)
+    if k > 1:
+        yield from _stripe_passes(
+            np, a, b, k, ylo, k / span, counters, batch_candidates
+        )
+        return
+    # Unstriped: pass 1 anchors in a; probes s with s.xl in [r.xl, r.xh].
+    lo = np.searchsorted(b.xl, a.xl, side="left")
+    hi = np.searchsorted(b.xl, a.xh, side="right")
+    counters.batch_ops += 2 * a.n + 2 * b.n  # the four searchsorted sweeps
+    yield from _pass_batches(
+        np, a.yl, a.yh, b.yl, b.yh, lo, hi, counters, batch_candidates, False
+    )
+    # Pass 2: anchors in b; probes r with r.xl in (s.xl, s.xh].
+    lo = np.searchsorted(a.xl, b.xl, side="right")
+    hi = np.searchsorted(a.xl, b.xh, side="right")
+    yield from _pass_batches(
+        np, b.yl, b.yh, a.yl, a.yh, lo, hi, counters, batch_candidates, True
+    )
+
+
+# ----------------------------------------------------------------------
+# registry adapter + pure-Python fallback
+# ----------------------------------------------------------------------
+def sweep_numpy_join(
+    left: Sequence[Tuple],
+    right: Sequence[Tuple],
+    emit: Callable[[Tuple, Tuple], None],
+    counters: CpuCounters,
+    batch_candidates: int = DEFAULT_BATCH_CANDIDATES,
+) -> None:
+    """Internal-algorithm registry entry ``"sweep_numpy"``.
+
+    Same calling convention as every other internal algorithm; detected
+    pairs are computed in vectorized batches and only the *results* cross
+    back into Python for ``emit``.  Falls back to the pure-Python forward
+    scan (identical result set) when the numpy backend is off.
+    """
+    np = get_numpy()
+    if np is None:
+        python_forward_scan(left, right, emit, counters)
+        return
+    if not left or not right:
+        return
+    a = ColumnarRelation.from_kpes(left)
+    b = ColumnarRelation.from_kpes(right)
+    if getattr(left, "sorted_by_xl", False):
+        a.sorted_by_xl = True
+        left_sorted = list(left)
+    else:
+        _charge_batch_sort(counters, a.n)
+        order = np.argsort(a.xl, kind="stable")
+        a = ColumnarRelation(
+            a.oid[order], a.xl[order], a.yl[order], a.xh[order], a.yh[order], True
+        )
+        left_sorted = [left[i] for i in order.tolist()]
+    if getattr(right, "sorted_by_xl", False):
+        b.sorted_by_xl = True
+        right_sorted = list(right)
+    else:
+        _charge_batch_sort(counters, b.n)
+        order = np.argsort(b.xl, kind="stable")
+        b = ColumnarRelation(
+            b.oid[order], b.xl[order], b.yl[order], b.xh[order], b.yh[order], True
+        )
+        right_sorted = [right[i] for i in order.tolist()]
+    for a_idx, b_idx in forward_scan_batches(a, b, counters, batch_candidates):
+        for i, j in zip(a_idx.tolist(), b_idx.tolist()):
+            emit(left_sorted[i], right_sorted[j])
+
+
+def python_forward_scan(
+    left: Sequence[Tuple],
+    right: Sequence[Tuple],
+    emit: Callable[[Tuple, Tuple], None],
+    counters: CpuCounters,
+) -> None:
+    """Two-pass forward scan on plain lists — the no-numpy fallback.
+
+    Emits the same pair *set* as the vectorized kernel (which stripes, so
+    its order differs).  Charges classic per-element counters (it
+    *executes* per element).
+    """
+    if not left or not right:
+        return
+    sorted_left = ensure_sorted_by_xl(left, counters)
+    sorted_right = ensure_sorted_by_xl(right, counters)
+    tests = 0
+    structure_ops = 2 * (len(sorted_left) + len(sorted_right))
+    n_right = len(sorted_right)
+    n_left = len(sorted_left)
+
+    # Pass 1: anchors r; probes s with s.xl in [r.xl, r.xh].
+    cursor = 0
+    for r in sorted_left:
+        rxl = r[1]
+        rxh = r[3]
+        ryl = r[2]
+        ryh = r[4]
+        while cursor < n_right and sorted_right[cursor][1] < rxl:
+            cursor += 1
+        j = cursor
+        while j < n_right:
+            s = sorted_right[j]
+            if s[1] > rxh:
+                break
+            tests += 1
+            if s[2] <= ryh and ryl <= s[4]:
+                emit(r, s)
+            j += 1
+    # Pass 2: anchors s; probes r with r.xl in (s.xl, s.xh].
+    cursor = 0
+    for s in sorted_right:
+        sxl = s[1]
+        sxh = s[3]
+        syl = s[2]
+        syh = s[4]
+        while cursor < n_left and sorted_left[cursor][1] <= sxl:
+            cursor += 1
+        i = cursor
+        while i < n_left:
+            r = sorted_left[i]
+            if r[1] > sxh:
+                break
+            tests += 1
+            if r[2] <= syh and syl <= r[4]:
+                emit(r, s)
+            i += 1
+    counters.intersection_tests += tests
+    counters.structure_ops += structure_ops
+
+
+__all__ = [
+    "BATCH_OPS_PER_CANDIDATE",
+    "BY_XL",
+    "DEFAULT_BATCH_CANDIDATES",
+    "forward_scan_batches",
+    "python_forward_scan",
+    "sorted_columns",
+    "sweep_numpy_join",
+]

@@ -29,6 +29,8 @@ from repro.internal import internal_algorithm
 from repro.io.costmodel import CostModel
 from repro.io.disk import SimulatedDisk
 from repro.io.pagefile import PageFile
+from repro.kernels.backend import active_backend, numpy_enabled
+from repro.kernels.rpm import rpm_join_task
 from repro.pbsm.dedup import sort_based_dedup
 from repro.pbsm.estimator import estimate_partitions
 from repro.pbsm.grid import TileGrid
@@ -130,8 +132,10 @@ class PBSM:
     # ------------------------------------------------------------------
     def _new_stats(self, left: Sequence[Tuple], right: Sequence[Tuple]) -> JoinStats:
         dedup_tag = {"rpm": "RPM", "sort": "PD", "none": "nodedup"}[self.dedup]
+        backend = active_backend() if self.internal_name == "sweep_numpy" else ""
         return JoinStats(
             algorithm=f"PBSM({self.internal_name},{dedup_tag})",
+            backend=backend,
             n_left=len(left),
             n_right=len(right),
         )
@@ -251,6 +255,22 @@ class PBSM:
         with self._disk.phase(PHASE_JOIN):
             records_left = file_left.read_all()
             records_right = file_right.read_all()
+
+        grid = getattr(region, "grid", None)
+        if (
+            self.dedup == "rpm"
+            and self.internal_name == "sweep_numpy"
+            and grid is not None
+            and numpy_enabled()
+        ):
+            # Fully columnar partition join: candidate generation, y-test
+            # and RPM duplicate suppression all happen in batches.
+            pairs, suppressed = rpm_join_task(
+                records_left, records_right, grid, region.pid, cpu
+            )
+            stats.duplicates_suppressed += suppressed
+            yield from pairs
+            return
 
         results: List[Tuple[int, int]] = []
         if self.dedup == "rpm":
@@ -372,11 +392,19 @@ class PBSM:
 
 
 def _top_region_test(grid: TileGrid, pid: int) -> Callable[[float, float], bool]:
-    """Region predicate of a top-level partition (the union of its tiles)."""
+    """Region predicate of a top-level partition (the union of its tiles).
+
+    The grid and partition id are attached as attributes: a top-level
+    region is pure tile arithmetic, which is what lets the columnar RPM
+    kernel test whole candidate batches at once.  Composed repartition
+    regions carry no such attributes and always take the scalar path.
+    """
 
     def owns(x: float, y: float) -> bool:
         return grid.partition_of_point(x, y) == pid
 
+    owns.grid = grid
+    owns.pid = pid
     return owns
 
 

@@ -1,19 +1,25 @@
-"""Parallel PBSM: a simulated multi-worker execution model.
+"""Parallel PBSM: simulated multi-worker model and real multiprocess fan-out.
 
 The paper's related work points to parallel spatial join processing
 [BKS 96, Pat 98]; PBSM parallelises naturally because partition pairs are
-independent once partitioning has replicated the data.  This module
-models a shared-nothing execution: the partitioning phase is a single
-scan (sequential), after which the P partition-pair join tasks — each
-with its own measured I/O + CPU cost — are scheduled onto W workers with
-the LPT (longest processing time first) heuristic.  The simulated total
-runtime is
+independent once partitioning has replicated the data.  This module offers
+two executors over the same shared-nothing decomposition:
 
-    ``partition_phase + makespan(worker schedules)``
-
-so the speedup curve flattens exactly where the paper's decomposition
-predicts: the sequential partitioning fraction and the largest single
-partition bound the achievable speedup (Amdahl).
+* ``executor="simulated"`` — the analytic model: the partitioning phase is
+  a single sequential scan, after which the P partition-pair join tasks —
+  each with its own measured I/O + CPU cost — are scheduled onto W
+  workers with the LPT (longest processing time first) heuristic.  The
+  simulated total runtime is ``partition_phase + makespan``, so the
+  speedup curve flattens exactly where the paper's decomposition
+  predicts: the sequential partitioning fraction and the largest single
+  partition bound the achievable speedup (Amdahl).
+* ``executor="process"`` — the same task decomposition, actually executed:
+  the join tasks are grouped into LPT-balanced chunks and fanned out over
+  a :class:`concurrent.futures.ProcessPoolExecutor`.  Every payload is
+  picklable (plain tuples plus a grid spec); results are merged in
+  partition order, so the output is byte-identical to the sequential
+  execution.  With ``workers=1`` the fan-out degrades gracefully to an
+  in-process loop (no pool is spawned).
 
 Duplicate elimination is RPM, which is what makes the parallel version
 correct without any cross-worker coordination: each result is owned by
@@ -23,7 +29,7 @@ exactly one partition, hence by exactly one worker.
 from __future__ import annotations
 
 import time
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.result import JoinResult, JoinStats
 from repro.core.space import Space
@@ -31,13 +37,116 @@ from repro.core.stats import CpuCounters
 from repro.internal import internal_algorithm
 from repro.io.costmodel import CostModel
 from repro.io.disk import SimulatedDisk
+from repro.kernels.backend import active_backend
+from repro.kernels.rpm import rpm_join_task
 from repro.pbsm.estimator import estimate_partitions
 from repro.pbsm.grid import TileGrid
 from repro.pbsm.partitioner import partition_relation
 
+EXECUTORS = ("simulated", "process")
+
+#: Chunks submitted per worker in process mode; >1 smooths load imbalance
+#: that the up-front LPT packing cannot foresee.
+CHUNKS_PER_WORKER = 4
+
+#: ``(pid, records_left, records_right)`` — one partition-pair join task.
+JoinTask = Tuple[int, List[Tuple], List[Tuple]]
+
+#: ``(pid, pairs, suppressed, counters_dict)`` — one task's outcome.
+TaskOutcome = Tuple[int, List[Tuple[int, int]], int, Dict[str, int]]
+
+
+def _grid_spec(grid: TileGrid) -> Tuple:
+    """A picklable description from which a worker can rebuild the grid."""
+    space = grid.space
+    return (
+        space.xl,
+        space.yl,
+        space.xh,
+        space.yh,
+        grid.nx,
+        grid.ny,
+        grid.n_partitions,
+        grid.mapping,
+    )
+
+
+def _grid_from_spec(spec: Tuple) -> TileGrid:
+    xl, yl, xh, yh, nx, ny, n_partitions, mapping = spec
+    return TileGrid(Space(xl, yl, xh, yh), nx, ny, n_partitions, mapping)
+
+
+def _run_join_task(internal_name: str, grid: TileGrid, task: JoinTask) -> TaskOutcome:
+    """Execute one partition-pair join with RPM ownership by its pid."""
+    pid, records_left, records_right = task
+    counters = CpuCounters()
+    if internal_name == "sweep_numpy":
+        pairs, suppressed = rpm_join_task(
+            records_left, records_right, grid, pid, counters
+        )
+        return pid, pairs, suppressed, counters.as_dict()
+
+    pairs: List[Tuple[int, int]] = []
+    suppressed = 0
+    refpoint_tests = 0
+    partition_of_point = grid.partition_of_point
+
+    def emit(r: Tuple, s: Tuple) -> None:
+        nonlocal suppressed, refpoint_tests
+        refpoint_tests += 1
+        rx = r[1]
+        sx = s[1]
+        ry = r[4]
+        sy = s[4]
+        x = rx if rx >= sx else sx
+        y = ry if ry <= sy else sy
+        if partition_of_point(x, y) == pid:
+            pairs.append((r[0], s[0]))
+        else:
+            suppressed += 1
+
+    internal_algorithm(internal_name)(records_left, records_right, emit, counters)
+    counters.refpoint_tests += refpoint_tests
+    return pid, pairs, suppressed, counters.as_dict()
+
+
+def _run_chunk(payload: Tuple[str, Tuple, List[JoinTask]]) -> List[TaskOutcome]:
+    """Worker entry point: run a chunk of join tasks, return their outcomes.
+
+    Module-level (hence picklable) on purpose; receives only plain tuples
+    so the payload crosses the process boundary without custom reducers.
+    """
+    internal_name, grid_spec, tasks = payload
+    grid = _grid_from_spec(grid_spec)
+    return [_run_join_task(internal_name, grid, task) for task in tasks]
+
+
+def _chunk_tasks(
+    tasks: List[JoinTask], n_chunks: int
+) -> List[List[JoinTask]]:
+    """Pack tasks into *n_chunks* LPT-balanced chunks (by joined size)."""
+    sized = sorted(
+        tasks, key=lambda t: (len(t[1]) + len(t[2]), t[0]), reverse=True
+    )
+    chunks: List[List[JoinTask]] = [[] for _ in range(n_chunks)]
+    loads = [0] * n_chunks
+    for task in sized:
+        idx = min(range(n_chunks), key=loads.__getitem__)
+        chunks[idx].append(task)
+        loads[idx] += len(task[1]) + len(task[2])
+    return [chunk for chunk in chunks if chunk]
+
 
 class ParallelPBSM:
-    """PBSM with the join phase spread over *workers* simulated workers."""
+    """PBSM with the join phase spread over *workers* workers.
+
+    ``executor="simulated"`` runs sequentially and *models* the parallel
+    runtime; ``executor="process"`` actually fans the join tasks out over
+    a process pool.  Both produce identical result pairs in identical
+    order, and both report the same simulated costs — the process
+    executor additionally delivers real wall-clock speedup on multicore
+    hardware.
+    """
 
     def __init__(
         self,
@@ -45,6 +154,7 @@ class ParallelPBSM:
         workers: int = 4,
         *,
         internal: str = "sweep_trie",
+        executor: str = "simulated",
         t_factor: float = 1.2,
         tiles_per_partition: int = 4,
         cost_model: Optional[CostModel] = None,
@@ -53,10 +163,15 @@ class ParallelPBSM:
             raise ValueError("memory_bytes must be positive")
         if workers < 1:
             raise ValueError("workers must be >= 1")
+        if executor not in EXECUTORS:
+            raise ValueError(
+                f"executor must be one of {EXECUTORS}, got {executor!r}"
+            )
         self.memory_bytes = memory_bytes
         self.workers = workers
         self.internal_name = internal
         self.internal = internal_algorithm(internal)
+        self.executor = executor
         self.t_factor = t_factor
         self.tiles_per_partition = tiles_per_partition
         self.cost_model = cost_model or CostModel()
@@ -64,6 +179,10 @@ class ParallelPBSM:
     def run(self, left: Sequence[Tuple], right: Sequence[Tuple]) -> JoinResult:
         stats = JoinStats(
             algorithm=f"ParallelPBSM({self.internal_name},W={self.workers})",
+            backend=(
+                active_backend() if self.internal_name == "sweep_numpy" else ""
+            ),
+            executor=self.executor,
             n_left=len(left),
             n_right=len(right),
         )
@@ -101,12 +220,10 @@ class ParallelPBSM:
         )
         stats.wall_seconds_by_phase["partition"] = time.perf_counter() - wall
 
-        # --- per-pair join tasks with individual cost measurement ------
+        # --- materialise the join tasks (reads are charged) ------------
         wall = time.perf_counter()
-        task_costs: List[float] = []
-        join_cpu_total = CpuCounters()
-        join_units_total = 0.0
-        suppressed_total = 0
+        tasks: List[JoinTask] = []
+        task_io_units: Dict[int, float] = {}
         for pid in range(n_partitions):
             file_left = left_files[pid]
             file_right = right_files[pid]
@@ -118,25 +235,35 @@ class ParallelPBSM:
             if pair_bytes > stats.peak_memory_bytes:
                 stats.peak_memory_bytes = pair_bytes
             task_disk = SimulatedDisk(cost)
-            task_cpu = CpuCounters()
             with task_disk.phase("join"):
                 records_left = file_left.read_all()
                 records_right = file_right.read_all()
-            suppressed = self._join_task(
-                records_left, records_right, grid, pid, pairs, task_cpu
-            )
+            tasks.append((pid, records_left, records_right))
+            task_io_units[pid] = task_disk.total_units()
+
+        # --- execute the tasks -----------------------------------------
+        outcomes = self._execute(tasks, grid)
+
+        # --- deterministic merge in partition order --------------------
+        task_costs: List[float] = []
+        join_cpu_total = CpuCounters()
+        join_units_total = 0.0
+        suppressed_total = 0
+        for pid, task_pairs, suppressed, counter_dict in sorted(outcomes):
+            pairs.extend(task_pairs)
             suppressed_total += suppressed
-            task_seconds = cost.io_seconds(task_disk.total_units()) + (
-                cost.cpu_seconds(task_cpu)
+            task_cpu = CpuCounters(**counter_dict)
+            units = task_io_units[pid]
+            task_costs.append(
+                cost.io_seconds(units) + cost.cpu_seconds(task_cpu)
             )
-            task_costs.append(task_seconds)
             join_cpu_total.add(task_cpu)
-            join_units_total += task_disk.total_units()
+            join_units_total += units
         stats.duplicates_suppressed = suppressed_total
         stats.wall_seconds_by_phase["join"] = time.perf_counter() - wall
 
         # --- LPT scheduling onto W workers ------------------------------
-        makespan, loads = lpt_schedule(task_costs, self.workers)
+        makespan, _loads = lpt_schedule(task_costs, self.workers)
         stats.n_results = len(pairs)
         stats.io_units_by_phase = {
             "partition": disk.total_units(),
@@ -155,37 +282,38 @@ class ParallelPBSM:
         }
         return JoinResult(pairs=pairs, stats=stats)
 
-    def _join_task(
-        self,
-        records_left: List[Tuple],
-        records_right: List[Tuple],
-        grid: TileGrid,
-        pid: int,
-        pairs: List[Tuple[int, int]],
-        cpu: CpuCounters,
-    ) -> int:
-        """One partition-pair join with RPM ownership by partition *pid*."""
-        suppressed = 0
-        refpoint_tests = 0
-        partition_of_point = grid.partition_of_point
+    # ------------------------------------------------------------------
+    # task execution
+    # ------------------------------------------------------------------
+    def _execute(
+        self, tasks: List[JoinTask], grid: TileGrid
+    ) -> List[TaskOutcome]:
+        """Run every join task under the configured executor."""
+        if not tasks:
+            return []
+        if self.executor == "process" and self.workers > 1:
+            return self._execute_process(tasks, grid)
+        # Simulated mode and the workers=1 degenerate case share the
+        # in-process loop; no pool is spawned.
+        return [
+            _run_join_task(self.internal_name, grid, task) for task in tasks
+        ]
 
-        def emit(r: Tuple, s: Tuple) -> None:
-            nonlocal suppressed, refpoint_tests
-            refpoint_tests += 1
-            rx = r[1]
-            sx = s[1]
-            ry = r[4]
-            sy = s[4]
-            x = rx if rx >= sx else sx
-            y = ry if ry <= sy else sy
-            if partition_of_point(x, y) == pid:
-                pairs.append((r[0], s[0]))
-            else:
-                suppressed += 1
+    def _execute_process(
+        self, tasks: List[JoinTask], grid: TileGrid
+    ) -> List[TaskOutcome]:
+        """Fan the tasks out over a process pool, LPT-chunked."""
+        from concurrent.futures import ProcessPoolExecutor
 
-        self.internal(records_left, records_right, emit, cpu)
-        cpu.refpoint_tests += refpoint_tests
-        return suppressed
+        n_chunks = min(len(tasks), self.workers * CHUNKS_PER_WORKER)
+        chunks = _chunk_tasks(tasks, n_chunks)
+        spec = _grid_spec(grid)
+        payloads = [(self.internal_name, spec, chunk) for chunk in chunks]
+        outcomes: List[TaskOutcome] = []
+        with ProcessPoolExecutor(max_workers=self.workers) as pool:
+            for chunk_outcomes in pool.map(_run_chunk, payloads):
+                outcomes.extend(chunk_outcomes)
+        return outcomes
 
 
 def lpt_schedule(task_costs: Sequence[float], workers: int) -> Tuple[float, List[float]]:

@@ -29,6 +29,9 @@ from typing import Dict
 
 from repro.internal.interval_trie import DEFAULT_MAX_DEPTH
 from repro.io.costmodel import CostModel
+from repro.kernels.backend import numpy_enabled
+from repro.kernels.rpm import BATCH_OPS_PER_RPM_TEST
+from repro.kernels.sweep import BATCH_OPS_PER_CANDIDATE
 from repro.pbsm.estimator import estimate_partitions
 from repro.planner.stats import JoinProfile
 from repro.sfc.locational import DEFAULT_MAX_LEVEL
@@ -125,6 +128,25 @@ def _sweep_cpu(
     elif internal == "nested_loops":
         structure = n
         tests = a * b
+    elif internal == "sweep_numpy":
+        # Forward-scan kernel: the candidate volume is the x-overlap pair
+        # count — same arrival/active-set model as the list sweep, but
+        # each candidate costs a batch-level array op, not a scalar test.
+        candidates = (a * active_b + b * active_a) * clustering
+        if numpy_enabled():
+            batch = (
+                a * _lg(a)
+                + b * _lg(b)  # vectorized argsorts
+                + 2.0 * n  # the four searchsorted sweeps
+                + BATCH_OPS_PER_CANDIDATE * candidates
+            )
+            return cost.cpu_seconds_from_counts(batch_ops=batch)
+        # numpy off: the python forward scan runs per element.
+        return cost.cpu_seconds_from_counts(
+            intersection_tests=candidates + detected,
+            comparisons=comparisons,
+            structure_ops=n * _SWEEP_OVERHEAD,
+        )
     else:
         raise ValueError(f"no cost model for internal algorithm {internal!r}")
     return cost.cpu_seconds_from_counts(
@@ -328,7 +350,13 @@ def estimate_pbsm(
     io_dedup = 0.0
     cpu_dedup = 0.0
     if dedup == "rpm":
-        cpu_dedup = cost.cpu_seconds_from_counts(refpoint_tests=detected)
+        if internal == "sweep_numpy" and numpy_enabled():
+            # The kernel path tests whole candidate batches at once.
+            cpu_dedup = cost.cpu_seconds_from_counts(
+                batch_ops=BATCH_OPS_PER_RPM_TEST * detected
+            )
+        else:
+            cpu_dedup = cost.cpu_seconds_from_counts(refpoint_tests=detected)
     elif dedup == "sort":
         result_pages = cost.pages_for(int(detected), cost.result_bytes)
         # write candidates (one-page buffers), then a sort pass (read,

@@ -37,6 +37,11 @@ DEFAULT_T_GRID: Tuple[float, ...] = (1.0, 1.2, 1.5)
 #: at partition scale — Fig. 4).
 PBSM_INTERNALS: Tuple[str, ...] = ("sweep_list", "sweep_trie", "sweep_tree")
 
+#: Enumerated in addition when the columnar backend is available; with
+#: numpy disabled its python fallback is strictly dominated by
+#: ``sweep_list``, so enumerating it would only add noise.
+PBSM_KERNEL_INTERNAL = "sweep_numpy"
+
 #: S3J assignment strategies (its duplicate-handling axis).
 S3J_STRATEGIES: Tuple[str, ...] = ("size", "original", "hybrid")
 
@@ -88,7 +93,12 @@ def enumerate_candidates(
     candidates: List[PlanCandidate] = []
 
     if include("pbsm"):
-        for internal in PBSM_INTERNALS:
+        from repro.kernels.backend import numpy_enabled
+
+        internals = PBSM_INTERNALS + (
+            (PBSM_KERNEL_INTERNAL,) if numpy_enabled() else ()
+        )
+        for internal in internals:
             for t in t_grid:
                 candidates.append(
                     PlanCandidate(

@@ -25,8 +25,9 @@ from repro.core.stats import CpuCounters
 from repro.internal import internal_algorithm
 from repro.io.costmodel import CostModel
 from repro.io.disk import SimulatedDisk
-from repro.io.extsort import sort_in_memory
+from repro.io.extsort import BY_XL, XlSorted, sort_in_memory
 from repro.io.pagefile import PageFile
+from repro.kernels.backend import active_backend
 
 PHASE_SORT = "sort"
 PHASE_JOIN = "join"
@@ -44,7 +45,7 @@ class SSSJ:
     ):
         if memory_bytes <= 0:
             raise ValueError("memory_bytes must be positive")
-        if internal not in ("sweep_list", "sweep_trie", "sweep_tree"):
+        if internal not in ("sweep_list", "sweep_trie", "sweep_tree", "sweep_numpy"):
             raise ValueError(
                 "SSSJ needs a sweep-based internal algorithm, got "
                 f"{internal!r}"
@@ -57,6 +58,9 @@ class SSSJ:
     def run(self, left: Sequence[Tuple], right: Sequence[Tuple]) -> JoinResult:
         stats = JoinStats(
             algorithm=f"SSSJ({self.internal_name})",
+            backend=(
+                active_backend() if self.internal_name == "sweep_numpy" else ""
+            ),
             n_left=len(left),
             n_right=len(right),
         )
@@ -106,18 +110,18 @@ class SSSJ:
         cost = self.cost_model
         memory_records = max(8, self.memory_bytes // cost.kpe_bytes)
         if len(records) <= memory_records:
-            return sort_in_memory(list(records), _by_xl, counters)
+            return XlSorted(sort_in_memory(list(records), BY_XL, counters))
         # run generation: input chunks are free to read, runs are written
         runs: List[PageFile] = []
         for start in range(0, len(records), memory_records):
             chunk = sort_in_memory(
-                list(records[start : start + memory_records]), _by_xl, counters
+                list(records[start : start + memory_records]), BY_XL, counters
             )
             run = PageFile(disk, cost.kpe_bytes, f"sssj.run{len(runs)}")
             run.append_bulk(chunk)
             runs.append(run)
         # single merge pass with one page buffer per run
-        merged: List[Tuple] = []
+        merged: List[Tuple] = XlSorted()
         heap = []
         iters = [run.iter_records(buffer_pages=1) for run in runs]
         for idx, it in enumerate(iters):
@@ -158,7 +162,3 @@ def sssj_join(
 ) -> JoinResult:
     """Convenience one-call SSSJ join."""
     return SSSJ(memory_bytes, **kwargs).run(left, right)
-
-
-def _by_xl(kpe: Tuple) -> float:
-    return kpe[1]

@@ -8,7 +8,6 @@ import pytest
 from hypothesis import HealthCheck, settings
 
 from repro.core.rect import KPE
-from repro.datasets import clustered_rects, uniform_rects
 
 # A moderate default so the full suite stays fast; CI-style deep runs can
 # select the "thorough" profile via HYPOTHESIS_PROFILE.
@@ -48,17 +47,32 @@ def small_pair():
     return left, right
 
 
+def _generators():
+    """The numpy-backed dataset generators, or a skip without numpy.
+
+    Imported lazily so a no-numpy environment can still collect and run
+    everything that does not need them.
+    """
+    import repro.datasets as datasets
+
+    if not datasets.HAVE_GENERATORS:
+        pytest.skip("dataset generators need numpy (the [perf] extra)")
+    return datasets
+
+
 @pytest.fixture
 def clustered_pair():
     """Skewed relations (cluster hot spots)."""
-    left = clustered_rects(300, seed=5)
-    right = clustered_rects(300, seed=6, start_oid=10_000)
+    datasets = _generators()
+    left = datasets.clustered_rects(300, seed=5)
+    right = datasets.clustered_rects(300, seed=6, start_oid=10_000)
     return left, right
 
 
 @pytest.fixture
 def uniform_pair():
     """Unskewed relations from the numpy generator."""
-    left = uniform_rects(250, seed=3, mean_edge=0.02)
-    right = uniform_rects(250, seed=4, mean_edge=0.02, start_oid=10_000)
+    datasets = _generators()
+    left = datasets.uniform_rects(250, seed=3, mean_edge=0.02)
+    right = datasets.uniform_rects(250, seed=4, mean_edge=0.02, start_oid=10_000)
     return left, right

@@ -1,0 +1,285 @@
+"""Unit tests for the columnar kernel package (repro.kernels)."""
+
+import pytest
+
+from repro.core.rect import KPE
+from repro.core.stats import CpuCounters
+from repro.io.costmodel import CostModel
+from repro.io.extsort import XlSorted
+from repro.kernels.backend import (
+    HAVE_NUMPY,
+    active_backend,
+    cpu_count,
+    get_numpy,
+    numpy_backend,
+    numpy_enabled,
+    python_backend,
+    require_numpy,
+)
+from repro.kernels.columnar import ColumnarRelation
+from repro.kernels.sweep import (
+    STRIPE_MIN_RECORDS,
+    _stripe_count,
+    _stripe_layout,
+    forward_scan_batches,
+    python_forward_scan,
+    sorted_columns,
+    sweep_numpy_join,
+)
+
+from tests.conftest import random_kpes
+
+needs_numpy = pytest.mark.skipif(not HAVE_NUMPY, reason="numpy not installed")
+
+
+@pytest.fixture(autouse=True)
+def _numpy_path_on():
+    """Force the numpy gate on for these kernel-internal unit tests.
+
+    REPRO_DISABLE_NUMPY exists to exercise *driver-level* fallbacks; the
+    tests here poke the vectorized internals directly, so they re-enable
+    the gate (a no-op when numpy is genuinely absent).  Tests that want
+    the fallback enter ``python_backend()`` themselves — nested contexts
+    override this fixture.
+    """
+    with numpy_backend():
+        yield
+
+
+def collect(fn, left, right):
+    counters = CpuCounters()
+    pairs = []
+    fn(left, right, lambda r, s: pairs.append((r[0], s[0])), counters)
+    return pairs, counters
+
+
+class TestBackendGate:
+    def test_python_backend_context(self):
+        with python_backend():
+            assert not numpy_enabled()
+            assert active_backend() == "python"
+            assert get_numpy() is None
+
+    def test_numpy_backend_context(self):
+        with numpy_backend():
+            assert numpy_enabled() == HAVE_NUMPY
+            if HAVE_NUMPY:
+                assert active_backend() == "numpy"
+
+    def test_require_numpy_raises_when_disabled(self):
+        with python_backend():
+            with pytest.raises(RuntimeError):
+                require_numpy()
+
+    def test_gate_restored_after_context(self):
+        before = numpy_enabled()
+        with python_backend():
+            pass
+        assert numpy_enabled() == before
+
+    def test_cpu_count_positive(self):
+        assert cpu_count() >= 1
+
+
+@needs_numpy
+class TestColumnarRelation:
+    def test_round_trip_is_loss_free(self):
+        kpes = random_kpes(100, seed=9)
+        cols = ColumnarRelation.from_kpes(kpes)
+        assert cols.to_kpes() == [KPE(*k) for k in kpes]
+
+    def test_oids_stay_exact_integers(self):
+        kpes = [KPE(2**40 + i, 0.1, 0.2, 0.3, 0.4) for i in range(5)]
+        cols = ColumnarRelation.from_kpes(kpes)
+        assert cols.oid.tolist() == [2**40 + i for i in range(5)]
+
+    def test_empty_relation(self):
+        cols = ColumnarRelation.from_kpes([])
+        assert cols.n == 0 and len(cols) == 0
+        assert cols.to_kpes() == []
+
+    def test_sort_by_xl_is_stable(self):
+        kpes = [KPE(i, 0.5, i / 10.0, 0.6, 1.0) for i in range(10)]
+        cols = ColumnarRelation.from_kpes(kpes).sort_by_xl()
+        # Equal xl keys keep their input order.
+        assert cols.oid.tolist() == list(range(10))
+        assert cols.sorted_by_xl
+
+    def test_sorted_columns_trusts_flagged_inputs(self):
+        kpes = XlSorted(sorted(random_kpes(50, seed=1), key=lambda k: k[1]))
+        counters = CpuCounters()
+        cols = sorted_columns(kpes, counters)
+        assert cols.sorted_by_xl
+        assert counters.batch_ops == 0  # no argsort charged
+
+    def test_sorted_columns_charges_the_sort(self):
+        counters = CpuCounters()
+        cols = sorted_columns(random_kpes(50, seed=2), counters)
+        assert cols.sorted_by_xl
+        assert counters.batch_ops > 0
+
+
+@needs_numpy
+class TestForwardScanBatches:
+    def test_rejects_unsorted_inputs(self):
+        cols = ColumnarRelation.from_kpes(random_kpes(10, seed=3))
+        with pytest.raises(ValueError):
+            list(forward_scan_batches(cols, cols, CpuCounters()))
+
+    def test_empty_side_yields_nothing(self):
+        counters = CpuCounters()
+        empty = ColumnarRelation.from_kpes([])
+        empty.sorted_by_xl = True
+        full = sorted_columns(random_kpes(10, seed=4), counters)
+        assert list(forward_scan_batches(empty, full, counters)) == []
+        assert list(forward_scan_batches(full, empty, counters)) == []
+
+    def test_small_batch_candidates_same_pairs(self):
+        counters = CpuCounters()
+        a = sorted_columns(random_kpes(300, seed=5, max_edge=0.1), counters)
+        b = sorted_columns(
+            random_kpes(300, seed=6, start_oid=1000, max_edge=0.1), counters
+        )
+        big = set()
+        for ai, bi in forward_scan_batches(a, b, counters):
+            big.update(zip(ai.tolist(), bi.tolist()))
+        small = set()
+        for ai, bi in forward_scan_batches(a, b, counters, batch_candidates=64):
+            small.update(zip(ai.tolist(), bi.tolist()))
+        assert small == big
+
+    def test_batch_ops_charged(self):
+        counters = CpuCounters()
+        a = sorted_columns(random_kpes(200, seed=7, max_edge=0.2), counters)
+        b = sorted_columns(
+            random_kpes(200, seed=8, start_oid=1000, max_edge=0.2), counters
+        )
+        counters = CpuCounters()
+        list(forward_scan_batches(a, b, counters))
+        assert counters.batch_ops > 0
+        assert counters.intersection_tests == 0  # batch currency only
+
+
+@needs_numpy
+class TestStriping:
+    def test_small_inputs_use_one_stripe(self):
+        np = require_numpy()
+        counters = CpuCounters()
+        a = sorted_columns(random_kpes(100, seed=1), counters)
+        b = sorted_columns(random_kpes(100, seed=2), counters)
+        assert _stripe_count(np, a, b, 1.0) == 1
+
+    def test_large_inputs_stripe(self):
+        np = require_numpy()
+        counters = CpuCounters()
+        n = STRIPE_MIN_RECORDS
+        a = sorted_columns(random_kpes(n, seed=3, max_edge=0.01), counters)
+        b = sorted_columns(random_kpes(n, seed=4, max_edge=0.01), counters)
+        assert _stripe_count(np, a, b, 1.0) > 1
+
+    def test_tall_rectangles_cap_replication(self):
+        np = require_numpy()
+        counters = CpuCounters()
+        # Rectangles spanning most of the y axis: striping would replicate
+        # every record into every stripe, so the cap must kick in.
+        tall = [
+            KPE(i, i / 10_000.0, 0.0, i / 10_000.0 + 0.001, 0.9)
+            for i in range(STRIPE_MIN_RECORDS)
+        ]
+        cols = sorted_columns(tall, counters)
+        assert _stripe_count(np, cols, cols, 1.0) == 1
+
+    def test_stripe_layout_covers_every_overlapped_stripe(self):
+        np = require_numpy()
+        counters = CpuCounters()
+        kpes = [
+            KPE(0, 0.0, 0.05, 1.0, 0.05),  # stripe 0 only
+            KPE(1, 0.0, 0.15, 1.0, 0.38),  # stripes 1..3
+            KPE(2, 0.0, 0.95, 1.0, 1.0),   # clipped into the last stripe
+        ]
+        cols = sorted_columns(kpes, counters)
+        k = 10
+        orig, bounds, slo = _stripe_layout(np, cols, 0.0, k / 1.0, k, counters)
+        assert slo.tolist() == [0, 1, 9]
+        members = {
+            s: orig[bounds[s] : bounds[s + 1]].tolist() for s in range(k)
+        }
+        assert members[0] == [0]
+        assert members[1] == [1] and members[2] == [1] and members[3] == [1]
+        assert members[9] == [2]
+        assert all(members[s] == [] for s in (4, 5, 6, 7, 8))
+
+    def test_striped_and_unstriped_agree(self):
+        # Past STRIPE_MIN_RECORDS the kernel stripes; the pair set must
+        # match the plain python scan bit for bit.
+        n = STRIPE_MIN_RECORDS
+        left = random_kpes(n, seed=5, max_edge=0.01)
+        right = random_kpes(n, seed=6, start_oid=10**6, max_edge=0.01)
+        got, counters = collect(sweep_numpy_join, left, right)
+        want, _ = collect(python_forward_scan, left, right)
+        assert sorted(got) == sorted(want)
+        assert counters.batch_ops > 0
+
+
+class TestPythonFallback:
+    def test_fallback_used_when_backend_off(self):
+        left = random_kpes(80, seed=11, max_edge=0.1)
+        right = random_kpes(80, seed=12, start_oid=500, max_edge=0.1)
+        with python_backend():
+            pairs, counters = collect(sweep_numpy_join, left, right)
+        assert counters.intersection_tests > 0
+        assert counters.batch_ops == 0
+        want, _ = collect(python_forward_scan, left, right)
+        assert pairs == want
+
+    def test_empty_inputs(self):
+        with python_backend():
+            pairs, _ = collect(sweep_numpy_join, [], random_kpes(5, seed=1))
+        assert pairs == []
+
+
+class TestCostModelCurrency:
+    def test_batch_ops_priced_into_cpu_seconds(self):
+        cost = CostModel()
+        counters = CpuCounters(batch_ops=10**6)
+        assert cost.cpu_seconds(counters) == pytest.approx(
+            10**6 * cost.batch_op_seconds
+        )
+
+    def test_cpu_seconds_from_counts_accepts_batch_ops(self):
+        cost = CostModel()
+        assert cost.cpu_seconds_from_counts(batch_ops=2.0) == pytest.approx(
+            2.0 * cost.batch_op_seconds
+        )
+
+    def test_total_ops_includes_batch_ops(self):
+        counters = CpuCounters(batch_ops=7)
+        assert counters.total_ops() >= 7
+
+
+class TestPlannerIntegration:
+    def test_sweep_numpy_enumerated_only_with_numpy(self):
+        from repro.planner.enumerate import enumerate_candidates
+        from repro.planner.stats import profile_join
+
+        jp = profile_join(
+            random_kpes(300, seed=31, max_edge=0.05),
+            random_kpes(300, seed=32, start_oid=10**4, max_edge=0.05),
+        )
+
+        def names(cands):
+            return {
+                c.kwargs.get("internal")
+                for c in cands
+                if c.method == "pbsm"
+            }
+
+        with python_backend():
+            assert "sweep_numpy" not in names(
+                enumerate_candidates(jp, 10**6)
+            )
+        if HAVE_NUMPY:
+            with numpy_backend():
+                assert "sweep_numpy" in names(
+                    enumerate_candidates(jp, 10**6)
+                )

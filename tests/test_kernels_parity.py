@@ -1,0 +1,193 @@
+"""Parity tests: the columnar kernel against the scalar algorithms.
+
+The kernel path must be invisible in the results: for any input,
+``sweep_numpy`` (vectorized, y-striped), ``sweep_list`` (scalar) and the
+brute-force reference produce the same pair set, and the batched RPM
+filter owns every pair in exactly one partition — including reference
+points sitting exactly on tile boundaries, where a float discrepancy
+between scalar and vectorized tile arithmetic would silently drop or
+duplicate pairs.
+"""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.rect import KPE
+from repro.core.space import Space
+from repro.core.stats import CpuCounters
+from repro.internal import INTERNAL_ALGORITHMS, brute_force_pairs
+from repro.kernels.backend import HAVE_NUMPY, python_backend
+from repro.kernels.rpm import _python_rpm_join_task, rpm_join_task
+from repro.kernels.sweep import STRIPE_MIN_RECORDS
+from repro.pbsm.grid import TileGrid
+
+from tests.conftest import random_kpes
+
+needs_numpy = pytest.mark.skipif(not HAVE_NUMPY, reason="numpy not installed")
+
+
+def run(name, left, right):
+    counters = CpuCounters()
+    pairs = []
+    INTERNAL_ALGORITHMS[name](
+        left, right, lambda r, s: pairs.append((r[0], s[0])), counters
+    )
+    return pairs
+
+
+def make_inputs(kind, n, seed, start_oid=0):
+    """Seeded workloads covering the distributions the paper varies."""
+    from repro.datasets import clustered_rects, uniform_rects
+    from repro.datasets.patterns import mixed_scale
+
+    if kind == "uniform":
+        return uniform_rects(n, seed=seed, start_oid=start_oid, mean_edge=0.01)
+    if kind == "clustered":
+        return clustered_rects(n, seed=seed, start_oid=start_oid)
+    # Heavy-tailed extents: a few huge rectangles over many small ones —
+    # the case that stresses both striping replication and the sweep's
+    # active list.
+    return mixed_scale(n, seed=seed, start_oid=start_oid)
+
+
+@needs_numpy
+@pytest.mark.parametrize("kind", ["uniform", "clustered", "skewed"])
+@pytest.mark.parametrize("seed", [1, 2, 3])
+def test_seeded_distributions_match(kind, seed):
+    left = make_inputs(kind, 400, seed=seed)
+    right = make_inputs(kind, 400, seed=seed + 100, start_oid=10**6)
+    truth = sorted(brute_force_pairs(left, right))
+    assert sorted(run("sweep_numpy", left, right)) == truth
+    assert sorted(run("sweep_list", left, right)) == truth
+
+
+@needs_numpy
+@pytest.mark.parametrize("kind", ["uniform", "clustered"])
+def test_striped_regime_matches_list_sweep(kind):
+    # Inputs large enough that the kernel's y-striping engages.
+    n = STRIPE_MIN_RECORDS
+    left = make_inputs(kind, n, seed=7)
+    right = make_inputs(kind, n, seed=8, start_oid=10**6)
+    assert sorted(run("sweep_numpy", left, right)) == sorted(
+        run("sweep_list", left, right)
+    )
+
+
+def test_python_fallback_matches_list_sweep():
+    left = random_kpes(300, seed=17, max_edge=0.08)
+    right = random_kpes(300, seed=18, start_oid=10**4, max_edge=0.08)
+    with python_backend():
+        got = run("sweep_numpy", left, right)
+    assert sorted(got) == sorted(run("sweep_list", left, right))
+
+
+@needs_numpy
+def test_touch_only_rectangles_count():
+    # Shared edges and corners intersect (closed rectangles); the
+    # searchsorted sides must treat the boundaries inclusively.
+    left = [
+        KPE(1, 0.0, 0.0, 0.5, 0.5),
+        KPE(2, 0.5, 0.5, 1.0, 1.0),
+        KPE(3, 0.25, 0.25, 0.25, 0.75),  # vertical segment
+    ]
+    right = [
+        KPE(10, 0.5, 0.0, 1.0, 0.5),    # shares the corner (0.5, 0.5) w/ 1
+        KPE(11, 0.0, 0.5, 0.5, 1.0),    # shares edges with 1 and 2
+        KPE(12, 0.25, 0.5, 0.75, 0.5),  # touches 3 at a single point
+    ]
+    truth = sorted(brute_force_pairs(left, right))
+    assert sorted(run("sweep_numpy", left, right)) == truth
+    with python_backend():
+        assert sorted(run("sweep_numpy", left, right)) == truth
+
+
+@st.composite
+def touching_kpes(draw):
+    """Coordinates from a tiny lattice, so shared edges/corners abound."""
+    lattice = st.sampled_from([0.0, 0.25, 0.5, 0.75, 1.0])
+
+    def rect(oid):
+        x1, x2 = sorted((draw(lattice), draw(lattice)))
+        y1, y2 = sorted((draw(lattice), draw(lattice)))
+        return KPE(oid, x1, y1, x2, y2)
+
+    left = [rect(i) for i in range(draw(st.integers(0, 12)))]
+    right = [rect(1000 + i) for i in range(draw(st.integers(0, 12)))]
+    return left, right
+
+
+@needs_numpy
+@given(touching_kpes())
+def test_property_lattice_parity(pair):
+    left, right = pair
+    truth = sorted(brute_force_pairs(left, right))
+    assert sorted(run("sweep_numpy", left, right)) == truth
+    assert sorted(run("sweep_list", left, right)) == truth
+
+
+# ----------------------------------------------------------------------
+# batched RPM vs scalar RPM, tile-boundary reference points included
+# ----------------------------------------------------------------------
+def rpm_grid():
+    return TileGrid(Space(0.0, 0.0, 1.0, 1.0), 4, 4, 4, mapping="hash")
+
+
+def boundary_rects(start_oid):
+    """Rectangles engineered so reference points hit tile boundaries.
+
+    With a 4x4 grid over the unit square, tile edges sit at multiples of
+    0.25; ``max(xl)``/``min(yh)`` of these rectangles land exactly there.
+    """
+    coords = [0.0, 0.25, 0.5, 0.75]
+    out = []
+    oid = start_oid
+    for x in coords:
+        for y in coords:
+            out.append(KPE(oid, x, y, x + 0.25, y + 0.25))
+            oid += 1
+            out.append(KPE(oid, x + 0.1, y + 0.1, x + 0.25, y + 0.25))
+            oid += 1
+    return out
+
+
+@needs_numpy
+class TestBatchedRPM:
+    def test_tile_boundary_ownership_matches_scalar(self):
+        grid = rpm_grid()
+        left = boundary_rects(0)
+        right = boundary_rects(1000)
+        for pid in range(grid.n_partitions):
+            got, got_sup = rpm_join_task(
+                left, right, grid, pid, CpuCounters()
+            )
+            want, want_sup = _python_rpm_join_task(
+                left, right, grid, pid, CpuCounters()
+            )
+            assert sorted(got) == sorted(want)
+            assert got_sup == want_sup
+
+    def test_each_pair_owned_exactly_once(self):
+        grid = rpm_grid()
+        left = boundary_rects(0) + random_kpes(60, seed=3, max_edge=0.3)
+        right = boundary_rects(1000) + random_kpes(
+            60, seed=4, start_oid=5000, max_edge=0.3
+        )
+        truth = sorted(brute_force_pairs(left, right))
+        owned = []
+        for pid in range(grid.n_partitions):
+            pairs, _ = rpm_join_task(left, right, grid, pid, CpuCounters())
+            owned.extend(pairs)
+        assert sorted(owned) == truth  # no pair missed, none duplicated
+
+    def test_batched_matches_scalar_on_random_input(self):
+        grid = rpm_grid()
+        left = random_kpes(150, seed=5, max_edge=0.2)
+        right = random_kpes(150, seed=6, start_oid=5000, max_edge=0.2)
+        for pid in range(grid.n_partitions):
+            got, got_sup = rpm_join_task(left, right, grid, pid, CpuCounters())
+            want, want_sup = _python_rpm_join_task(
+                left, right, grid, pid, CpuCounters()
+            )
+            assert sorted(got) == sorted(want)
+            assert got_sup == want_sup

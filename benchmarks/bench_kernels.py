@@ -26,6 +26,7 @@ from repro.datasets import uniform_rects
 from repro.internal import INTERNAL_ALGORITHMS
 from repro.io.costmodel import mb
 from repro.kernels.backend import cpu_count, numpy_enabled
+from repro.obs import KIND_SECTION, NULL_TRACER, Tracer
 from repro.pbsm.parallel import ParallelPBSM
 
 from benchmarks.conftest import column, record
@@ -57,7 +58,10 @@ def _timed_internal(name: str, left, right):
     return pairs, seconds
 
 
-def run_kernel_microbench() -> ExperimentResult:
+def run_kernel_microbench(tracer=None) -> ExperimentResult:
+    # Spans are recorded *after* each timed region (add_span with the
+    # measured wall), so tracing costs the measurement nothing.
+    tracer = tracer if tracer is not None else NULL_TRACER
     left = uniform_rects(N_LARGE, seed=81, mean_edge=MEAN_EDGE)
     right = uniform_rects(
         N_LARGE, seed=82, start_oid=1_000_000, mean_edge=MEAN_EDGE
@@ -68,6 +72,9 @@ def run_kernel_microbench() -> ExperimentResult:
         pairs, seconds = _timed_internal(name, left, right)
         if base_seconds is None:
             base_seconds = seconds
+        tracer.add_span(
+            name, seconds, kind=KIND_SECTION, pairs=pairs, n=N_LARGE
+        )
         rows.append(
             (
                 name,
@@ -89,7 +96,12 @@ def run_kernel_microbench() -> ExperimentResult:
     )
 
 
-def run_process_pbsm_bench() -> ExperimentResult:
+def run_process_pbsm_bench(tracer=None) -> ExperimentResult:
+    # Only the last (most parallel) config runs with the live tracer, so
+    # the baseline configs' walls stay untouched and the trace still
+    # shows the worker/task fan-out; each config also gets a summary
+    # span added outside its timed region.
+    tracer = tracer if tracer is not None else NULL_TRACER
     left = uniform_rects(40_000, seed=83, mean_edge=MEAN_EDGE)
     right = uniform_rects(
         40_000, seed=84, start_oid=1_000_000, mean_edge=MEAN_EDGE
@@ -104,12 +116,19 @@ def run_process_pbsm_bench() -> ExperimentResult:
         ("process", PROCESS_WORKERS),
     )
     for executor, workers in configs:
+        live_trace = tracer if (executor, workers) == configs[-1] else None
         join = ParallelPBSM(
-            memory, workers, internal="sweep_numpy", executor=executor
+            memory, workers, internal="sweep_numpy", executor=executor,
+            tracer=live_trace,
         )
         start = time.perf_counter()
         result = join.run(left, right)
         seconds = time.perf_counter() - start
+        if live_trace is None:
+            tracer.add_span(
+                "config", seconds, kind=KIND_SECTION,
+                executor=executor, workers=workers,
+            )
         if base_seconds is None:
             base_seconds = seconds
             base_pairs = result.pairs
@@ -141,13 +160,17 @@ def run_process_pbsm_bench() -> ExperimentResult:
 
 @pytest.mark.benchmark(group="kernels")
 def test_kernel_speedup(benchmark):
-    result = benchmark.pedantic(run_kernel_microbench, rounds=1, iterations=1)
+    tracer = Tracer()
+    result = benchmark.pedantic(
+        run_kernel_microbench, args=(tracer,), rounds=1, iterations=1
+    )
     walls = column(result, "wall_sec")
     pairs = column(result, "pairs")
     speedups = column(result, "speedup")
     record(
         "kernels_forward_scan",
         result,
+        tracer=tracer,
         workload=f"uniform {N_LARGE:,}x{N_LARGE:,}, mean_edge={MEAN_EDGE}",
         wall_seconds=dict(zip(column(result, "internal"), walls)),
         pairs_per_second=dict(
@@ -161,12 +184,16 @@ def test_kernel_speedup(benchmark):
 
 @pytest.mark.benchmark(group="kernels")
 def test_process_pbsm_speedup(benchmark):
-    result = benchmark.pedantic(run_process_pbsm_bench, rounds=1, iterations=1)
+    tracer = Tracer()
+    result = benchmark.pedantic(
+        run_process_pbsm_bench, args=(tracer,), rounds=1, iterations=1
+    )
     walls = column(result, "wall_sec")
     speedups = column(result, "speedup")
     record(
         "kernels_process_pbsm",
         result,
+        tracer=tracer,
         workload="uniform 40,000x40,000 PBSM join, memory=0.25MB",
         wall_seconds=dict(zip(column(result, "executor"), walls)),
     )

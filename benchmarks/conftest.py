@@ -40,13 +40,17 @@ def environment() -> dict:
     }
 
 
-def record(name: str, result, **meta) -> None:
+def record(name: str, result, tracer=None, **meta) -> None:
     """Print an experiment result and persist it under results/.
 
     Writes the aligned text table to ``<name>.txt`` and a JSON document to
     ``BENCH_<name>.json``.  Extra keyword arguments (``workload=...``,
     ``wall_seconds=...``, ``pairs_per_second=...``) are embedded in the
     JSON so downstream tooling needs no table parsing.
+
+    A recording :class:`~repro.obs.Tracer` is persisted alongside as
+    ``BENCH_<name>.trace.jsonl`` — the span-level view of the same run
+    (``python -m repro trace`` summarises it).
     """
     text = result.to_text()
     print("\n" + text)
@@ -55,6 +59,8 @@ def record(name: str, result, **meta) -> None:
     (RESULTS_DIR / f"BENCH_{name}.json").write_text(
         result.to_json(environment=environment(), **meta) + "\n"
     )
+    if tracer is not None and tracer.recording:
+        tracer.write(RESULTS_DIR / f"BENCH_{name}.trace.jsonl")
 
 
 def column(result, name: str):

@@ -36,6 +36,7 @@ from repro.core import (
 from repro.estimate import GridHistogram
 from repro.internal import INTERNAL_ALGORITHMS, internal_algorithm
 from repro.io import CostModel, SimulatedDisk, mb
+from repro.obs import KIND_SECTION, MetricsRegistry, NULL_TRACER, Tracer
 from repro.pbsm import PBSM, ParallelPBSM, pbsm_join
 from repro.planner import JoinPlan, PlannerCache, plan_join
 from repro.rtree import IndexNestedLoopJoin, RTree, RTreeJoin, index_nested_loop_join, rtree_join
@@ -59,6 +60,7 @@ def spatial_join(
     memory_bytes: int,
     method: str = "pbsm",
     workers: Optional[int] = None,
+    tracer=None,
     **kwargs,
 ) -> JoinResult:
     """Run the filter step of a spatial intersection join.
@@ -80,6 +82,12 @@ def spatial_join(
         supported for ``method="pbsm"`` only.  ``workers=1`` runs the
         same task decomposition in-process.  Result pairs are identical
         to the sequential execution.
+    tracer:
+        A :class:`~repro.obs.Tracer` to record spans on: one
+        ``spatial_join`` section wrapping the planner's ``plan`` span
+        (method="auto") and the driver's ``run``/``phase``/``worker``/
+        ``task`` spans.  Defaults to the no-op tracer, whose spans still
+        time themselves, so the stats below are always populated.
     kwargs:
         Forwarded to the driver (e.g. ``internal="sweep_trie"``,
         ``dedup="rpm"``, ``replicate=True``, ``curve="peano"``).  With
@@ -90,42 +98,54 @@ def spatial_join(
     -------
     JoinResult
         All ``(left_oid, right_oid)`` pairs whose MBRs intersect, each
-        exactly once, plus execution statistics.  For ``method="auto"``
-        the chosen :class:`~repro.planner.JoinPlan` is attached as
-        ``result.plan`` (``result.plan.explain()`` renders the EXPLAIN
-        report with estimated-vs-actual counters).
+        exactly once, plus execution statistics —
+        ``stats.total_wall_seconds`` covers this whole call (planning
+        included; ``stats.planning_seconds`` isolates the planner's
+        share).  For ``method="auto"`` the chosen
+        :class:`~repro.planner.JoinPlan` is attached as ``result.plan``
+        (``result.plan.explain()`` renders the EXPLAIN report with
+        estimated-vs-actual counters and phase drift).
     """
-    if workers is not None:
-        if method != "pbsm":
-            raise ValueError(
-                f"workers= requires method='pbsm', got method={method!r}"
-            )
-        kwargs.setdefault("internal", "sweep_numpy")
-        return ParallelPBSM(
-            memory_bytes, workers, executor="process", **kwargs
-        ).run(left, right)
-    if method == "auto":
-        from repro.planner.cache import DEFAULT_CACHE
+    tracer = tracer if tracer is not None else NULL_TRACER
+    with tracer.span(
+        "spatial_join", kind=KIND_SECTION, method=method, workers=workers
+    ) as sp:
+        if workers is not None:
+            if method != "pbsm":
+                raise ValueError(
+                    f"workers= requires method='pbsm', got method={method!r}"
+                )
+            kwargs.setdefault("internal", "sweep_numpy")
+            result = ParallelPBSM(
+                memory_bytes, workers, executor="process", tracer=tracer, **kwargs
+            ).run(left, right)
+        elif method == "auto":
+            from repro.planner.cache import DEFAULT_CACHE
 
-        kwargs.setdefault("cache", DEFAULT_CACHE)
-        plan = plan_join(left, right, memory_bytes, **kwargs)
-        result = plan.execute(left, right)
-        result.plan = plan
-        return result
-    if method == "pbsm":
-        return PBSM(memory_bytes, **kwargs).run(left, right)
-    if method == "s3j":
-        return S3J(memory_bytes, **kwargs).run(left, right)
-    if method == "sssj":
-        return SSSJ(memory_bytes, **kwargs).run(left, right)
-    if method == "shj":
-        return SpatialHashJoin(memory_bytes, **kwargs).run(left, right)
-    if method == "rtree":
-        # The index join has no memory knob; its budget is the buffer.
-        return RTreeJoin(**kwargs).run(left, right)
-    raise ValueError(
-        f"unknown method {method!r}; choose from {SPATIAL_JOIN_METHODS}"
-    )
+            kwargs.setdefault("cache", DEFAULT_CACHE)
+            plan = plan_join(left, right, memory_bytes, tracer=tracer, **kwargs)
+            result = plan.execute(left, right, tracer=tracer)
+            result.plan = plan
+            result.stats.planning_seconds = plan.planning_seconds
+        elif method == "pbsm":
+            result = PBSM(memory_bytes, tracer=tracer, **kwargs).run(left, right)
+        elif method == "s3j":
+            result = S3J(memory_bytes, tracer=tracer, **kwargs).run(left, right)
+        elif method == "sssj":
+            result = SSSJ(memory_bytes, tracer=tracer, **kwargs).run(left, right)
+        elif method == "shj":
+            result = SpatialHashJoin(memory_bytes, tracer=tracer, **kwargs).run(
+                left, right
+            )
+        elif method == "rtree":
+            # The index join has no memory knob; its budget is the buffer.
+            result = RTreeJoin(tracer=tracer, **kwargs).run(left, right)
+        else:
+            raise ValueError(
+                f"unknown method {method!r}; choose from {SPATIAL_JOIN_METHODS}"
+            )
+    result.stats.total_wall_seconds = sp.wall_seconds
+    return result
 
 
 __all__ = [
@@ -139,6 +159,8 @@ __all__ = [
     "JoinResult",
     "JoinStats",
     "KPE",
+    "MetricsRegistry",
+    "NULL_TRACER",
     "PBSM",
     "ParallelPBSM",
     "PlannerCache",
@@ -149,6 +171,7 @@ __all__ = [
     "SSSJ",
     "SpatialHashJoin",
     "SimulatedDisk",
+    "Tracer",
     "VerificationError",
     "Space",
     "distance_join",

@@ -26,6 +26,7 @@ from repro.bench.workloads import (
     memory_for_fraction,
     planner_sweep,
 )
+from repro.core.phases import PHASE_DEDUP, PHASE_JOIN, PHASE_PARTITION, PHASE_SORT
 from repro.core.stats import CpuCounters
 from repro.datasets import (
     PAPER_COVERAGE,
@@ -116,9 +117,9 @@ def run_fig3() -> ExperimentResult:
         io_base = sum(
             units
             for phase, units in pd.stats.io_units_by_phase.items()
-            if phase != "dedup"
+            if phase != PHASE_DEDUP
         )
-        io_dedup = pd.stats.io_units_by_phase.get("dedup", 0.0)
+        io_dedup = pd.stats.io_units_by_phase.get(PHASE_DEDUP, 0.0)
         rows.append(
             (
                 name,
@@ -402,15 +403,15 @@ def run_table3() -> ExperimentResult:
     rows = [
         (
             "partition (write)",
-            round(passes(pbsm, "partition"), 2),
-            round(passes(s3j, "partition"), 2),
+            round(passes(pbsm, PHASE_PARTITION), 2),
+            round(passes(s3j, PHASE_PARTITION), 2),
         ),
         (
             "repartition/sort",
             round(passes(pbsm, "repartition"), 2),
-            round(passes(s3j, "sort"), 2),
+            round(passes(s3j, PHASE_SORT), 2),
         ),
-        ("join (read)", round(passes(pbsm, "join"), 2), round(passes(s3j, "join"), 2)),
+        ("join (read)", round(passes(pbsm, PHASE_JOIN), 2), round(passes(s3j, PHASE_JOIN), 2)),
     ]
     return ExperimentResult(
         exp_id="Table 3",
@@ -466,7 +467,7 @@ def run_ablation_sfc() -> ExperimentResult:
         rows.append(
             (
                 curve,
-                res.stats.cpu_by_phase["partition"]["code_computations"],
+                res.stats.cpu_by_phase[PHASE_PARTITION]["code_computations"],
                 round(res.stats.sim_cpu_seconds, 3),
                 round(res.stats.sim_seconds, 2),
                 res.stats.n_results,
@@ -523,7 +524,7 @@ def run_ablation_max_level() -> ExperimentResult:
             (
                 max_level,
                 round(res.stats.replication_rate, 3),
-                res.stats.cpu_by_phase["join"]["intersection_tests"],
+                res.stats.cpu_by_phase[PHASE_JOIN]["intersection_tests"],
                 round(res.stats.sim_seconds, 2),
             )
         )
@@ -551,7 +552,7 @@ def run_ablation_s3j_strategy() -> ExperimentResult:
             (
                 strategy,
                 round(res.stats.replication_rate, 3),
-                res.stats.cpu_by_phase["join"]["intersection_tests"],
+                res.stats.cpu_by_phase[PHASE_JOIN]["intersection_tests"],
                 round(res.stats.sim_cpu_seconds, 2),
                 round(res.stats.sim_seconds, 2),
             )

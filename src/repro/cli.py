@@ -17,12 +17,12 @@ from __future__ import annotations
 
 import argparse
 import csv
+import json
 import sys
-import time
 from pathlib import Path
 
 from repro import SPATIAL_JOIN_METHODS, spatial_join
-from repro.core.report import format_stats
+from repro.core.report import format_stats, stats_to_dict
 from repro.datasets import (
     clustered_rects,
     coverage,
@@ -99,25 +99,61 @@ def _cmd_join(args: argparse.Namespace) -> int:
             return 2
         kwargs.pop("dedup", None)  # parallel PBSM is always RPM
         kwargs["workers"] = args.workers
-    started = time.perf_counter()
+    tracer = None
+    if args.trace:
+        from repro.obs import Tracer
+
+        tracer = Tracer()
     result = spatial_join(
-        left, right, mb(args.memory_mb), method=args.method, **kwargs
+        left, right, mb(args.memory_mb), method=args.method, tracer=tracer, **kwargs
     )
-    wall = time.perf_counter() - started
     stats = result.stats
+    # format_stats covers the end-to-end timing (``total wall seconds``
+    # includes planning) from the stats record itself, so the printed and
+    # machine-readable numbers can never diverge.
     print(format_stats(stats, verbose=args.verbose))
-    # format_stats reports the driver's own wall time; this one also
-    # covers planning, so label it distinctly.
-    print(f"total wall seconds {wall:.3f}")
     if args.method == "auto":
         print()
         print(result.plan.explain(verbose=args.verbose))
+    if args.trace:
+        n_spans = tracer.write(args.trace)
+        print(f"wrote {n_spans:,} spans to {args.trace}")
+    if args.report:
+        with open(args.report, "w") as handle:
+            json.dump(stats_to_dict(stats), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote stats report to {args.report}")
     if args.out:
         with open(args.out, "w", newline="") as handle:
             writer = csv.writer(handle)
             writer.writerow(("left_oid", "right_oid"))
             writer.writerows(result.pairs)
         print(f"wrote {len(result):,} pairs to {args.out}")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs import (
+        MetricsRegistry,
+        TraceValidationError,
+        read_trace,
+        summarize_trace,
+    )
+
+    try:
+        spans = read_trace(args.trace)
+    except TraceValidationError as exc:
+        print(f"invalid trace: {exc}", file=sys.stderr)
+        return 1
+    if args.validate_only:
+        print(f"{args.trace}: {len(spans)} spans, schema valid")
+        return 0
+    print(summarize_trace(spans))
+    if args.metrics:
+        registry = MetricsRegistry()
+        registry.observe_trace(spans)
+        print()
+        print(registry.render(), end="")
     return 0
 
 
@@ -167,9 +203,37 @@ def build_parser() -> argparse.ArgumentParser:
     )
     join.add_argument("--out", default=None, help="write result pairs as CSV")
     join.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="record execution spans and write them as JSONL",
+    )
+    join.add_argument(
+        "--report",
+        default=None,
+        metavar="PATH",
+        help="write the full machine-readable statistics as JSON",
+    )
+    join.add_argument(
         "--verbose", action="store_true", help="per-phase cost breakdown"
     )
     join.set_defaults(func=_cmd_join)
+
+    trace = sub.add_parser(
+        "trace", help="validate and summarise a trace file written by --trace"
+    )
+    trace.add_argument("trace", help="trace file (JSONL, one span per line)")
+    trace.add_argument(
+        "--validate-only",
+        action="store_true",
+        help="only check the schema, print span count",
+    )
+    trace.add_argument(
+        "--metrics",
+        action="store_true",
+        help="also render the trace as Prometheus text metrics",
+    )
+    trace.set_defaults(func=_cmd_trace)
 
     explain = sub.add_parser(
         "explain",

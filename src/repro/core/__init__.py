@@ -23,10 +23,19 @@ from repro.core.rect import (
     valid_kpe,
 )
 from repro.core.distance import distance_join, expand_for_distance, mbr_distance
+from repro.core.phases import (
+    ALL_PHASES,
+    PHASE_BUILD,
+    PHASE_DEDUP,
+    PHASE_JOIN,
+    PHASE_PARTITION,
+    PHASE_REPARTITION,
+    PHASE_SORT,
+)
 from repro.core.refpoint import reference_point
 from repro.core.space import Space
 from repro.core.stats import CpuCounters, PhaseTimer, merge_counters
-from repro.core.report import format_stats
+from repro.core.report import format_stats, stats_to_dict
 from repro.core.result import JoinResult, JoinStats
 
 __all__ = [
@@ -36,6 +45,13 @@ __all__ = [
     "YL",
     "XH",
     "YH",
+    "ALL_PHASES",
+    "PHASE_BUILD",
+    "PHASE_DEDUP",
+    "PHASE_JOIN",
+    "PHASE_PARTITION",
+    "PHASE_REPARTITION",
+    "PHASE_SORT",
     "CpuCounters",
     "JoinResult",
     "JoinStats",
@@ -53,5 +69,6 @@ __all__ = [
     "merge_counters",
     "rect_contains_point",
     "reference_point",
+    "stats_to_dict",
     "valid_kpe",
 ]

@@ -1,0 +1,43 @@
+"""Canonical phase names for cost and wall-time attribution.
+
+Every driver attributes I/O, CPU counts, and wall time to named phases;
+these constants are the single source of those names.  They used to be
+re-declared per driver (and ``pbsm/parallel.py`` used bare string
+literals), which let the keys of ``wall_seconds_by_phase`` /
+``io_units_by_phase`` drift apart between drivers reporting the same
+phase — import them from here instead.
+"""
+
+from __future__ import annotations
+
+#: Partitioning the inputs (PBSM tiles, S3J level files, SHJ buckets).
+PHASE_PARTITION = "partition"
+#: PBSM's recursive re-partitioning of over-budget partitions.
+PHASE_REPARTITION = "repartition"
+#: The in-memory join of partition/level pairs (or the global sweep).
+PHASE_JOIN = "join"
+#: Final sort-based duplicate removal (original PBSM only).
+PHASE_DEDUP = "dedup"
+#: Sorting inputs or level files (SSSJ, S3J).
+PHASE_SORT = "sort"
+#: Building index structures (R-tree joins).
+PHASE_BUILD = "build"
+
+ALL_PHASES = (
+    PHASE_PARTITION,
+    PHASE_REPARTITION,
+    PHASE_JOIN,
+    PHASE_DEDUP,
+    PHASE_SORT,
+    PHASE_BUILD,
+)
+
+__all__ = [
+    "ALL_PHASES",
+    "PHASE_BUILD",
+    "PHASE_DEDUP",
+    "PHASE_JOIN",
+    "PHASE_PARTITION",
+    "PHASE_REPARTITION",
+    "PHASE_SORT",
+]

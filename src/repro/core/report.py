@@ -7,6 +7,7 @@ the paper's figures are built from.
 
 from __future__ import annotations
 
+from dataclasses import asdict
 from typing import List
 
 from repro.core.result import JoinStats
@@ -45,6 +46,19 @@ def format_stats(stats: JoinStats, verbose: bool = False) -> str:
     )
     if stats.wall_seconds:
         lines.append(f"wall seconds       {stats.wall_seconds:.3f}")
+    if stats.join_busy_seconds or stats.join_makespan_seconds:
+        lines.append(
+            f"join busy/makespan {stats.join_busy_seconds:.3f}s / "
+            f"{stats.join_makespan_seconds:.3f}s"
+        )
+    if stats.planning_seconds:
+        lines.append(f"planning seconds   {stats.planning_seconds:.3f}")
+    if stats.total_wall_seconds:
+        lines.append(f"total wall seconds {stats.total_wall_seconds:.3f}")
+    if verbose and stats.worker_busy_seconds:
+        lines.append("per-worker busy seconds:")
+        for worker, seconds in sorted(stats.worker_busy_seconds.items()):
+            lines.append(f"  {worker:<14} {seconds:>8.3f}s")
     if verbose and stats.sim_seconds_by_phase:
         lines.append("per-phase simulated seconds:")
         for phase, seconds in sorted(stats.sim_seconds_by_phase.items()):
@@ -60,3 +74,21 @@ def format_stats(stats: JoinStats, verbose: bool = False) -> str:
                 )
                 lines.append(f"  {phase:<14} {rendered}")
     return "\n".join(lines)
+
+
+def stats_to_dict(stats: JoinStats) -> dict:
+    """The machine-readable report: every measured field plus derived ones.
+
+    This is what the CLI's ``--report`` writes and what downstream
+    tooling should consume instead of parsing :func:`format_stats`.  All
+    dataclass fields are included verbatim; the derived totals
+    (``wall_seconds``, ``sim_seconds``, ``io_units``, rates) are
+    materialised so consumers need no recomputation.
+    """
+    out = asdict(stats)
+    out["wall_seconds"] = stats.wall_seconds
+    out["sim_seconds"] = stats.sim_seconds
+    out["io_units"] = stats.io_units
+    out["replication_rate"] = stats.replication_rate
+    out["selectivity"] = stats.selectivity()
+    return out

@@ -52,6 +52,20 @@ class JoinStats:
     #: simulated seconds split by phase (io + cpu combined)
     sim_seconds_by_phase: Dict[str, float] = field(default_factory=dict)
     wall_seconds_by_phase: Dict[str, float] = field(default_factory=dict)
+    # --- parallel execution timing --------------------------------------
+    #: sum of per-task wall seconds, measured inside the workers (parallel
+    #: executors only; 0.0 for sequential drivers)
+    join_busy_seconds: float = 0.0
+    #: parent-observed elapsed time of the task fan-out (the makespan the
+    #: busy time is compared against to judge parallel efficiency)
+    join_makespan_seconds: float = 0.0
+    #: busy seconds per worker (label -> seconds; process executor only)
+    worker_busy_seconds: Dict[str, float] = field(default_factory=dict)
+    # --- end-to-end timing ----------------------------------------------
+    #: wall seconds spent planning before execution (method="auto" only)
+    planning_seconds: float = 0.0
+    #: wall seconds of the whole spatial_join() call, planning included
+    total_wall_seconds: float = 0.0
 
     @property
     def sim_seconds(self) -> float:

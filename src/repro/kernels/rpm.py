@@ -26,7 +26,7 @@ from repro.kernels.sweep import (
     forward_scan_batches,
     sorted_columns,
 )
-from repro.pbsm.grid import TileGrid
+from repro.pbsm.grid import TILE_HASH_X, TILE_HASH_Y, TileGrid
 
 #: Array operations charged per detected pair for the batched RPM test
 #: (two refpoint selects, two tile computations, hash, compare).
@@ -46,7 +46,7 @@ def point_tiles(np, grid: TileGrid, x, y):
 def tile_partitions(np, grid: TileGrid, tx, ty):
     """Vectorized ``TileGrid.partition_of_tile`` over tile-index arrays."""
     if grid.mapping == "hash":
-        return ((tx * 73856093) ^ (ty * 19349663)) % grid.n_partitions
+        return ((tx * TILE_HASH_X) ^ (ty * TILE_HASH_Y)) % grid.n_partitions
     return (ty * grid.nx + tx) % grid.n_partitions
 
 

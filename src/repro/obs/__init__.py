@@ -1,0 +1,62 @@
+"""Unified observability: span tracing, trace export, and metrics.
+
+The subsystem has three parts (see ``docs/observability.md``):
+
+* :mod:`repro.obs.trace` — the span tracer.  Drivers open a ``run`` span
+  per execution and a ``phase`` span per phase;
+  ``JoinStats.wall_seconds_by_phase`` is read off those spans, so the
+  trace and the statistics can never disagree.  Tracing defaults to
+  :data:`NULL_TRACER`, whose spans still time themselves but retain
+  nothing.
+* :mod:`repro.obs.export` — the JSONL trace file format: schema
+  validation, loading, and the ``repro trace`` summary.
+* :mod:`repro.obs.metrics` — a labelled counter/gauge registry with a
+  Prometheus-style text dump, fed from :class:`JoinStats` or from an
+  exported trace.
+"""
+
+from repro.obs.export import (
+    TraceValidationError,
+    phase_totals,
+    read_trace,
+    summarize_trace,
+    validate_span_dict,
+    worker_busy,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import (
+    KIND_PHASE,
+    KIND_PLAN,
+    KIND_RUN,
+    KIND_SECTION,
+    KIND_TASK,
+    KIND_WORKER,
+    NULL_TRACER,
+    NullTracer,
+    SCHEMA_VERSION,
+    SPAN_KINDS,
+    Span,
+    Tracer,
+)
+
+__all__ = [
+    "KIND_PHASE",
+    "KIND_PLAN",
+    "KIND_RUN",
+    "KIND_SECTION",
+    "KIND_TASK",
+    "KIND_WORKER",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "SCHEMA_VERSION",
+    "SPAN_KINDS",
+    "Span",
+    "Tracer",
+    "TraceValidationError",
+    "phase_totals",
+    "read_trace",
+    "summarize_trace",
+    "validate_span_dict",
+    "worker_busy",
+]

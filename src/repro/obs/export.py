@@ -1,0 +1,160 @@
+"""Trace file I/O: JSONL schema validation, loading, and summaries.
+
+A trace file is JSON-lines: one span object per line, in completion
+order.  The schema (version :data:`~repro.obs.trace.SCHEMA_VERSION`) is
+deliberately flat so any log pipeline can ingest it::
+
+    {"schema": 1, "span_id": 3, "parent_id": 1, "name": "partition",
+     "kind": "phase", "t_start": 0.01, "t_end": 0.52,
+     "wall_seconds": 0.51, "tags": {...}, "counters": {...}}
+
+``repro trace FILE`` uses :func:`read_trace` + :func:`summarize_trace`;
+the CI smoke job uses :func:`read_trace` alone (validation is built in).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Sequence
+
+from repro.obs.trace import (
+    KIND_PHASE,
+    KIND_TASK,
+    KIND_WORKER,
+    SCHEMA_VERSION,
+    SPAN_KINDS,
+)
+
+#: Field name -> accepted types, for every span line.
+_FIELD_TYPES = {
+    "schema": (int,),
+    "span_id": (int,),
+    "parent_id": (int, type(None)),
+    "name": (str,),
+    "kind": (str,),
+    "t_start": (int, float),
+    "t_end": (int, float),
+    "wall_seconds": (int, float),
+    "tags": (dict,),
+    "counters": (dict,),
+}
+
+#: |wall_seconds - (t_end - t_start)| tolerated in a valid span.
+_WALL_TOLERANCE = 1e-6
+
+
+class TraceValidationError(ValueError):
+    """A trace line violates the span schema."""
+
+
+def validate_span_dict(record: dict, line_no: Optional[int] = None) -> None:
+    """Raise :class:`TraceValidationError` unless *record* is a valid span."""
+    where = f"line {line_no}: " if line_no is not None else ""
+    if not isinstance(record, dict):
+        raise TraceValidationError(f"{where}span must be an object")
+    for name, types in _FIELD_TYPES.items():
+        if name not in record:
+            raise TraceValidationError(f"{where}missing field {name!r}")
+        value = record[name]
+        if isinstance(value, bool) or not isinstance(value, types):
+            raise TraceValidationError(
+                f"{where}field {name!r} has type {type(value).__name__}"
+            )
+    if record["schema"] != SCHEMA_VERSION:
+        raise TraceValidationError(
+            f"{where}unsupported schema version {record['schema']!r}"
+        )
+    if record["kind"] not in SPAN_KINDS:
+        raise TraceValidationError(f"{where}unknown span kind {record['kind']!r}")
+    if record["t_end"] < record["t_start"]:
+        raise TraceValidationError(f"{where}t_end precedes t_start")
+    measured = record["t_end"] - record["t_start"]
+    if abs(record["wall_seconds"] - measured) > _WALL_TOLERANCE:
+        raise TraceValidationError(
+            f"{where}wall_seconds {record['wall_seconds']!r} disagrees with "
+            f"t_end - t_start ({measured!r})"
+        )
+
+
+def read_trace(path) -> List[dict]:
+    """Load and validate a JSONL trace file; returns the span dicts."""
+    spans: List[dict] = []
+    with open(path) as handle:
+        for line_no, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise TraceValidationError(
+                    f"line {line_no}: not valid JSON ({exc})"
+                ) from exc
+            validate_span_dict(record, line_no)
+            spans.append(record)
+    return spans
+
+
+# ----------------------------------------------------------------------
+# aggregation over span dicts (works on the export form, not Span objects)
+# ----------------------------------------------------------------------
+def phase_totals(spans: Sequence[dict]) -> Dict[str, float]:
+    """Wall seconds of ``phase`` spans aggregated by phase name."""
+    totals: Dict[str, float] = {}
+    for span in spans:
+        if span["kind"] == KIND_PHASE:
+            totals[span["name"]] = (
+                totals.get(span["name"], 0.0) + span["wall_seconds"]
+            )
+    return totals
+
+
+def worker_busy(spans: Sequence[dict]) -> Dict[str, float]:
+    """Busy seconds per worker, from ``worker`` spans (label -> seconds)."""
+    busy: Dict[str, float] = {}
+    for span in spans:
+        if span["kind"] == KIND_WORKER:
+            label = str(span["tags"].get("worker", span["span_id"]))
+            busy[label] = busy.get(label, 0.0) + span["wall_seconds"]
+    return busy
+
+
+def summarize_trace(spans: Sequence[dict]) -> str:
+    """Render a human-readable trace summary (the ``repro trace`` output)."""
+    lines: List[str] = []
+    by_kind: Dict[str, int] = {}
+    for span in spans:
+        by_kind[span["kind"]] = by_kind.get(span["kind"], 0) + 1
+    kinds = ", ".join(f"{k}={v}" for k, v in sorted(by_kind.items()))
+    lines.append(f"trace: {len(spans)} spans ({kinds})")
+
+    roots = [s for s in spans if s["parent_id"] is None]
+    for root in roots:
+        tags = " ".join(f"{k}={v}" for k, v in sorted(root["tags"].items()))
+        lines.append(
+            f"run: {root['name']} {root['wall_seconds']:.3f}s"
+            + (f"  [{tags}]" if tags else "")
+        )
+
+    phases = phase_totals(spans)
+    if phases:
+        total = sum(phases.values())
+        lines.append("per-phase wall seconds:")
+        for name, seconds in sorted(
+            phases.items(), key=lambda kv: kv[1], reverse=True
+        ):
+            share = seconds / total if total else 0.0
+            lines.append(f"  {name:<14} {seconds:>9.3f}s  ({share:6.1%})")
+
+    busy = worker_busy(spans)
+    if busy:
+        tasks = [s for s in spans if s["kind"] == KIND_TASK]
+        task_busy = sum(s["wall_seconds"] for s in tasks)
+        lines.append(
+            f"workers: {len(busy)} worker spans, busy "
+            f"{sum(busy.values()):.3f}s over {len(tasks)} tasks "
+            f"({task_busy:.3f}s task wall)"
+        )
+        for label, seconds in sorted(busy.items()):
+            lines.append(f"  worker {label:<12} busy {seconds:>9.3f}s")
+    return "\n".join(lines)

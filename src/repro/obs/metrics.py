@@ -1,0 +1,179 @@
+"""A small metrics registry with a Prometheus-style text exposition.
+
+Counters and gauges with label sets, rendered in the Prometheus text
+format (``# HELP`` / ``# TYPE`` headers, ``name{label="v"} value``
+samples).  There is no HTTP endpoint — the registry renders to text so a
+scrape shim, a file sink, or a test can consume it — and no external
+dependency.
+
+Two ingestion helpers map the repo's own observability objects onto
+standard metric names:
+
+* :meth:`MetricsRegistry.observe_join` — one executed join's
+  :class:`~repro.core.result.JoinStats`;
+* :meth:`MetricsRegistry.observe_trace` — exported span dicts (what
+  :func:`repro.obs.export.read_trace` returns), so ``repro trace FILE
+  --metrics OUT`` can turn any trace file into a scrapeable dump.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+_LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Dict[str, object]) -> _LabelKey:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+class _Metric:
+    __slots__ = ("name", "kind", "help", "samples")
+
+    def __init__(self, name: str, kind: str, help_text: str):
+        self.name = name
+        self.kind = kind
+        self.help = help_text
+        self.samples: Dict[_LabelKey, float] = {}
+
+
+class MetricsRegistry:
+    """Named counters and gauges with labels, exported as Prometheus text."""
+
+    def __init__(self):
+        self._metrics: Dict[str, _Metric] = {}
+
+    # ------------------------------------------------------------------
+    # registration & updates
+    # ------------------------------------------------------------------
+    def _declare(self, name: str, kind: str, help_text: str) -> _Metric:
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = _Metric(name, kind, help_text)
+            self._metrics[name] = metric
+        elif metric.kind != kind:
+            raise ValueError(
+                f"metric {name!r} already registered as {metric.kind}"
+            )
+        return metric
+
+    def counter(self, name: str, help_text: str = "") -> None:
+        """Declare a monotonically increasing counter."""
+        self._declare(name, "counter", help_text)
+
+    def gauge(self, name: str, help_text: str = "") -> None:
+        """Declare a gauge (set to the latest observed value)."""
+        self._declare(name, "gauge", help_text)
+
+    def inc(self, name: str, value: float = 1.0, **labels) -> None:
+        """Increment a counter (declared implicitly on first use)."""
+        self.inc_labels(name, value, labels)
+
+    def inc_labels(self, name: str, value: float, labels: Dict[str, object]) -> None:
+        """Like :meth:`inc`, with the labels as a dict — required when a
+        label is itself called ``name`` or ``value``."""
+        metric = self._declare(name, "counter", "")
+        key = _label_key(labels)
+        metric.samples[key] = metric.samples.get(key, 0.0) + value
+
+    def set(self, name: str, value: float, **labels) -> None:
+        """Set a gauge (declared implicitly on first use)."""
+        metric = self._declare(name, "gauge", "")
+        metric.samples[_label_key(labels)] = value
+
+    def get(self, name: str, **labels) -> float:
+        """Read back one sample (0.0 when never observed)."""
+        metric = self._metrics.get(name)
+        if metric is None:
+            return 0.0
+        return metric.samples.get(_label_key(labels), 0.0)
+
+    # ------------------------------------------------------------------
+    # ingestion
+    # ------------------------------------------------------------------
+    def observe_join(self, stats, **labels) -> None:
+        """Record one executed join's :class:`JoinStats` into the registry."""
+        base = dict(labels)
+        base.setdefault("algorithm", stats.algorithm)
+        self.counter("repro_join_runs_total", "Executed joins")
+        self.inc("repro_join_runs_total", 1, **base)
+        self.counter("repro_join_results_total", "Result pairs reported")
+        self.inc("repro_join_results_total", stats.n_results, **base)
+        self.counter(
+            "repro_join_duplicates_suppressed_total",
+            "Pairs suppressed online by the Reference Point Method",
+        )
+        self.inc(
+            "repro_join_duplicates_suppressed_total",
+            stats.duplicates_suppressed,
+            **base,
+        )
+        self.counter("repro_join_io_units_total", "Simulated I/O units")
+        self.inc("repro_join_io_units_total", stats.io_units, **base)
+        self.counter(
+            "repro_join_wall_seconds_total", "Wall seconds per phase"
+        )
+        for phase, seconds in stats.wall_seconds_by_phase.items():
+            self.inc(
+                "repro_join_wall_seconds_total", seconds, phase=phase, **base
+            )
+        if stats.join_busy_seconds:
+            self.gauge(
+                "repro_join_busy_seconds",
+                "Sum of per-task wall seconds measured inside workers",
+            )
+            self.set("repro_join_busy_seconds", stats.join_busy_seconds, **base)
+        if stats.join_makespan_seconds:
+            self.gauge(
+                "repro_join_makespan_seconds",
+                "Parent-observed elapsed time of the parallel task fan-out",
+            )
+            self.set(
+                "repro_join_makespan_seconds",
+                stats.join_makespan_seconds,
+                **base,
+            )
+
+    def observe_trace(self, spans: Sequence[dict], **labels) -> None:
+        """Record exported span dicts (see :func:`repro.obs.export.read_trace`)."""
+        self.counter("repro_trace_spans_total", "Spans per kind")
+        self.counter(
+            "repro_trace_wall_seconds_total", "Wall seconds per span kind/name"
+        )
+        for span in spans:
+            self.inc(
+                "repro_trace_spans_total", 1, kind=span["kind"], **labels
+            )
+            # A label is literally called "name" here, which would collide
+            # with inc()'s metric-name parameter — hence the dict form.
+            self.inc_labels(
+                "repro_trace_wall_seconds_total",
+                span["wall_seconds"],
+                {"kind": span["kind"], "name": span["name"], **labels},
+            )
+
+    # ------------------------------------------------------------------
+    # exposition
+    # ------------------------------------------------------------------
+    def render(self) -> str:
+        """The registry in the Prometheus text exposition format."""
+        lines: List[str] = []
+        for name in sorted(self._metrics):
+            metric = self._metrics[name]
+            if metric.help:
+                lines.append(f"# HELP {name} {metric.help}")
+            lines.append(f"# TYPE {name} {metric.kind}")
+            for key in sorted(metric.samples):
+                value = metric.samples[key]
+                if key:
+                    rendered = ",".join(
+                        f'{k}="{_escape(v)}"' for k, v in key
+                    )
+                    lines.append(f"{name}{{{rendered}}} {value:g}")
+                else:
+                    lines.append(f"{name} {value:g}")
+        return "\n".join(lines) + ("\n" if lines else "")

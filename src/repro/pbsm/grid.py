@@ -21,6 +21,12 @@ from repro.core.space import Space
 #: Supported tile-to-partition mappings.
 TILE_MAPPINGS = ("hash", "round_robin")
 
+#: Odd multipliers for the "hash" tile-to-partition mapping.  The scalar
+#: arithmetic here and the vectorized replay in
+#: :mod:`repro.kernels.rpm` must hash identically, so both import these.
+TILE_HASH_X = 73856093
+TILE_HASH_Y = 19349663
+
 
 class TileGrid:
     """An ``nx x ny`` equidistant grid with a tile-to-partition mapping."""
@@ -88,7 +94,7 @@ class TileGrid:
         if self.mapping == "hash":
             # Two odd multipliers decorrelate rows and columns so clustered
             # tiles spread over all partitions (Patel & DeWitt's intent).
-            return ((tx * 73856093) ^ (ty * 19349663)) % self.n_partitions
+            return ((tx * TILE_HASH_X) ^ (ty * TILE_HASH_Y)) % self.n_partitions
         return (ty * self.nx + tx) % self.n_partitions
 
     def partition_of_point(self, x: float, y: float) -> int:

@@ -19,9 +19,14 @@ pipelining difference; :meth:`PBSM.run` simply drains it.
 
 from __future__ import annotations
 
-import time
 from typing import Callable, Iterator, List, Optional, Sequence, Tuple
 
+from repro.core.phases import (
+    PHASE_DEDUP,
+    PHASE_JOIN,
+    PHASE_PARTITION,
+    PHASE_REPARTITION,
+)
 from repro.core.result import JoinResult, JoinStats
 from repro.core.space import Space
 from repro.core.stats import CpuCounters
@@ -31,6 +36,7 @@ from repro.io.disk import SimulatedDisk
 from repro.io.pagefile import PageFile
 from repro.kernels.backend import active_backend, numpy_enabled
 from repro.kernels.rpm import rpm_join_task
+from repro.obs.trace import KIND_RUN, NULL_TRACER
 from repro.pbsm.dedup import sort_based_dedup
 from repro.pbsm.estimator import estimate_partitions
 from repro.pbsm.grid import TileGrid
@@ -40,12 +46,6 @@ from repro.pbsm.repartition import (
     compose_region_test,
     split_partition,
 )
-
-#: Phase names used for I/O and CPU attribution.
-PHASE_PARTITION = "partition"
-PHASE_REPARTITION = "repartition"
-PHASE_JOIN = "join"
-PHASE_DEDUP = "dedup"
 
 DEDUP_MODES = ("rpm", "sort", "none")
 
@@ -83,12 +83,14 @@ class PBSM:
         tile_mapping: str = "hash",
         cost_model: Optional[CostModel] = None,
         max_repartition_depth: int = 8,
+        tracer=None,
     ):
         if memory_bytes <= 0:
             raise ValueError("memory_bytes must be positive")
         if dedup not in DEDUP_MODES:
             raise ValueError(f"dedup must be one of {DEDUP_MODES}, got {dedup!r}")
         self.memory_bytes = memory_bytes
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.internal_name = internal
         self.internal = internal_algorithm(internal)
         self.dedup = dedup
@@ -169,55 +171,67 @@ class PBSM:
         )
         stats.n_partitions = n_partitions
 
-        # --- phase 1: partitioning -----------------------------------
-        wall_start = time.perf_counter()
-        with disk.phase(PHASE_PARTITION):
-            left_files, n_left_written = partition_relation(
-                left, grid, disk, kpe_bytes, cpu[PHASE_PARTITION], "R"
-            )
-            right_files, n_right_written = partition_relation(
-                right, grid, disk, kpe_bytes, cpu[PHASE_PARTITION], "S"
-            )
-        stats.records_partitioned = n_left_written + n_right_written
-        stats.replicas_created = stats.records_partitioned - len(left) - len(right)
-        stats.wall_seconds_by_phase[PHASE_PARTITION] = (
-            time.perf_counter() - wall_start
-        )
-
-        # --- candidate sink -------------------------------------------
-        candidate_file: Optional[PageFile] = None
-        candidate_writer = None
-        if self.dedup == "sort":
-            candidate_file = PageFile(disk, self.cost_model.result_bytes, "cands")
-            candidate_writer = candidate_file.writer(buffer_pages=1)
-
-        # --- phases 2+3: (re)partition & join --------------------------
-        wall_start = time.perf_counter()
-        for pid in range(n_partitions):
-            region = _top_region_test(grid, pid)
-            yield from self._join_pair(
-                left_files[pid],
-                right_files[pid],
-                region,
-                space,
-                candidate_writer,
-                depth=0,
-            )
-        stats.wall_seconds_by_phase[PHASE_JOIN] = time.perf_counter() - wall_start
-
-        # --- phase 4: sort-based duplicate removal ---------------------
-        if self.dedup == "sort":
-            wall_start = time.perf_counter()
-            with disk.phase(PHASE_DEDUP):
-                candidate_writer.close()
-                unique, removed = sort_based_dedup(
-                    candidate_file, self.memory_bytes, cpu[PHASE_DEDUP]
+        tracer = self.tracer
+        with tracer.span(
+            "pbsm",
+            kind=KIND_RUN,
+            internal=self.internal_name,
+            dedup=self.dedup,
+            backend=stats.backend or None,
+        ):
+            # --- phase 1: partitioning -----------------------------------
+            with tracer.span(
+                PHASE_PARTITION, cpu=cpu[PHASE_PARTITION], disk=disk
+            ) as sp:
+                with disk.phase(PHASE_PARTITION):
+                    left_files, n_left_written = partition_relation(
+                        left, grid, disk, kpe_bytes, cpu[PHASE_PARTITION], "R"
+                    )
+                    right_files, n_right_written = partition_relation(
+                        right, grid, disk, kpe_bytes, cpu[PHASE_PARTITION], "S"
+                    )
+                stats.records_partitioned = n_left_written + n_right_written
+                stats.replicas_created = (
+                    stats.records_partitioned - len(left) - len(right)
                 )
-            stats.duplicates_sorted_out = removed
-            stats.wall_seconds_by_phase[PHASE_DEDUP] = (
-                time.perf_counter() - wall_start
-            )
-            yield from unique
+            stats.wall_seconds_by_phase[PHASE_PARTITION] = sp.wall_seconds
+
+            # --- candidate sink -------------------------------------------
+            candidate_file: Optional[PageFile] = None
+            candidate_writer = None
+            if self.dedup == "sort":
+                candidate_file = PageFile(
+                    disk, self.cost_model.result_bytes, "cands"
+                )
+                candidate_writer = candidate_file.writer(buffer_pages=1)
+
+            # --- phases 2+3: (re)partition & join --------------------------
+            with tracer.span(PHASE_JOIN, cpu=cpu[PHASE_JOIN], disk=disk) as sp:
+                for pid in range(n_partitions):
+                    region = _top_region_test(grid, pid)
+                    yield from self._join_pair(
+                        left_files[pid],
+                        right_files[pid],
+                        region,
+                        space,
+                        candidate_writer,
+                        depth=0,
+                    )
+            stats.wall_seconds_by_phase[PHASE_JOIN] = sp.wall_seconds
+
+            # --- phase 4: sort-based duplicate removal ---------------------
+            if self.dedup == "sort":
+                with tracer.span(
+                    PHASE_DEDUP, cpu=cpu[PHASE_DEDUP], disk=disk
+                ) as sp:
+                    with disk.phase(PHASE_DEDUP):
+                        candidate_writer.close()
+                        unique, removed = sort_based_dedup(
+                            candidate_file, self.memory_bytes, cpu[PHASE_DEDUP]
+                        )
+                    stats.duplicates_sorted_out = removed
+                stats.wall_seconds_by_phase[PHASE_DEDUP] = sp.wall_seconds
+                yield from unique
 
     def _join_pair(
         self,

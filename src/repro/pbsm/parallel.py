@@ -28,9 +28,11 @@ exactly one partition, hence by exactly one worker.
 
 from __future__ import annotations
 
+import os
 import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.core.phases import PHASE_JOIN, PHASE_PARTITION
 from repro.core.result import JoinResult, JoinStats
 from repro.core.space import Space
 from repro.core.stats import CpuCounters
@@ -39,6 +41,7 @@ from repro.io.costmodel import CostModel
 from repro.io.disk import SimulatedDisk
 from repro.kernels.backend import active_backend
 from repro.kernels.rpm import rpm_join_task
+from repro.obs.trace import KIND_RUN, KIND_TASK, KIND_WORKER, NULL_TRACER
 from repro.pbsm.estimator import estimate_partitions
 from repro.pbsm.grid import TileGrid
 from repro.pbsm.partitioner import partition_relation
@@ -52,8 +55,14 @@ CHUNKS_PER_WORKER = 4
 #: ``(pid, records_left, records_right)`` — one partition-pair join task.
 JoinTask = Tuple[int, List[Tuple], List[Tuple]]
 
-#: ``(pid, pairs, suppressed, counters_dict)`` — one task's outcome.
-TaskOutcome = Tuple[int, List[Tuple[int, int]], int, Dict[str, int]]
+#: ``(pid, pairs, suppressed, counters_dict, wall_seconds)`` — one task's
+#: outcome.  ``wall_seconds`` is measured inside the worker, so per-task
+#: timing survives the process boundary instead of being dropped.
+TaskOutcome = Tuple[int, List[Tuple[int, int]], int, Dict[str, int], float]
+
+#: ``(worker_pid, chunk_wall_seconds, task_outcomes)`` — what one chunk of
+#: tasks reports back from a pool worker.
+ChunkOutcome = Tuple[int, float, List[TaskOutcome]]
 
 
 def _grid_spec(grid: TileGrid) -> Tuple:
@@ -79,12 +88,14 @@ def _grid_from_spec(spec: Tuple) -> TileGrid:
 def _run_join_task(internal_name: str, grid: TileGrid, task: JoinTask) -> TaskOutcome:
     """Execute one partition-pair join with RPM ownership by its pid."""
     pid, records_left, records_right = task
+    started = time.perf_counter()
     counters = CpuCounters()
     if internal_name == "sweep_numpy":
         pairs, suppressed = rpm_join_task(
             records_left, records_right, grid, pid, counters
         )
-        return pid, pairs, suppressed, counters.as_dict()
+        wall = time.perf_counter() - started
+        return pid, pairs, suppressed, counters.as_dict(), wall
 
     pairs: List[Tuple[int, int]] = []
     suppressed = 0
@@ -107,18 +118,24 @@ def _run_join_task(internal_name: str, grid: TileGrid, task: JoinTask) -> TaskOu
 
     internal_algorithm(internal_name)(records_left, records_right, emit, counters)
     counters.refpoint_tests += refpoint_tests
-    return pid, pairs, suppressed, counters.as_dict()
+    wall = time.perf_counter() - started
+    return pid, pairs, suppressed, counters.as_dict(), wall
 
 
-def _run_chunk(payload: Tuple[str, Tuple, List[JoinTask]]) -> List[TaskOutcome]:
+def _run_chunk(payload: Tuple[str, Tuple, List[JoinTask]]) -> ChunkOutcome:
     """Worker entry point: run a chunk of join tasks, return their outcomes.
 
     Module-level (hence picklable) on purpose; receives only plain tuples
     so the payload crosses the process boundary without custom reducers.
+    The worker measures its own chunk wall time (and each task measures
+    its own), because the parent cannot observe time spent inside another
+    process — it only sees the fan-out's makespan.
     """
     internal_name, grid_spec, tasks = payload
     grid = _grid_from_spec(grid_spec)
-    return [_run_join_task(internal_name, grid, task) for task in tasks]
+    started = time.perf_counter()
+    outcomes = [_run_join_task(internal_name, grid, task) for task in tasks]
+    return os.getpid(), time.perf_counter() - started, outcomes
 
 
 def _chunk_tasks(
@@ -158,6 +175,7 @@ class ParallelPBSM:
         t_factor: float = 1.2,
         tiles_per_partition: int = 4,
         cost_model: Optional[CostModel] = None,
+        tracer=None,
     ):
         if memory_bytes <= 0:
             raise ValueError("memory_bytes must be positive")
@@ -169,6 +187,7 @@ class ParallelPBSM:
             )
         self.memory_bytes = memory_bytes
         self.workers = workers
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.internal_name = internal
         self.internal = internal_algorithm(internal)
         self.executor = executor
@@ -202,117 +221,193 @@ class ParallelPBSM:
         )
         stats.n_partitions = n_partitions
 
-        # --- sequential partitioning phase -----------------------------
-        wall = time.perf_counter()
-        disk = SimulatedDisk(cost)
-        part_cpu = CpuCounters()
-        with disk.phase("partition"):
-            left_files, n_left_written = partition_relation(
-                left, grid, disk, kpe_bytes, part_cpu, "R"
-            )
-            right_files, n_right_written = partition_relation(
-                right, grid, disk, kpe_bytes, part_cpu, "S"
-            )
-        stats.records_partitioned = n_left_written + n_right_written
-        stats.replicas_created = stats.records_partitioned - len(left) - len(right)
-        partition_seconds = cost.io_seconds(disk.total_units()) + cost.cpu_seconds(
-            part_cpu
-        )
-        stats.wall_seconds_by_phase["partition"] = time.perf_counter() - wall
+        tracer = self.tracer
+        with tracer.span(
+            "parallel_pbsm",
+            kind=KIND_RUN,
+            internal=self.internal_name,
+            executor=self.executor,
+            workers=self.workers,
+            backend=stats.backend or None,
+        ):
+            # --- sequential partitioning phase -----------------------------
+            disk = SimulatedDisk(cost)
+            part_cpu = CpuCounters()
+            with tracer.span(PHASE_PARTITION, cpu=part_cpu, disk=disk) as sp:
+                with disk.phase(PHASE_PARTITION):
+                    left_files, n_left_written = partition_relation(
+                        left, grid, disk, kpe_bytes, part_cpu, "R"
+                    )
+                    right_files, n_right_written = partition_relation(
+                        right, grid, disk, kpe_bytes, part_cpu, "S"
+                    )
+                stats.records_partitioned = n_left_written + n_right_written
+                stats.replicas_created = (
+                    stats.records_partitioned - len(left) - len(right)
+                )
+                partition_seconds = cost.io_seconds(
+                    disk.total_units()
+                ) + cost.cpu_seconds(part_cpu)
+            stats.wall_seconds_by_phase[PHASE_PARTITION] = sp.wall_seconds
 
-        # --- materialise the join tasks (reads are charged) ------------
-        wall = time.perf_counter()
-        tasks: List[JoinTask] = []
-        task_io_units: Dict[int, float] = {}
-        for pid in range(n_partitions):
-            file_left = left_files[pid]
-            file_right = right_files[pid]
-            if not file_left.n_records or not file_right.n_records:
-                continue
-            pair_bytes = file_left.n_bytes + file_right.n_bytes
-            if pair_bytes > self.memory_bytes:
-                stats.memory_overruns += 1
-            if pair_bytes > stats.peak_memory_bytes:
-                stats.peak_memory_bytes = pair_bytes
-            task_disk = SimulatedDisk(cost)
-            with task_disk.phase("join"):
-                records_left = file_left.read_all()
-                records_right = file_right.read_all()
-            tasks.append((pid, records_left, records_right))
-            task_io_units[pid] = task_disk.total_units()
+            with tracer.span(PHASE_JOIN) as sp:
+                # --- materialise the join tasks (reads are charged) --------
+                tasks: List[JoinTask] = []
+                task_io_units: Dict[int, float] = {}
+                for pid in range(n_partitions):
+                    file_left = left_files[pid]
+                    file_right = right_files[pid]
+                    if not file_left.n_records or not file_right.n_records:
+                        continue
+                    pair_bytes = file_left.n_bytes + file_right.n_bytes
+                    if pair_bytes > self.memory_bytes:
+                        stats.memory_overruns += 1
+                    if pair_bytes > stats.peak_memory_bytes:
+                        stats.peak_memory_bytes = pair_bytes
+                    task_disk = SimulatedDisk(cost)
+                    with task_disk.phase(PHASE_JOIN):
+                        records_left = file_left.read_all()
+                        records_right = file_right.read_all()
+                    tasks.append((pid, records_left, records_right))
+                    task_io_units[pid] = task_disk.total_units()
 
-        # --- execute the tasks -----------------------------------------
-        outcomes = self._execute(tasks, grid)
+                # --- execute the tasks -------------------------------------
+                outcomes = self._execute(tasks, grid, stats)
 
-        # --- deterministic merge in partition order --------------------
-        task_costs: List[float] = []
-        join_cpu_total = CpuCounters()
-        join_units_total = 0.0
-        suppressed_total = 0
-        for pid, task_pairs, suppressed, counter_dict in sorted(outcomes):
-            pairs.extend(task_pairs)
-            suppressed_total += suppressed
-            task_cpu = CpuCounters(**counter_dict)
-            units = task_io_units[pid]
-            task_costs.append(
-                cost.io_seconds(units) + cost.cpu_seconds(task_cpu)
-            )
-            join_cpu_total.add(task_cpu)
-            join_units_total += units
-        stats.duplicates_suppressed = suppressed_total
-        stats.wall_seconds_by_phase["join"] = time.perf_counter() - wall
+                # --- deterministic merge in partition order ----------------
+                task_costs: List[float] = []
+                join_cpu_total = CpuCounters()
+                join_units_total = 0.0
+                suppressed_total = 0
+                for pid, task_pairs, suppressed, counter_dict, _wall in sorted(
+                    outcomes
+                ):
+                    pairs.extend(task_pairs)
+                    suppressed_total += suppressed
+                    task_cpu = CpuCounters(**counter_dict)
+                    units = task_io_units[pid]
+                    task_costs.append(
+                        cost.io_seconds(units) + cost.cpu_seconds(task_cpu)
+                    )
+                    join_cpu_total.add(task_cpu)
+                    join_units_total += units
+                stats.duplicates_suppressed = suppressed_total
+                sp.add_counters(join_cpu_total.as_dict())
+                sp.add_counters({"io_units": join_units_total})
+            stats.wall_seconds_by_phase[PHASE_JOIN] = sp.wall_seconds
 
-        # --- LPT scheduling onto W workers ------------------------------
-        makespan, _loads = lpt_schedule(task_costs, self.workers)
-        stats.n_results = len(pairs)
-        stats.io_units_by_phase = {
-            "partition": disk.total_units(),
-            "join": join_units_total,
-        }
-        stats.cpu_by_phase = {
-            "partition": part_cpu.as_dict(),
-            "join": join_cpu_total.as_dict(),
-        }
-        # The *parallel* simulated runtime:
-        stats.sim_io_seconds = cost.io_seconds(disk.total_units())
-        stats.sim_cpu_seconds = makespan  # join tasks dominated by makespan
-        stats.sim_seconds_by_phase = {
-            "partition": partition_seconds,
-            "join": makespan,
-        }
+            # --- LPT scheduling onto W workers --------------------------
+            makespan, _loads = lpt_schedule(task_costs, self.workers)
+            stats.n_results = len(pairs)
+            stats.io_units_by_phase = {
+                PHASE_PARTITION: disk.total_units(),
+                PHASE_JOIN: join_units_total,
+            }
+            stats.cpu_by_phase = {
+                PHASE_PARTITION: part_cpu.as_dict(),
+                PHASE_JOIN: join_cpu_total.as_dict(),
+            }
+            # The *parallel* simulated runtime:
+            stats.sim_io_seconds = cost.io_seconds(disk.total_units())
+            stats.sim_cpu_seconds = makespan  # join tasks dominated by makespan
+            stats.sim_seconds_by_phase = {
+                PHASE_PARTITION: partition_seconds,
+                PHASE_JOIN: makespan,
+            }
         return JoinResult(pairs=pairs, stats=stats)
 
     # ------------------------------------------------------------------
     # task execution
     # ------------------------------------------------------------------
     def _execute(
-        self, tasks: List[JoinTask], grid: TileGrid
+        self, tasks: List[JoinTask], grid: TileGrid, stats: JoinStats
     ) -> List[TaskOutcome]:
-        """Run every join task under the configured executor."""
+        """Run every join task under the configured executor.
+
+        Besides the outcomes this fills in the parallel timing fields of
+        *stats*: ``join_busy_seconds`` (sum of per-task wall seconds, as
+        measured where the task ran) and ``join_makespan_seconds`` (the
+        fan-out elapsed time observed here, in the parent).
+        """
         if not tasks:
             return []
         if self.executor == "process" and self.workers > 1:
-            return self._execute_process(tasks, grid)
-        # Simulated mode and the workers=1 degenerate case share the
-        # in-process loop; no pool is spawned.
-        return [
-            _run_join_task(self.internal_name, grid, task) for task in tasks
-        ]
+            outcomes = self._execute_process(tasks, grid, stats)
+        else:
+            # Simulated mode and the workers=1 degenerate case share the
+            # in-process loop; no pool is spawned.
+            tracer = self.tracer
+            started = time.perf_counter()
+            outcomes = []
+            for task in tasks:
+                outcome = _run_join_task(self.internal_name, grid, task)
+                outcomes.append(outcome)
+                if tracer.recording:
+                    tracer.add_span(
+                        "task",
+                        outcome[4],
+                        kind=KIND_TASK,
+                        counters=outcome[3],
+                        pid=outcome[0],
+                    )
+            stats.join_makespan_seconds = time.perf_counter() - started
+        stats.join_busy_seconds = sum(outcome[4] for outcome in outcomes)
+        return outcomes
 
     def _execute_process(
-        self, tasks: List[JoinTask], grid: TileGrid
+        self, tasks: List[JoinTask], grid: TileGrid, stats: JoinStats
     ) -> List[TaskOutcome]:
-        """Fan the tasks out over a process pool, LPT-chunked."""
+        """Fan the tasks out over a process pool, LPT-chunked.
+
+        Workers report ``(pid, chunk_wall, task_outcomes)``; the parent
+        turns each chunk into a ``worker`` span with its tasks as child
+        ``task`` spans, and aggregates per-worker busy seconds — so the
+        time spent inside the pool is attributed instead of dropped.
+        """
         from concurrent.futures import ProcessPoolExecutor
 
+        tracer = self.tracer
         n_chunks = min(len(tasks), self.workers * CHUNKS_PER_WORKER)
         chunks = _chunk_tasks(tasks, n_chunks)
         spec = _grid_spec(grid)
         payloads = [(self.internal_name, spec, chunk) for chunk in chunks]
-        outcomes: List[TaskOutcome] = []
+        chunk_outcomes: List[ChunkOutcome] = []
+        started = time.perf_counter()
         with ProcessPoolExecutor(max_workers=self.workers) as pool:
-            for chunk_outcomes in pool.map(_run_chunk, payloads):
-                outcomes.extend(chunk_outcomes)
+            for chunk_outcome in pool.map(_run_chunk, payloads):
+                chunk_outcomes.append(chunk_outcome)
+        stats.join_makespan_seconds = time.perf_counter() - started
+
+        outcomes: List[TaskOutcome] = []
+        busy_by_worker: Dict[str, float] = {}
+        for chunk_idx, (worker_pid, chunk_wall, task_outcomes) in enumerate(
+            chunk_outcomes
+        ):
+            label = f"pid-{worker_pid}"
+            busy_by_worker[label] = busy_by_worker.get(label, 0.0) + chunk_wall
+            if tracer.recording:
+                worker_span = tracer.add_span(
+                    "worker",
+                    chunk_wall,
+                    kind=KIND_WORKER,
+                    worker=label,
+                    chunk=chunk_idx,
+                    tasks=len(task_outcomes),
+                )
+                for pid, _pairs, _suppressed, counter_dict, task_wall in (
+                    task_outcomes
+                ):
+                    tracer.add_span(
+                        "task",
+                        task_wall,
+                        kind=KIND_TASK,
+                        parent_id=worker_span.span_id,
+                        counters=counter_dict,
+                        pid=pid,
+                        worker=label,
+                    )
+            outcomes.extend(task_outcomes)
+        stats.worker_busy_seconds = busy_by_worker
         return outcomes
 
 

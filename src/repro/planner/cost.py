@@ -27,6 +27,14 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict
 
+from repro.core.phases import (
+    PHASE_BUILD,
+    PHASE_DEDUP,
+    PHASE_JOIN,
+    PHASE_PARTITION,
+    PHASE_REPARTITION,
+    PHASE_SORT,
+)
 from repro.internal.interval_trie import DEFAULT_MAX_DEPTH
 from repro.io.costmodel import CostModel
 from repro.kernels.backend import numpy_enabled
@@ -369,10 +377,10 @@ def estimate_pbsm(
     io_units = io_partition + io_join + io_repartition + io_dedup
     cpu_seconds = cpu_partition + cpu_internal + cpu_repartition + cpu_dedup
     breakdown = {
-        "partition": cost.io_seconds(io_partition) + cpu_partition,
-        "repartition": cost.io_seconds(io_repartition) + cpu_repartition,
-        "join": cost.io_seconds(io_join) + cpu_internal,
-        "dedup": cost.io_seconds(io_dedup) + cpu_dedup,
+        PHASE_PARTITION: cost.io_seconds(io_partition) + cpu_partition,
+        PHASE_REPARTITION: cost.io_seconds(io_repartition) + cpu_repartition,
+        PHASE_JOIN: cost.io_seconds(io_join) + cpu_internal,
+        PHASE_DEDUP: cost.io_seconds(io_dedup) + cpu_dedup,
     }
     predicted = {
         "n_partitions": float(n_partitions),
@@ -467,9 +475,9 @@ def estimate_s3j(
     io_units = io_partition + io_sort + io_scan
     cpu_seconds = cpu_partition + cpu_sort + cpu_scan
     breakdown = {
-        "partition": cost.io_seconds(io_partition) + cpu_partition,
-        "sort": cost.io_seconds(io_sort) + cpu_sort,
-        "join": cost.io_seconds(io_scan) + cpu_scan,
+        PHASE_PARTITION: cost.io_seconds(io_partition) + cpu_partition,
+        PHASE_SORT: cost.io_seconds(io_sort) + cpu_sort,
+        PHASE_JOIN: cost.io_seconds(io_scan) + cpu_scan,
     }
     predicted = {
         "est_results": jp.est_results,
@@ -560,8 +568,8 @@ def estimate_shj(
     io_units = io_partition + io_join
     cpu_seconds = cpu_partition + cpu_internal
     breakdown = {
-        "partition": cost.io_seconds(io_partition) + cpu_partition,
-        "join": cost.io_seconds(io_join) + cpu_internal,
+        PHASE_PARTITION: cost.io_seconds(io_partition) + cpu_partition,
+        PHASE_JOIN: cost.io_seconds(io_join) + cpu_internal,
     }
     predicted = {
         "n_partitions": float(n_buckets),
@@ -609,8 +617,8 @@ def estimate_sssj(
     io_units = io_sort
     cpu_seconds = cpu_sort + cpu_join
     breakdown = {
-        "sort": cost.io_seconds(io_sort) + cpu_sort,
-        "join": cpu_join,
+        PHASE_SORT: cost.io_seconds(io_sort) + cpu_sort,
+        PHASE_JOIN: cpu_join,
     }
     predicted = {
         "est_results": jp.est_results,
@@ -654,8 +662,8 @@ def estimate_rtree(
     io_units = io_build + io_join
     cpu_seconds = cpu_build + cpu_join
     breakdown = {
-        "build": cost.io_seconds(io_build) + cpu_build,
-        "join": cost.io_seconds(io_join) + cpu_join,
+        PHASE_BUILD: cost.io_seconds(io_build) + cpu_build,
+        PHASE_JOIN: cost.io_seconds(io_join) + cpu_join,
     }
     predicted = {
         "est_results": jp.est_results,

@@ -10,12 +10,12 @@ making the estimator's error observable instead of hidden.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
 from repro.core.result import JoinResult
 from repro.io.costmodel import CostModel
+from repro.obs.trace import KIND_PLAN, KIND_SECTION, NULL_TRACER
 from repro.pbsm import PBSM
 from repro.planner.cache import PlannerCache
 from repro.planner.enumerate import (
@@ -36,11 +36,14 @@ def _run_candidate(
     right: Sequence[Tuple],
     memory_bytes: int,
     cost_model: Optional[CostModel],
+    tracer=None,
 ) -> JoinResult:
     """Execute one candidate through its driver."""
     kwargs = dict(candidate.kwargs)
     if cost_model is not None:
         kwargs["cost_model"] = cost_model
+    if tracer is not None:
+        kwargs["tracer"] = tracer
     method = candidate.method
     if method == "pbsm":
         return PBSM(memory_bytes, **kwargs).run(left, right)
@@ -71,11 +74,19 @@ class JoinPlan:
 
     # ------------------------------------------------------------------
     def execute(
-        self, left: Sequence[Tuple], right: Sequence[Tuple]
+        self,
+        left: Sequence[Tuple],
+        right: Sequence[Tuple],
+        tracer=None,
     ) -> JoinResult:
         """Run the chosen candidate and remember the measured statistics."""
         result = _run_candidate(
-            self.chosen, left, right, self.memory_bytes, self.cost_model
+            self.chosen,
+            left,
+            right,
+            self.memory_bytes,
+            self.cost_model,
+            tracer=tracer,
         )
         self.last_result = result
         return result
@@ -157,6 +168,33 @@ class JoinPlan:
             )
         lines.append(row("io units", est.io_units, stats.io_units))
         lines.append(row("sim seconds", est.total_seconds, stats.sim_seconds, ".3f"))
+        lines.extend(self._explain_phase_drift())
+        return lines
+
+    def _explain_phase_drift(self) -> List[str]:
+        """Estimated vs. measured per-phase *shares* of the runtime.
+
+        The estimate's breakdown is in simulated seconds while the
+        measurement is wall time (the phase spans the drivers record), so
+        the comparable quantity is each phase's share of its total — the
+        drift column shows where the cost model misattributes work.
+        """
+        stats = self.last_result.stats
+        est = self.chosen.estimate
+        wall = stats.wall_seconds_by_phase
+        total_wall = sum(wall.values())
+        total_est = sum(est.breakdown.values())
+        if not wall or total_wall <= 0.0 or total_est <= 0.0:
+            return []
+        lines = ["  phase shares, estimated vs. measured wall:"]
+        for phase in sorted(set(est.breakdown) | set(wall)):
+            est_share = est.breakdown.get(phase, 0.0) / total_est
+            wall_share = wall.get(phase, 0.0) / total_wall
+            drift = wall_share - est_share
+            lines.append(
+                f"    {phase:<14} est {est_share:>6.1%}  "
+                f"wall {wall_share:>6.1%}  drift {drift:+7.1%}"
+            )
         return lines
 
 
@@ -169,44 +207,56 @@ def plan_join(
     cost_model: Optional[CostModel] = None,
     t_grid: Sequence[float] = DEFAULT_T_GRID,
     methods: Optional[Sequence[str]] = None,
+    tracer=None,
 ) -> JoinPlan:
     """Choose the cheapest plan for joining *left* and *right*.
 
     With a *cache*, repeated planning of the same inputs and budget
-    returns the cached :class:`JoinPlan` without re-profiling.
+    returns the cached :class:`JoinPlan` without re-profiling.  Planning
+    is traced as one ``plan`` span (with ``profile`` and ``enumerate``
+    child sections on a fresh enumeration); ``planning_seconds`` is that
+    span's wall time.
     """
     if memory_bytes <= 0:
         raise ValueError("memory_bytes must be positive")
     cost = cost_model or CostModel()
-    started = time.perf_counter()
+    tracer = tracer if tracer is not None else NULL_TRACER
 
-    key = None
-    if cache is not None:
-        key = cache.plan_key(
-            cache.relation_profile(left).fingerprint,
-            cache.relation_profile(right).fingerprint,
-            memory_bytes,
-            (tuple(t_grid), tuple(methods) if methods is not None else None),
-        )
-        cached = cache.get_plan(key)
-        if cached is not None:
-            cached.from_cache = True
-            cached.planning_seconds = time.perf_counter() - started
-            return cached
+    with tracer.span("plan", kind=KIND_PLAN) as plan_span:
+        key = None
+        cached = None
+        if cache is not None:
+            key = cache.plan_key(
+                cache.relation_profile(left).fingerprint,
+                cache.relation_profile(right).fingerprint,
+                memory_bytes,
+                (tuple(t_grid), tuple(methods) if methods is not None else None),
+            )
+            cached = cache.get_plan(key)
+        plan_span.set_tag("from_cache", cached is not None)
+        if cached is None:
+            jp = profile_join(left, right, cache, tracer=tracer)
+            with tracer.span("enumerate", kind=KIND_SECTION):
+                candidates = enumerate_candidates(
+                    jp, memory_bytes, cost, t_grid=t_grid, methods=methods
+                )
+            if not candidates:
+                raise ValueError(
+                    "no candidate plans enumerated (check `methods`)"
+                )
+            plan_span.set_tag("chosen", candidates[0].describe())
 
-    jp = profile_join(left, right, cache)
-    candidates = enumerate_candidates(
-        jp, memory_bytes, cost, t_grid=t_grid, methods=methods
-    )
-    if not candidates:
-        raise ValueError("no candidate plans enumerated (check `methods`)")
+    if cached is not None:
+        cached.from_cache = True
+        cached.planning_seconds = plan_span.wall_seconds
+        return cached
     plan = JoinPlan(
         chosen=candidates[0],
         candidates=candidates,
         profile=jp,
         memory_bytes=memory_bytes,
         cost_model=cost,
-        planning_seconds=time.perf_counter() - started,
+        planning_seconds=plan_span.wall_seconds,
     )
     if cache is not None:
         cache.put_plan(key, plan)

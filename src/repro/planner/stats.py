@@ -17,13 +17,13 @@ from __future__ import annotations
 
 import hashlib
 import struct
-import time
 from dataclasses import dataclass, field
 from typing import Optional, Sequence, Tuple
 
 from repro.core.space import Space
 from repro.datasets.stats import average_area, average_edges, coverage, density_skew
 from repro.estimate import GridHistogram
+from repro.obs.trace import KIND_SECTION, NULL_TRACER
 
 #: Histogram resolution used for profiling.  Coarse on purpose: profiling
 #: must stay a vanishing fraction of join time (32 x 32 = 1024 cells).
@@ -158,14 +158,27 @@ def profile_join(
     left: Sequence[Tuple],
     right: Sequence[Tuple],
     cache: Optional["object"] = None,
+    tracer=None,
 ) -> JoinProfile:
     """Build (or fetch from *cache*) the :class:`JoinProfile` of a join.
 
     ``cache`` is duck-typed (see :class:`repro.planner.cache.PlannerCache`):
     it must offer ``relation_profile(kpes)`` and
-    ``joint_histogram(kpes, fingerprint, space)``.
+    ``joint_histogram(kpes, fingerprint, space)``.  The profiling pass is
+    timed by a ``profile`` span on *tracer*; ``profiling_seconds`` is that
+    span's wall time.
     """
-    started = time.perf_counter()
+    tracer = tracer if tracer is not None else NULL_TRACER
+    with tracer.span("profile", kind=KIND_SECTION) as sp:
+        jp_kwargs = _profile_join_inner(left, right, cache)
+    return JoinProfile(profiling_seconds=sp.wall_seconds, **jp_kwargs)
+
+
+def _profile_join_inner(
+    left: Sequence[Tuple],
+    right: Sequence[Tuple],
+    cache: Optional["object"],
+) -> dict:
     if cache is not None:
         prof_l = cache.relation_profile(left)
         prof_r = cache.relation_profile(right)
@@ -200,12 +213,11 @@ def profile_join(
         est = len(pairs) * scale
     else:
         est = hist_l.estimate_join_results(hist_r)
-    return JoinProfile(
+    return dict(
         left=prof_l,
         right=prof_r,
         space=key,
         est_results=est,
-        profiling_seconds=time.perf_counter() - started,
         hist_left=hist_l,
         hist_right=hist_r,
         sample_pairs=pairs,

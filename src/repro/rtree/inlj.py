@@ -14,24 +14,30 @@ Reading the streamed input is free, as everywhere in the paper's model.
 
 from __future__ import annotations
 
-import time
 from typing import List, Optional, Sequence, Tuple
 
+from repro.core.phases import PHASE_JOIN
 from repro.core.result import JoinResult, JoinStats
 from repro.core.stats import CpuCounters
 from repro.io.costmodel import CostModel
 from repro.io.disk import SimulatedDisk
+from repro.obs.trace import KIND_RUN, NULL_TRACER
 from repro.rtree.tree import RTree
-
-PHASE_JOIN = "join"
 
 
 class IndexNestedLoopJoin:
     """Window-query join against a pre-existing R-tree on the left input."""
 
-    def __init__(self, fanout: int = 64, cost_model: Optional[CostModel] = None):
+    def __init__(
+        self,
+        fanout: int = 64,
+        cost_model: Optional[CostModel] = None,
+        *,
+        tracer=None,
+    ):
         self.fanout = fanout
         self.cost_model = cost_model or CostModel()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
     def run(
         self,
@@ -51,12 +57,13 @@ class IndexNestedLoopJoin:
         if left and right:
             if tree_left is None:
                 tree_left = RTree.bulk_load(left, self.fanout)
-            wall = time.perf_counter()
             visited = set()
-            with disk.phase(PHASE_JOIN):
-                for s in right:
-                    self._query(tree_left, s, pairs, cpu, disk, visited)
-            stats.wall_seconds_by_phase[PHASE_JOIN] = time.perf_counter() - wall
+            with self.tracer.span("inlj", kind=KIND_RUN):
+                with self.tracer.span(PHASE_JOIN, cpu=cpu, disk=disk) as sp:
+                    with disk.phase(PHASE_JOIN):
+                        for s in right:
+                            self._query(tree_left, s, pairs, cpu, disk, visited)
+                stats.wall_seconds_by_phase[PHASE_JOIN] = sp.wall_seconds
         stats.n_results = len(pairs)
         stats.io_units_by_phase = disk.units_by_phase()
         stats.io_pages_by_phase = disk.pages_by_phase()

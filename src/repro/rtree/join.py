@@ -16,18 +16,16 @@ this method is hard to beat when the indices come for free.
 
 from __future__ import annotations
 
-import time
 from typing import List, Optional, Sequence, Tuple
 
+from repro.core.phases import PHASE_BUILD, PHASE_JOIN
 from repro.core.result import JoinResult, JoinStats
 from repro.core.stats import CpuCounters
 from repro.internal import internal_algorithm
 from repro.io.costmodel import CostModel
 from repro.io.disk import SimulatedDisk
+from repro.obs.trace import KIND_RUN, NULL_TRACER
 from repro.rtree.tree import RTree, RTreeNode
-
-PHASE_BUILD = "build"
-PHASE_JOIN = "join"
 
 #: Node (page) size drives pages-per-node; one node = one page.
 _NODE_PAGES = 1
@@ -43,12 +41,14 @@ class RTreeJoin:
         internal: str = "sweep_list",
         prebuilt: bool = False,
         cost_model: Optional[CostModel] = None,
+        tracer=None,
     ):
         self.fanout = fanout
         self.internal_name = internal
         self.internal = internal_algorithm(internal)
         self.prebuilt = prebuilt
         self.cost_model = cost_model or CostModel()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
     def run(
         self,
@@ -68,24 +68,43 @@ class RTreeJoin:
         pairs: List[Tuple[int, int]] = []
 
         if left and right:
-            wall = time.perf_counter()
-            with disk.phase(PHASE_BUILD):
-                if tree_left is None:
-                    tree_left = RTree.bulk_load(left, self.fanout)
-                    if not self.prebuilt:
-                        disk.charge_write(tree_left.node_count * _NODE_PAGES, 1)
-                if tree_right is None:
-                    tree_right = RTree.bulk_load(right, self.fanout)
-                    if not self.prebuilt:
-                        disk.charge_write(tree_right.node_count * _NODE_PAGES, 1)
-            stats.wall_seconds_by_phase[PHASE_BUILD] = time.perf_counter() - wall
+            tracer = self.tracer
+            with tracer.span(
+                "rtree_join",
+                kind=KIND_RUN,
+                internal=self.internal_name,
+                prebuilt=self.prebuilt,
+            ):
+                with tracer.span(
+                    PHASE_BUILD, cpu=cpu[PHASE_BUILD], disk=disk
+                ) as sp:
+                    with disk.phase(PHASE_BUILD):
+                        if tree_left is None:
+                            tree_left = RTree.bulk_load(left, self.fanout)
+                            if not self.prebuilt:
+                                disk.charge_write(
+                                    tree_left.node_count * _NODE_PAGES, 1
+                                )
+                        if tree_right is None:
+                            tree_right = RTree.bulk_load(right, self.fanout)
+                            if not self.prebuilt:
+                                disk.charge_write(
+                                    tree_right.node_count * _NODE_PAGES, 1
+                                )
+                stats.wall_seconds_by_phase[PHASE_BUILD] = sp.wall_seconds
 
-            wall = time.perf_counter()
-            with disk.phase(PHASE_JOIN):
-                self._join_nodes(
-                    tree_left.root, tree_right.root, pairs, cpu[PHASE_JOIN], disk
-                )
-            stats.wall_seconds_by_phase[PHASE_JOIN] = time.perf_counter() - wall
+                with tracer.span(
+                    PHASE_JOIN, cpu=cpu[PHASE_JOIN], disk=disk
+                ) as sp:
+                    with disk.phase(PHASE_JOIN):
+                        self._join_nodes(
+                            tree_left.root,
+                            tree_right.root,
+                            pairs,
+                            cpu[PHASE_JOIN],
+                            disk,
+                        )
+                stats.wall_seconds_by_phase[PHASE_JOIN] = sp.wall_seconds
 
         stats.n_results = len(pairs)
         stats.io_units_by_phase = disk.units_by_phase()

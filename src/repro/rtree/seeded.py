@@ -27,13 +27,14 @@ reads as in :class:`repro.rtree.join.RTreeJoin`.
 from __future__ import annotations
 
 import math
-import time
 from typing import List, Optional, Sequence, Tuple
 
+from repro.core.phases import PHASE_BUILD
 from repro.core.result import JoinResult, JoinStats
 from repro.core.stats import CpuCounters
 from repro.io.costmodel import CostModel
 from repro.io.disk import SimulatedDisk
+from repro.obs.trace import NULL_TRACER
 from repro.rtree.join import RTreeJoin
 from repro.rtree.tree import RTree, RTreeNode
 
@@ -48,6 +49,7 @@ class SeededTreeJoin:
         *,
         internal: str = "sweep_list",
         cost_model: Optional[CostModel] = None,
+        tracer=None,
     ):
         if seed_levels < 1:
             raise ValueError("seed_levels must be >= 1")
@@ -55,6 +57,7 @@ class SeededTreeJoin:
         self.seed_levels = seed_levels
         self.internal = internal
         self.cost_model = cost_model or CostModel()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
     def run(
         self,
@@ -76,30 +79,31 @@ class SeededTreeJoin:
 
         disk = SimulatedDisk(self.cost_model)
         build_cpu = CpuCounters()
-        wall = time.perf_counter()
-        with disk.phase("build"):
-            tree_right = self.build_seeded(tree_left, right, build_cpu)
-            disk.charge_write(tree_right.node_count, requests=1)
-        stats.wall_seconds_by_phase["build"] = time.perf_counter() - wall
+        with self.tracer.span(PHASE_BUILD, cpu=build_cpu, disk=disk) as sp:
+            with disk.phase(PHASE_BUILD):
+                tree_right = self.build_seeded(tree_left, right, build_cpu)
+                disk.charge_write(tree_right.node_count, requests=1)
+        stats.wall_seconds_by_phase[PHASE_BUILD] = sp.wall_seconds
 
         joiner = RTreeJoin(
             self.fanout,
             internal=self.internal,
             prebuilt=True,
             cost_model=self.cost_model,
+            tracer=self.tracer,
         )
         join_result = joiner.run(left, right, tree_left, tree_right)
         stats.n_results = join_result.stats.n_results
         stats.io_units_by_phase = {
-            "build": disk.total_units(),
+            PHASE_BUILD: disk.total_units(),
             **join_result.stats.io_units_by_phase,
         }
         stats.io_pages_by_phase = {
-            "build": sum(disk.pages_by_phase().values()),
+            PHASE_BUILD: sum(disk.pages_by_phase().values()),
             **join_result.stats.io_pages_by_phase,
         }
         stats.cpu_by_phase = {
-            "build": build_cpu.as_dict(),
+            PHASE_BUILD: build_cpu.as_dict(),
             **join_result.stats.cpu_by_phase,
         }
         stats.sim_io_seconds = (
@@ -111,7 +115,7 @@ class SeededTreeJoin:
             + join_result.stats.sim_cpu_seconds
         )
         stats.sim_seconds_by_phase = {
-            "build": self.cost_model.io_seconds(disk.total_units())
+            PHASE_BUILD: self.cost_model.io_seconds(disk.total_units())
             + self.cost_model.cpu_seconds(build_cpu),
             **join_result.stats.sim_seconds_by_phase,
         }

@@ -19,15 +19,16 @@ loops is the right choice for S3J's tiny partitions.
 
 from __future__ import annotations
 
-import time
 from typing import Iterator, List, Optional, Sequence, Tuple
 
+from repro.core.phases import PHASE_JOIN, PHASE_PARTITION, PHASE_SORT
 from repro.core.result import JoinResult, JoinStats
 from repro.core.space import Space
 from repro.core.stats import CpuCounters
 from repro.internal import internal_algorithm
 from repro.io.costmodel import CostModel
 from repro.io.disk import SimulatedDisk
+from repro.obs.trace import KIND_RUN, NULL_TRACER
 from repro.s3j.levelfile import build_level_files, sort_level_files
 from repro.s3j.levels import ASSIGNMENT_STRATEGIES
 from repro.s3j.scan import ScanStats, scan_pairs
@@ -37,10 +38,6 @@ from repro.sfc.locational import (
     curve_encoder,
     point_cell,
 )
-
-PHASE_PARTITION = "partition"
-PHASE_SORT = "sort"
-PHASE_JOIN = "join"
 
 
 class S3J:
@@ -84,12 +81,14 @@ class S3J:
         cost_model: Optional[CostModel] = None,
         io_buffer_pages: int = 4,
         strategy: Optional[str] = None,
+        tracer=None,
     ):
         if memory_bytes <= 0:
             raise ValueError("memory_bytes must be positive")
         if max_level < 1:
             raise ValueError("max_level must be at least 1")
         self.memory_bytes = memory_bytes
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         if strategy is None:
             strategy = "size" if replicate else "original"
         if strategy not in ASSIGNMENT_STRATEGIES:
@@ -163,64 +162,86 @@ class S3J:
         space = Space.of(left, right)
         assign = self.assign
 
-        # --- phase 1: partitioning into level files --------------------
-        wall_start = time.perf_counter()
-        with disk.phase(PHASE_PARTITION):
-            files_left, n_left_written = build_level_files(
-                assign(left, space, self.max_level, self.encoder, cpu[PHASE_PARTITION]),
-                self.max_level,
-                disk,
-                "R",
-                self.io_buffer_pages,
-            )
-            files_right, n_right_written = build_level_files(
-                assign(right, space, self.max_level, self.encoder, cpu[PHASE_PARTITION]),
-                self.max_level,
-                disk,
-                "S",
-                self.io_buffer_pages,
-            )
-        stats.records_partitioned = n_left_written + n_right_written
-        stats.replicas_created = stats.records_partitioned - len(left) - len(right)
-        stats.n_partitions = sum(
-            1 for f in files_left + files_right if f.n_records
-        )
-        stats.wall_seconds_by_phase[PHASE_PARTITION] = (
-            time.perf_counter() - wall_start
-        )
-
-        # --- phase 2: sort level files by locational code ---------------
-        wall_start = time.perf_counter()
-        with disk.phase(PHASE_SORT):
-            files_left = sort_level_files(
-                files_left, self.memory_bytes, cpu[PHASE_SORT]
-            )
-            files_right = sort_level_files(
-                files_right, self.memory_bytes, cpu[PHASE_SORT]
-            )
-        stats.wall_seconds_by_phase[PHASE_SORT] = time.perf_counter() - wall_start
-
-        # --- phase 3: synchronized scan --------------------------------
-        wall_start = time.perf_counter()
-        scan_stats = ScanStats()
-        join_cpu = cpu[PHASE_JOIN]
-        with disk.phase(PHASE_JOIN):
-            for part_left, part_right in scan_pairs(
-                files_left,
-                files_right,
-                self.max_level,
-                self.decoder,
-                join_cpu,
-                self.memory_bytes,
-                scan_stats,
-                self.io_buffer_pages,
-            ):
-                yield from self._join_partition_pair(
-                    part_left, part_right, space, join_cpu, stats
+        tracer = self.tracer
+        with tracer.span(
+            "s3j",
+            kind=KIND_RUN,
+            internal=self.internal_name,
+            strategy=self.strategy,
+            curve=self.curve,
+        ):
+            # --- phase 1: partitioning into level files --------------------
+            with tracer.span(
+                PHASE_PARTITION, cpu=cpu[PHASE_PARTITION], disk=disk
+            ) as sp:
+                with disk.phase(PHASE_PARTITION):
+                    files_left, n_left_written = build_level_files(
+                        assign(
+                            left,
+                            space,
+                            self.max_level,
+                            self.encoder,
+                            cpu[PHASE_PARTITION],
+                        ),
+                        self.max_level,
+                        disk,
+                        "R",
+                        self.io_buffer_pages,
+                    )
+                    files_right, n_right_written = build_level_files(
+                        assign(
+                            right,
+                            space,
+                            self.max_level,
+                            self.encoder,
+                            cpu[PHASE_PARTITION],
+                        ),
+                        self.max_level,
+                        disk,
+                        "S",
+                        self.io_buffer_pages,
+                    )
+                stats.records_partitioned = n_left_written + n_right_written
+                stats.replicas_created = (
+                    stats.records_partitioned - len(left) - len(right)
                 )
-        stats.memory_overruns = scan_stats.memory_overruns
-        stats.peak_memory_bytes = scan_stats.peak_stack_bytes
-        stats.wall_seconds_by_phase[PHASE_JOIN] = time.perf_counter() - wall_start
+                stats.n_partitions = sum(
+                    1 for f in files_left + files_right if f.n_records
+                )
+            stats.wall_seconds_by_phase[PHASE_PARTITION] = sp.wall_seconds
+
+            # --- phase 2: sort level files by locational code ---------------
+            with tracer.span(PHASE_SORT, cpu=cpu[PHASE_SORT], disk=disk) as sp:
+                with disk.phase(PHASE_SORT):
+                    files_left = sort_level_files(
+                        files_left, self.memory_bytes, cpu[PHASE_SORT]
+                    )
+                    files_right = sort_level_files(
+                        files_right, self.memory_bytes, cpu[PHASE_SORT]
+                    )
+            stats.wall_seconds_by_phase[PHASE_SORT] = sp.wall_seconds
+
+            # --- phase 3: synchronized scan --------------------------------
+            scan_stats = ScanStats()
+            join_cpu = cpu[PHASE_JOIN]
+            with tracer.span(PHASE_JOIN, cpu=join_cpu, disk=disk) as sp:
+                with disk.phase(PHASE_JOIN):
+                    for part_left, part_right in scan_pairs(
+                        files_left,
+                        files_right,
+                        self.max_level,
+                        self.decoder,
+                        join_cpu,
+                        self.memory_bytes,
+                        scan_stats,
+                        self.io_buffer_pages,
+                    ):
+                        yield from self._join_partition_pair(
+                            part_left, part_right, space, join_cpu, stats
+                        )
+                stats.memory_overruns = scan_stats.memory_overruns
+                stats.peak_memory_bytes = scan_stats.peak_stack_bytes
+            stats.wall_seconds_by_phase[PHASE_JOIN] = sp.wall_seconds
         self._finalize_stats(stats, disk, cpu)
 
     def _join_partition_pair(

@@ -19,9 +19,9 @@ PBSM's symmetric replication.
 from __future__ import annotations
 
 import math
-import time
 from typing import List, Optional, Sequence, Tuple
 
+from repro.core.phases import PHASE_JOIN, PHASE_PARTITION
 from repro.core.result import JoinResult, JoinStats
 from repro.core.space import Space
 from repro.core.stats import CpuCounters
@@ -29,10 +29,8 @@ from repro.internal import internal_algorithm
 from repro.io.costmodel import CostModel
 from repro.io.disk import SimulatedDisk
 from repro.io.pagefile import PageFile
+from repro.obs.trace import KIND_RUN, NULL_TRACER
 from repro.pbsm.estimator import estimate_partitions
-
-PHASE_PARTITION = "partition"
-PHASE_JOIN = "join"
 
 
 class SpatialHashJoin:
@@ -45,10 +43,12 @@ class SpatialHashJoin:
         internal: str = "sweep_list",
         t_factor: float = 1.2,
         cost_model: Optional[CostModel] = None,
+        tracer=None,
     ):
         if memory_bytes <= 0:
             raise ValueError("memory_bytes must be positive")
         self.memory_bytes = memory_bytes
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.internal_name = internal
         self.internal = internal_algorithm(internal)
         self.t_factor = t_factor
@@ -81,89 +81,100 @@ class SpatialHashJoin:
         n_buckets = side * side
         stats.n_partitions = n_buckets
 
-        wall = time.perf_counter()
-        with disk.phase(PHASE_PARTITION):
-            # Build side: one bucket per record, chosen by centre point.
-            build_files = [
-                PageFile(disk, kpe_bytes, f"B{i}") for i in range(n_buckets)
-            ]
-            extents: List[Optional[Tuple[float, float, float, float]]] = [
-                None
-            ] * n_buckets
-            writers = [f.writer(buffer_pages=1) for f in build_files]
-            counters = cpu[PHASE_PARTITION]
-            for k in left:
-                cx = (k[1] + k[3]) / 2.0
-                cy = (k[2] + k[4]) / 2.0
-                bx = min(side - 1, max(0, int(space.norm_x(cx) * side)))
-                by = min(side - 1, max(0, int(space.norm_y(cy) * side)))
-                bucket = by * side + bx
-                writers[bucket].write(k)
-                counters.structure_ops += 1
-                extent = extents[bucket]
-                if extent is None:
-                    extents[bucket] = (k[1], k[2], k[3], k[4])
-                else:
-                    extents[bucket] = (
-                        extent[0] if extent[0] < k[1] else k[1],
-                        extent[1] if extent[1] < k[2] else k[2],
-                        extent[2] if extent[2] > k[3] else k[3],
-                        extent[3] if extent[3] > k[4] else k[4],
-                    )
-            for writer in writers:
-                writer.close()
+        tracer = self.tracer
+        with tracer.span("shj", kind=KIND_RUN, internal=self.internal_name):
+            with tracer.span(
+                PHASE_PARTITION, cpu=cpu[PHASE_PARTITION], disk=disk
+            ) as sp:
+                with disk.phase(PHASE_PARTITION):
+                    # Build side: one bucket per record, chosen by centre
+                    # point.
+                    build_files = [
+                        PageFile(disk, kpe_bytes, f"B{i}")
+                        for i in range(n_buckets)
+                    ]
+                    extents: List[
+                        Optional[Tuple[float, float, float, float]]
+                    ] = [None] * n_buckets
+                    writers = [f.writer(buffer_pages=1) for f in build_files]
+                    counters = cpu[PHASE_PARTITION]
+                    for k in left:
+                        cx = (k[1] + k[3]) / 2.0
+                        cy = (k[2] + k[4]) / 2.0
+                        bx = min(side - 1, max(0, int(space.norm_x(cx) * side)))
+                        by = min(side - 1, max(0, int(space.norm_y(cy) * side)))
+                        bucket = by * side + bx
+                        writers[bucket].write(k)
+                        counters.structure_ops += 1
+                        extent = extents[bucket]
+                        if extent is None:
+                            extents[bucket] = (k[1], k[2], k[3], k[4])
+                        else:
+                            extents[bucket] = (
+                                extent[0] if extent[0] < k[1] else k[1],
+                                extent[1] if extent[1] < k[2] else k[2],
+                                extent[2] if extent[2] > k[3] else k[3],
+                                extent[3] if extent[3] > k[4] else k[4],
+                            )
+                    for writer in writers:
+                        writer.close()
 
-            # Probe side: replicate into every bucket whose extent the
-            # rectangle overlaps.
-            probe_files = [
-                PageFile(disk, kpe_bytes, f"P{i}") for i in range(n_buckets)
-            ]
-            probe_writers = [f.writer(buffer_pages=1) for f in probe_files]
-            probe_written = 0
-            for s in right:
-                for bucket, extent in enumerate(extents):
-                    counters.intersection_tests += 1 if extent is not None else 0
-                    if extent is None:
-                        continue
-                    if (
-                        s[1] <= extent[2]
-                        and extent[0] <= s[3]
-                        and s[2] <= extent[3]
-                        and extent[1] <= s[4]
-                    ):
-                        probe_writers[bucket].write(s)
-                        probe_written += 1
-            for writer in probe_writers:
-                writer.close()
-        stats.records_partitioned = len(left) + probe_written
-        # Probe records overlapping no bucket extent are dropped (they can
-        # produce no result), so the net replica count can be negative;
-        # report only genuine replicas.
-        stats.replicas_created = max(0, probe_written - len(right))
-        stats.wall_seconds_by_phase[PHASE_PARTITION] = time.perf_counter() - wall
+                    # Probe side: replicate into every bucket whose extent
+                    # the rectangle overlaps.
+                    probe_files = [
+                        PageFile(disk, kpe_bytes, f"P{i}")
+                        for i in range(n_buckets)
+                    ]
+                    probe_writers = [
+                        f.writer(buffer_pages=1) for f in probe_files
+                    ]
+                    probe_written = 0
+                    for s in right:
+                        for bucket, extent in enumerate(extents):
+                            counters.intersection_tests += (
+                                1 if extent is not None else 0
+                            )
+                            if extent is None:
+                                continue
+                            if (
+                                s[1] <= extent[2]
+                                and extent[0] <= s[3]
+                                and s[2] <= extent[3]
+                                and extent[1] <= s[4]
+                            ):
+                                probe_writers[bucket].write(s)
+                                probe_written += 1
+                    for writer in probe_writers:
+                        writer.close()
+                stats.records_partitioned = len(left) + probe_written
+                # Probe records overlapping no bucket extent are dropped
+                # (they can produce no result), so the net replica count can
+                # be negative; report only genuine replicas.
+                stats.replicas_created = max(0, probe_written - len(right))
+            stats.wall_seconds_by_phase[PHASE_PARTITION] = sp.wall_seconds
 
-        wall = time.perf_counter()
-        join_cpu = cpu[PHASE_JOIN]
-        with disk.phase(PHASE_JOIN):
-            for bucket in range(n_buckets):
-                if not build_files[bucket].n_records:
-                    continue
-                if not probe_files[bucket].n_records:
-                    continue
-                build = build_files[bucket].read_all()
-                probe = probe_files[bucket].read_all()
-                size = (len(build) + len(probe)) * kpe_bytes
-                if size > stats.peak_memory_bytes:
-                    stats.peak_memory_bytes = size
-                if size > self.memory_bytes:
-                    stats.memory_overruns += 1
-                self.internal(
-                    build,
-                    probe,
-                    lambda r, s: pairs.append((r[0], s[0])),
-                    join_cpu,
-                )
-        stats.wall_seconds_by_phase[PHASE_JOIN] = time.perf_counter() - wall
+            join_cpu = cpu[PHASE_JOIN]
+            with tracer.span(PHASE_JOIN, cpu=join_cpu, disk=disk) as sp:
+                with disk.phase(PHASE_JOIN):
+                    for bucket in range(n_buckets):
+                        if not build_files[bucket].n_records:
+                            continue
+                        if not probe_files[bucket].n_records:
+                            continue
+                        build = build_files[bucket].read_all()
+                        probe = probe_files[bucket].read_all()
+                        size = (len(build) + len(probe)) * kpe_bytes
+                        if size > stats.peak_memory_bytes:
+                            stats.peak_memory_bytes = size
+                        if size > self.memory_bytes:
+                            stats.memory_overruns += 1
+                        self.internal(
+                            build,
+                            probe,
+                            lambda r, s: pairs.append((r[0], s[0])),
+                            join_cpu,
+                        )
+            stats.wall_seconds_by_phase[PHASE_JOIN] = sp.wall_seconds
 
     def _finalize(self, stats, disk, cpu) -> None:
         cost = self.cost_model

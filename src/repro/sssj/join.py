@@ -17,9 +17,9 @@ streams through one-page buffers.
 from __future__ import annotations
 
 import heapq
-import time
 from typing import Iterator, List, Optional, Sequence, Tuple
 
+from repro.core.phases import PHASE_JOIN, PHASE_SORT
 from repro.core.result import JoinResult, JoinStats
 from repro.core.stats import CpuCounters
 from repro.internal import internal_algorithm
@@ -28,9 +28,7 @@ from repro.io.disk import SimulatedDisk
 from repro.io.extsort import BY_XL, XlSorted, sort_in_memory
 from repro.io.pagefile import PageFile
 from repro.kernels.backend import active_backend
-
-PHASE_SORT = "sort"
-PHASE_JOIN = "join"
+from repro.obs.trace import KIND_RUN, NULL_TRACER
 
 
 class SSSJ:
@@ -42,6 +40,7 @@ class SSSJ:
         *,
         internal: str = "sweep_list",
         cost_model: Optional[CostModel] = None,
+        tracer=None,
     ):
         if memory_bytes <= 0:
             raise ValueError("memory_bytes must be positive")
@@ -51,6 +50,7 @@ class SSSJ:
                 f"{internal!r}"
             )
         self.memory_bytes = memory_bytes
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.internal_name = internal
         self.internal = internal_algorithm(internal)
         self.cost_model = cost_model or CostModel()
@@ -79,24 +79,34 @@ class SSSJ:
         disk = SimulatedDisk(self.cost_model)
         cpu = {PHASE_SORT: CpuCounters(), PHASE_JOIN: CpuCounters()}
         if left and right:
-            wall = time.perf_counter()
-            with disk.phase(PHASE_SORT):
-                sorted_left = self._external_sort_input(left, disk, cpu[PHASE_SORT])
-                sorted_right = self._external_sort_input(
-                    right, disk, cpu[PHASE_SORT]
-                )
-            own.wall_seconds_by_phase[PHASE_SORT] = time.perf_counter() - wall
+            tracer = self.tracer
+            with tracer.span(
+                "sssj", kind=KIND_RUN, internal=self.internal_name
+            ):
+                with tracer.span(
+                    PHASE_SORT, cpu=cpu[PHASE_SORT], disk=disk
+                ) as sp:
+                    with disk.phase(PHASE_SORT):
+                        sorted_left = self._external_sort_input(
+                            left, disk, cpu[PHASE_SORT]
+                        )
+                        sorted_right = self._external_sort_input(
+                            right, disk, cpu[PHASE_SORT]
+                        )
+                own.wall_seconds_by_phase[PHASE_SORT] = sp.wall_seconds
 
-            wall = time.perf_counter()
-            results: List[Tuple[int, int]] = []
-            with disk.phase(PHASE_JOIN):
-                self.internal(
-                    sorted_left,
-                    sorted_right,
-                    lambda r, s: results.append((r[0], s[0])),
-                    cpu[PHASE_JOIN],
-                )
-            own.wall_seconds_by_phase[PHASE_JOIN] = time.perf_counter() - wall
+                results: List[Tuple[int, int]] = []
+                with tracer.span(
+                    PHASE_JOIN, cpu=cpu[PHASE_JOIN], disk=disk
+                ) as sp:
+                    with disk.phase(PHASE_JOIN):
+                        self.internal(
+                            sorted_left,
+                            sorted_right,
+                            lambda r, s: results.append((r[0], s[0])),
+                            cpu[PHASE_JOIN],
+                        )
+                own.wall_seconds_by_phase[PHASE_JOIN] = sp.wall_seconds
             own.peak_memory_bytes = (
                 len(left) + len(right)
             ) * self.cost_model.kpe_bytes

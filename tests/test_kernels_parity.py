@@ -18,9 +18,14 @@ from repro.core.space import Space
 from repro.core.stats import CpuCounters
 from repro.internal import INTERNAL_ALGORITHMS, brute_force_pairs
 from repro.kernels.backend import HAVE_NUMPY, python_backend
-from repro.kernels.rpm import _python_rpm_join_task, rpm_join_task
+from repro.kernels.rpm import (
+    _python_rpm_join_task,
+    point_tiles,
+    rpm_join_task,
+    tile_partitions,
+)
 from repro.kernels.sweep import STRIPE_MIN_RECORDS
-from repro.pbsm.grid import TileGrid
+from repro.pbsm.grid import TILE_HASH_X, TILE_HASH_Y, TileGrid
 
 from tests.conftest import random_kpes
 
@@ -191,3 +196,83 @@ class TestBatchedRPM:
             )
             assert sorted(got) == sorted(want)
             assert got_sup == want_sup
+
+
+# ----------------------------------------------------------------------
+# vectorized tile arithmetic vs TileGrid, point by point
+# ----------------------------------------------------------------------
+def adversarial_points(grid):
+    """Points engineered to disagree under sloppy tile arithmetic.
+
+    Every interior tile edge, every tile corner, the space border (where
+    the scalar path clamps ``tx == nx`` back to ``nx - 1``), points
+    epsilon-close to an edge on either side, and points outside the space
+    entirely (both paths must clamp them to the border tiles).
+    """
+    import itertools
+
+    space = grid.space
+    xs = {space.xl + space.width * i / grid.nx for i in range(grid.nx + 1)}
+    ys = {space.yl + space.height * j / grid.ny for j in range(grid.ny + 1)}
+    eps = 1e-12
+    xs |= {x + d for x in list(xs) for d in (-eps, eps)}
+    ys |= {y + d for y in list(ys) for d in (-eps, eps)}
+    # Far outside the space, so the int64 cast sees negative / >= n values.
+    xs |= {space.xl - 0.5, space.xh + 0.5}
+    ys |= {space.yl - 0.5, space.yh + 0.5}
+    return list(itertools.product(sorted(xs), sorted(ys)))
+
+
+@needs_numpy
+class TestGridKernelParity:
+    """Pin ``point_tiles``/``tile_partitions`` to the scalar ``TileGrid``."""
+
+    GRIDS = [
+        TileGrid(Space(0.0, 0.0, 1.0, 1.0), 4, 4, 4, mapping="hash"),
+        TileGrid(Space(0.0, 0.0, 1.0, 1.0), 4, 4, 4, mapping="round_robin"),
+        # Non-square grid over a non-unit, offset space: norm_x/norm_y
+        # scaling and the row-major round-robin index diverge from the
+        # square case if either side hardcodes symmetry.
+        TileGrid(Space(-2.0, 1.0, 6.0, 3.0), 5, 3, 7, mapping="hash"),
+        TileGrid(Space(-2.0, 1.0, 6.0, 3.0), 5, 3, 7, mapping="round_robin"),
+    ]
+
+    @pytest.mark.parametrize("grid", GRIDS, ids=lambda g: f"{g.nx}x{g.ny}-{g.mapping}")
+    def test_boundary_points_tile_and_partition_parity(self, grid):
+        import numpy as np
+
+        points = adversarial_points(grid)
+        x = np.array([p[0] for p in points])
+        y = np.array([p[1] for p in points])
+        tx, ty = point_tiles(np, grid, x, y)
+        owner = tile_partitions(np, grid, tx, ty)
+        for i, (px, py) in enumerate(points):
+            want_tile = grid.tile_of_point(px, py)
+            assert (int(tx[i]), int(ty[i])) == want_tile, (px, py)
+            assert int(owner[i]) == grid.partition_of_point(px, py), (px, py)
+
+    def test_hash_constants_single_source(self):
+        # The kernel replays the scalar hash; both must read the shared
+        # constants, and those must be the documented odd multipliers.
+        import repro.kernels.rpm as rpm_mod
+        import repro.pbsm.grid as grid_mod
+
+        assert (TILE_HASH_X, TILE_HASH_Y) == (73856093, 19349663)
+        assert rpm_mod.TILE_HASH_X is grid_mod.TILE_HASH_X
+        assert rpm_mod.TILE_HASH_Y is grid_mod.TILE_HASH_Y
+
+    def test_partition_of_tile_uses_shared_constants(self):
+        # Guards against either side drifting back to inline literals:
+        # recompute the mapping from the shared constants directly.
+        import numpy as np
+
+        grid = TileGrid(Space(0.0, 0.0, 1.0, 1.0), 8, 8, 5, mapping="hash")
+        for tx in range(grid.nx):
+            for ty in range(grid.ny):
+                want = ((tx * TILE_HASH_X) ^ (ty * TILE_HASH_Y)) % grid.n_partitions
+                assert grid.partition_of_tile(tx, ty) == want
+        txs = np.arange(grid.nx).repeat(grid.ny)
+        tys = np.tile(np.arange(grid.ny), grid.nx)
+        owners = tile_partitions(np, grid, txs, tys)
+        for tx, ty, got in zip(txs.tolist(), tys.tolist(), owners.tolist()):
+            assert got == grid.partition_of_tile(tx, ty)

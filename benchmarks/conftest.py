@@ -22,10 +22,14 @@ Scale is controlled by the ``REPRO_SCALE`` environment variable (default
 
 from __future__ import annotations
 
+import os
 import platform
 from pathlib import Path
 
 from repro.kernels.backend import active_backend, cpu_count
+
+# Benches deliberately oversubscribe small boxes to show pool scaling.
+os.environ.setdefault("REPRO_MAX_WORKERS", "4")
 
 RESULTS_DIR = Path(__file__).parent / "results"
 

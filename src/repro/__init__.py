@@ -60,6 +60,7 @@ def spatial_join(
     memory_bytes: int,
     method: str = "pbsm",
     workers: Optional[int] = None,
+    shared_memory: bool = False,
     tracer=None,
     **kwargs,
 ) -> JoinResult:
@@ -79,9 +80,18 @@ def spatial_join(
     workers:
         When given (and > 1), execute the join-phase partition pairs on a
         real process pool via :class:`~repro.pbsm.ParallelPBSM` —
-        supported for ``method="pbsm"`` only.  ``workers=1`` runs the
-        same task decomposition in-process.  Result pairs are identical
-        to the sequential execution.
+        supported for ``method="pbsm"`` and, as an enumeration hint, for
+        ``method="auto"`` (the planner then costs parallel candidates on
+        both transports against the sequential plans).  ``workers=1``
+        runs the same task decomposition in-process.  Result pairs are
+        identical to the sequential execution.
+    shared_memory:
+        With ``workers`` and ``method="pbsm"``: ship partition data to
+        the pool through one zero-copy shared-memory segment instead of
+        pickling record lists (see ``docs/kernels.md``).  Degrades to the
+        pickle transport when numpy or platform shared memory is missing
+        or ``REPRO_DISABLE_SHM`` is set; ``stats.shared_memory`` records
+        what actually ran.
     tracer:
         A :class:`~repro.obs.Tracer` to record spans on: one
         ``spatial_join`` section wrapping the planner's ``plan`` span
@@ -110,19 +120,28 @@ def spatial_join(
     with tracer.span(
         "spatial_join", kind=KIND_SECTION, method=method, workers=workers
     ) as sp:
-        if workers is not None:
-            if method != "pbsm":
-                raise ValueError(
-                    f"workers= requires method='pbsm', got method={method!r}"
-                )
+        if workers is not None and method not in ("pbsm", "auto"):
+            raise ValueError(
+                f"workers= requires method='pbsm' or 'auto', got method={method!r}"
+            )
+        if shared_memory and workers is None:
+            raise ValueError("shared_memory=True requires workers=")
+        if workers is not None and method == "pbsm":
             kwargs.setdefault("internal", "sweep_numpy")
             result = ParallelPBSM(
-                memory_bytes, workers, executor="process", tracer=tracer, **kwargs
+                memory_bytes,
+                workers,
+                executor="process",
+                shared_memory=shared_memory,
+                tracer=tracer,
+                **kwargs,
             ).run(left, right)
         elif method == "auto":
             from repro.planner.cache import DEFAULT_CACHE
 
             kwargs.setdefault("cache", DEFAULT_CACHE)
+            if workers is not None:
+                kwargs["workers"] = workers
             plan = plan_join(left, right, memory_bytes, tracer=tracer, **kwargs)
             result = plan.execute(left, right, tracer=tracer)
             result.plan = plan

@@ -93,12 +93,20 @@ def _cmd_join(args: argparse.Namespace) -> int:
         )
         kwargs = {}
     if args.workers is not None:
-        if args.method != "pbsm":
-            parser_error = "--workers requires --method pbsm"
+        if args.method not in ("pbsm", "auto"):
+            parser_error = "--workers requires --method pbsm or auto"
             print(f"error: {parser_error}", file=sys.stderr)
             return 2
         kwargs.pop("dedup", None)  # parallel PBSM is always RPM
         kwargs["workers"] = args.workers
+    if args.shm:
+        if args.workers is None or args.method != "pbsm":
+            print(
+                "error: --shm requires --workers and --method pbsm",
+                file=sys.stderr,
+            )
+            return 2
+        kwargs["shared_memory"] = True
     tracer = None
     if args.trace:
         from repro.obs import Tracer
@@ -200,6 +208,12 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="run the PBSM join phase on a process pool with N workers",
+    )
+    join.add_argument(
+        "--shm",
+        action="store_true",
+        help="with --workers: ship partition data through zero-copy "
+        "shared memory instead of pickling records",
     )
     join.add_argument("--out", default=None, help="write result pairs as CSV")
     join.add_argument(

@@ -20,7 +20,8 @@ def format_stats(stats: JoinStats, verbose: bool = False) -> str:
     if stats.backend:
         lines.append(f"backend            {stats.backend}")
     if stats.executor:
-        lines.append(f"executor           {stats.executor}")
+        transport = " (shared memory)" if stats.shared_memory else ""
+        lines.append(f"executor           {stats.executor}{transport}")
     lines.append(f"inputs             {stats.n_left:,} x {stats.n_right:,}")
     lines.append(f"results            {stats.n_results:,}")
     lines.append(f"selectivity        {stats.selectivity():.3e}")
@@ -50,6 +51,11 @@ def format_stats(stats: JoinStats, verbose: bool = False) -> str:
         lines.append(
             f"join busy/makespan {stats.join_busy_seconds:.3f}s / "
             f"{stats.join_makespan_seconds:.3f}s"
+        )
+    if stats.ipc_bytes_shipped:
+        lines.append(
+            f"ipc shipped        {stats.ipc_bytes_shipped:,} bytes "
+            f"({stats.ipc_seconds:.3f}s serialisation)"
         )
     if stats.planning_seconds:
         lines.append(f"planning seconds   {stats.planning_seconds:.3f}")

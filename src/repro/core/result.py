@@ -24,6 +24,9 @@ class JoinStats:
     #: how partition joins were executed: "process" (multiprocess
     #: fan-out), "simulated" (modelled parallelism), or "" for sequential
     executor: str = ""
+    #: True when the process executor actually used the zero-copy
+    #: shared-memory transport (False when requested but degraded)
+    shared_memory: bool = False
     # --- cardinalities -------------------------------------------------
     n_left: int = 0
     n_right: int = 0
@@ -61,6 +64,12 @@ class JoinStats:
     join_makespan_seconds: float = 0.0
     #: busy seconds per worker (label -> seconds; process executor only)
     worker_busy_seconds: Dict[str, float] = field(default_factory=dict)
+    #: bytes that actually crossed the process boundary (chunk payloads
+    #: out plus result blobs/manifests back; process executor only)
+    ipc_bytes_shipped: int = 0
+    #: parent-side wall seconds spent on transport work: payload
+    #: encode/decode, and for the shm transport the segment build
+    ipc_seconds: float = 0.0
     # --- end-to-end timing ----------------------------------------------
     #: wall seconds spent planning before execution (method="auto" only)
     planning_seconds: float = 0.0

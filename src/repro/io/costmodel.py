@@ -62,6 +62,12 @@ class CostModel:
     batch_op_seconds: float = 5.0e-8
     zcode_op_seconds: float = 1.0e-6
     hilbert_code_op_seconds: float = 8.0e-6
+    #: Simulated seconds per byte serialised across a process boundary
+    #: (pickle encode + pipe + decode, ~500 MB/s end to end).  Prices the
+    #: transport choice of the parallel executors: the planner charges
+    #: pickled records per task under the legacy transport and only task
+    #: tuples/manifests under the shared-memory transport.
+    ipc_byte_seconds: float = 2.0e-9
 
     # ------------------------------------------------------------------
     # page arithmetic
@@ -93,6 +99,10 @@ class CostModel:
     def io_seconds(self, units: float) -> float:
         """Simulated seconds for a number of page-transfer units."""
         return units * self.page_transfer_seconds
+
+    def ipc_seconds_for(self, n_bytes: float) -> float:
+        """Simulated seconds to ship *n_bytes* between processes."""
+        return n_bytes * self.ipc_byte_seconds
 
     def cpu_seconds(self, counters: CpuCounters, hilbert: bool = False) -> float:
         """Simulated CPU seconds for a set of operation counts.

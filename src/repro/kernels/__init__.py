@@ -44,15 +44,20 @@ from repro.kernels.sweep import (
 from repro.kernels.rpm import (
     point_partitions,
     point_tiles,
+    rpm_join_ids,
     rpm_join_task,
     tile_partitions,
 )
 from repro.kernels.assign import partition_plan, tile_ranges
+from repro.kernels.shm import SharedColumnarStore, columnar_arrays, shm_enabled
 
 __all__ = [
     "ColumnarRelation",
     "DEFAULT_BATCH_CANDIDATES",
     "HAVE_NUMPY",
+    "SharedColumnarStore",
+    "columnar_arrays",
+    "shm_enabled",
     "active_backend",
     "cpu_count",
     "forward_scan_batches",
@@ -66,6 +71,7 @@ __all__ = [
     "python_backend",
     "python_forward_scan",
     "require_numpy",
+    "rpm_join_ids",
     "rpm_join_task",
     "set_numpy_enabled",
     "sorted_columns",

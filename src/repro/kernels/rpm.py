@@ -20,9 +20,11 @@ from typing import List, Sequence, Tuple
 
 from repro.core.stats import CpuCounters
 from repro.internal.sweep_list import sweep_list_join
-from repro.kernels.backend import get_numpy
+from repro.kernels.backend import get_numpy, require_numpy
+from repro.kernels.columnar import ColumnarRelation
 from repro.kernels.sweep import (
     DEFAULT_BATCH_CANDIDATES,
+    _charge_batch_sort,
     forward_scan_batches,
     sorted_columns,
 )
@@ -56,6 +58,60 @@ def point_partitions(np, grid: TileGrid, x, y):
     return tile_partitions(np, grid, tx, ty)
 
 
+def rpm_join_ids(
+    a_cols: ColumnarRelation,
+    b_cols: ColumnarRelation,
+    grid: TileGrid,
+    pid: int,
+    counters: CpuCounters,
+    batch_candidates: int = DEFAULT_BATCH_CANDIDATES,
+) -> Tuple:
+    """Columnar core of :func:`rpm_join_task`: id buffers, no tuples.
+
+    Runs the forward-scan kernel plus the batched RPM ownership test on
+    two columnar relations and returns ``(rid, sid, suppressed)`` where
+    ``rid``/``sid`` are int64 oid arrays — the ``i``-th owned pair is
+    ``(rid[i], sid[i])``, in exactly the order :func:`rpm_join_task`
+    emits its tuples.  Unsorted inputs are sorted here with the same
+    stable argsort (and the same charged ``batch_ops``) as
+    :func:`~repro.kernels.sweep.sorted_columns`, so a caller gathering
+    rows straight out of a shared-memory segment charges identically to
+    one reading pickled record lists.
+    """
+    np = require_numpy()
+    if a_cols.n == 0 or b_cols.n == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty, 0
+    if a_cols.sorted_by_xl:
+        a = a_cols
+    else:
+        _charge_batch_sort(counters, a_cols.n)
+        a = a_cols.sort_by_xl()
+    if b_cols.sorted_by_xl:
+        b = b_cols
+    else:
+        _charge_batch_sort(counters, b_cols.n)
+        b = b_cols.sort_by_xl()
+    rids = []
+    sids = []
+    suppressed = 0
+    detected = 0
+    for a_idx, b_idx in forward_scan_batches(a, b, counters, batch_candidates):
+        ref_x = np.maximum(a.xl[a_idx], b.xl[b_idx])
+        ref_y = np.minimum(a.yh[a_idx], b.yh[b_idx])
+        owner = point_partitions(np, grid, ref_x, ref_y)
+        mask = owner == pid
+        detected += int(ref_x.shape[0])
+        rids.append(a.oid[a_idx][mask])
+        sids.append(b.oid[b_idx][mask])
+        suppressed += int(ref_x.shape[0]) - int(np.count_nonzero(mask))
+    counters.batch_ops += BATCH_OPS_PER_RPM_TEST * detected
+    if rids:
+        return np.concatenate(rids), np.concatenate(sids), suppressed
+    empty = np.empty(0, dtype=np.int64)
+    return empty, empty, suppressed
+
+
 def rpm_join_task(
     records_left: Sequence[Tuple],
     records_right: Sequence[Tuple],
@@ -79,21 +135,10 @@ def rpm_join_task(
         return [], 0
     a = sorted_columns(records_left, counters)
     b = sorted_columns(records_right, counters)
-    pairs: List[Tuple[int, int]] = []
-    suppressed = 0
-    detected = 0
-    for a_idx, b_idx in forward_scan_batches(a, b, counters, batch_candidates):
-        ref_x = np.maximum(a.xl[a_idx], b.xl[b_idx])
-        ref_y = np.minimum(a.yh[a_idx], b.yh[b_idx])
-        owner = point_partitions(np, grid, ref_x, ref_y)
-        mask = owner == pid
-        detected += int(ref_x.shape[0])
-        pairs.extend(
-            zip(a.oid[a_idx][mask].tolist(), b.oid[b_idx][mask].tolist())
-        )
-        suppressed += int(ref_x.shape[0]) - int(np.count_nonzero(mask))
-    counters.batch_ops += BATCH_OPS_PER_RPM_TEST * detected
-    return pairs, suppressed
+    rid, sid, suppressed = rpm_join_ids(
+        a, b, grid, pid, counters, batch_candidates
+    )
+    return list(zip(rid.tolist(), sid.tolist())), suppressed
 
 
 def _python_rpm_join_task(
@@ -132,6 +177,7 @@ __all__ = [
     "BATCH_OPS_PER_RPM_TEST",
     "point_partitions",
     "point_tiles",
+    "rpm_join_ids",
     "rpm_join_task",
     "tile_partitions",
 ]

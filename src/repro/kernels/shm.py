@@ -1,0 +1,252 @@
+"""Shared-memory columnar segments for zero-copy parallel execution.
+
+The multiprocess PBSM executor used to pickle the full replicated record
+lists into every join task and pickle Python pair lists back — IPC
+serialization, not the join kernel, dominated multiprocess wall time.
+This module is the transport that removes the copies: the parent packs
+both inputs' :class:`~repro.kernels.columnar.ColumnarRelation` columns
+(plus the CSR partition-index arrays) into **one**
+:mod:`multiprocessing.shared_memory` segment, workers attach by name and
+gather their partition slices directly out of the mapped pages, and only
+a few integers per task ever cross the pipe.
+
+Lifecycle (who unlinks)
+-----------------------
+The parent is the owner: it creates the segment, keeps it registered
+with the ``resource_tracker`` (so a crashed parent still gets cleaned up
+at interpreter shutdown), and calls ``close()`` + ``unlink()`` when the
+fan-out completes — :class:`SharedColumnarStore` is a context manager
+exactly for that. Workers attach read-only in spirit (they only gather)
+and merely ``close()`` on exit — pool workers share the parent's
+resource tracker, so attaching never double-books the segment and a
+worker exit never tears it down. Worker-*created* result segments
+invert the roles: the worker creates untracked and the parent attaches,
+decodes and unlinks. The one crash window is a worker dying between creating
+its result segment and the parent unlinking it — that segment leaks
+until reboot, which ``docs/architecture.md`` documents as the price of
+zero-copy results.
+
+``shm_enabled()`` gates the whole path: the numpy backend must be on,
+``REPRO_DISABLE_SHM`` must be unset, and the platform must actually
+support POSIX shared memory (probed once). When the gate is closed the
+executor falls back to the legacy pickle transport, bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.kernels.backend import numpy_enabled, require_numpy
+from repro.kernels.columnar import ColumnarRelation
+
+#: ``(segment_name, ((key, dtype_str, length, byte_offset), ...))`` — a
+#: picklable description from which any process can attach the arrays.
+Manifest = Tuple[str, Tuple[Tuple[str, str, int, int], ...]]
+
+#: Cached result of the one-time platform probe.
+_platform_probe: Optional[bool] = None
+
+
+def _shared_memory_module():
+    from multiprocessing import shared_memory
+
+    return shared_memory
+
+
+def _platform_has_shm() -> bool:
+    """Probe (once) whether POSIX shared memory actually works here."""
+    global _platform_probe
+    if _platform_probe is None:
+        try:
+            seg = _shared_memory_module().SharedMemory(create=True, size=8)
+            seg.close()
+            seg.unlink()
+            _platform_probe = True
+        except Exception:
+            _platform_probe = False
+    return _platform_probe
+
+
+def shm_enabled() -> bool:
+    """True when the zero-copy shared-memory executor may be used.
+
+    Mirrors :func:`repro.kernels.backend.numpy_enabled`: one switch
+    (``REPRO_DISABLE_SHM``) flips every caller to the pickle fallback,
+    which is how CI proves the degraded path stays byte-identical.
+    """
+    if os.environ.get("REPRO_DISABLE_SHM"):
+        return False
+    return numpy_enabled() and _platform_has_shm()
+
+
+def _untrack(segment) -> None:
+    """Remove *segment* from the resource tracker (worker-side creates).
+
+    A worker-created result segment is cleaned up by the *parent* after
+    decoding; without this, the tracker would double-book the name and
+    warn about "leaked" shared memory if the parent unlinks first.
+    """
+    try:
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(segment._name, "shared_memory")
+    except Exception:
+        pass
+
+
+class SharedColumnarStore:
+    """Named 1-D numpy arrays packed into one shared-memory segment.
+
+    Create in the owner with :meth:`create`, ship :attr:`manifest` (a
+    plain picklable tuple) to other processes, attach there with
+    :meth:`attach`. The owner uses the instance as a context manager —
+    ``__exit__`` closes *and unlinks*; attached (non-owner) instances
+    only close.
+    """
+
+    __slots__ = ("_segment", "_arrays", "_manifest", "_owner")
+
+    def __init__(self, segment, arrays, manifest: Manifest, owner: bool):
+        self._segment = segment
+        self._arrays = arrays
+        self._manifest = manifest
+        self._owner = owner
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(cls, arrays: Dict[str, object], track: bool = True) -> "SharedColumnarStore":
+        """Copy *arrays* (name -> 1-D ndarray) into a fresh segment.
+
+        With ``track=False`` the segment is immediately unregistered from
+        the resource tracker — the worker-side result transport, where
+        the *parent* unlinks after decoding.
+        """
+        np = require_numpy()
+        entries = []
+        offset = 0
+        packed = {}
+        for key, arr in arrays.items():
+            arr = np.ascontiguousarray(arr)
+            packed[key] = arr
+            entries.append((key, arr.dtype.str, int(arr.shape[0]), offset))
+            offset += int(arr.nbytes)
+        segment = _shared_memory_module().SharedMemory(
+            create=True, size=max(offset, 1)
+        )
+        if not track:
+            _untrack(segment)
+        views = {}
+        for key, dtype, n, off in entries:
+            view = np.ndarray((n,), dtype=dtype, buffer=segment.buf, offset=off)
+            view[:] = packed[key]
+            views[key] = view
+        manifest: Manifest = (segment.name, tuple(entries))
+        return cls(segment, views, manifest, owner=True)
+
+    @classmethod
+    def attach(cls, manifest: Manifest) -> "SharedColumnarStore":
+        """Map an existing segment described by *manifest* (non-owner)."""
+        np = require_numpy()
+        name, entries = manifest
+        # Attaching re-registers the name with the resource tracker
+        # shared by the whole process tree (harmless set.add); whoever
+        # ends up calling unlink() performs the single matching
+        # unregister, so no extra untrack here.
+        segment = _shared_memory_module().SharedMemory(name=name)
+        views = {
+            key: np.ndarray((n,), dtype=dtype, buffer=segment.buf, offset=off)
+            for key, dtype, n, off in entries
+        }
+        return cls(segment, views, manifest, owner=False)
+
+    # ------------------------------------------------------------------
+    # access
+    # ------------------------------------------------------------------
+    @property
+    def manifest(self) -> Manifest:
+        return self._manifest
+
+    @property
+    def name(self) -> str:
+        return self._segment.name
+
+    @property
+    def nbytes(self) -> int:
+        """Mapped segment size (what zero-copy avoids shipping)."""
+        return int(self._segment.size)
+
+    @property
+    def owner(self) -> bool:
+        return self._owner
+
+    def __getitem__(self, key: str):
+        return self._arrays[key]
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._arrays
+
+    def keys(self):
+        return self._arrays.keys()
+
+    def gather(self, prefix: str, ids) -> ColumnarRelation:
+        """Copy rows *ids* of the relation stored under *prefix* out.
+
+        ``ids`` may be any integer index array; fancy indexing copies, so
+        the returned :class:`ColumnarRelation` is private to the caller
+        (kernels may sort it) while the mapped columns stay pristine.
+        """
+        return ColumnarRelation(
+            self._arrays[f"{prefix}.oid"][ids],
+            self._arrays[f"{prefix}.xl"][ids],
+            self._arrays[f"{prefix}.yl"][ids],
+            self._arrays[f"{prefix}.xh"][ids],
+            self._arrays[f"{prefix}.yh"][ids],
+        )
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Drop the mapped views and close this process's handle."""
+        self._arrays = {}
+        try:
+            self._segment.close()
+        except BufferError:  # a caller still holds a view; leave mapped
+            pass
+
+    def unlink(self) -> None:
+        """Destroy the segment (owner only; idempotent)."""
+        try:
+            self._segment.unlink()
+        except FileNotFoundError:
+            pass
+
+    def __enter__(self) -> "SharedColumnarStore":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+        if self._owner:
+            self.unlink()
+
+
+def columnar_arrays(prefix: str, cols: ColumnarRelation) -> Dict[str, object]:
+    """The five columns of *cols* keyed for a :class:`SharedColumnarStore`."""
+    return {
+        f"{prefix}.oid": cols.oid,
+        f"{prefix}.xl": cols.xl,
+        f"{prefix}.yl": cols.yl,
+        f"{prefix}.xh": cols.xh,
+        f"{prefix}.yh": cols.yh,
+    }
+
+
+__all__ = [
+    "Manifest",
+    "SharedColumnarStore",
+    "columnar_arrays",
+    "shm_enabled",
+]

@@ -137,6 +137,28 @@ class MetricsRegistry:
                 stats.join_makespan_seconds,
                 **base,
             )
+        if stats.ipc_bytes_shipped:
+            transport = "shm" if stats.shared_memory else "pickle"
+            self.counter(
+                "repro_join_ipc_bytes_total",
+                "Bytes shipped across the process boundary per transport",
+            )
+            self.inc(
+                "repro_join_ipc_bytes_total",
+                stats.ipc_bytes_shipped,
+                transport=transport,
+                **base,
+            )
+            self.gauge(
+                "repro_join_ipc_seconds",
+                "Parent-side serialisation seconds of the last fan-out",
+            )
+            self.set(
+                "repro_join_ipc_seconds",
+                stats.ipc_seconds,
+                transport=transport,
+                **base,
+            )
 
     def observe_trace(self, spans: Sequence[dict], **labels) -> None:
         """Record exported span dicts (see :func:`repro.obs.export.read_trace`)."""

@@ -5,7 +5,7 @@ from repro.pbsm.estimator import estimate_partitions
 from repro.pbsm.grid import TILE_MAPPINGS, TileGrid
 from repro.pbsm.join import DEDUP_MODES, PBSM, pbsm_join
 from repro.pbsm.parallel import ParallelPBSM, lpt_schedule
-from repro.pbsm.partitioner import partition_relation
+from repro.pbsm.partitioner import partition_csr, partition_relation
 from repro.pbsm.repartition import choose_split, compose_region_test, split_partition
 
 __all__ = [
@@ -18,6 +18,7 @@ __all__ = [
     "compose_region_test",
     "estimate_partitions",
     "lpt_schedule",
+    "partition_csr",
     "partition_relation",
     "pbsm_join",
     "sort_based_dedup",

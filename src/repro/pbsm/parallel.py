@@ -15,11 +15,28 @@ two executors over the same shared-nothing decomposition:
   partition bound the achievable speedup (Amdahl).
 * ``executor="process"`` — the same task decomposition, actually executed:
   the join tasks are grouped into LPT-balanced chunks and fanned out over
-  a :class:`concurrent.futures.ProcessPoolExecutor`.  Every payload is
-  picklable (plain tuples plus a grid spec); results are merged in
-  partition order, so the output is byte-identical to the sequential
+  a :class:`concurrent.futures.ProcessPoolExecutor`.  Results are merged
+  in partition order, so the output is byte-identical to the sequential
   execution.  With ``workers=1`` the fan-out degrades gracefully to an
   in-process loop (no pool is spawned).
+
+The process executor ships its data one of two ways:
+
+* the legacy **pickle transport**: each chunk payload carries the full
+  (replicated) record lists of its tasks, and pair lists come back the
+  same way.  The internal name and grid spec are installed once per
+  worker by a pool initializer, not re-pickled per chunk.
+* the **zero-copy shared-memory transport** (``shared_memory=True``):
+  both inputs are loaded once into a columnar
+  :class:`~repro.kernels.shm.SharedColumnarStore` segment together with
+  CSR partition-index arrays, a join task shrinks to five integers
+  ``(pid, l_lo, l_hi, r_lo, r_hi)``, workers attach by segment name in
+  the pool initializer and gather their slices straight out of the
+  mapped pages, and result ``(rid, sid)`` id buffers come back through a
+  worker-created segment — only task tuples and manifests ever cross the
+  pipe.  Requires the numpy backend; ``REPRO_DISABLE_SHM=1`` (or a
+  platform without POSIX shared memory) falls back to the pickle
+  transport with byte-identical output.
 
 Duplicate elimination is RPM, which is what makes the parallel version
 correct without any cross-worker coordination: each result is owned by
@@ -29,7 +46,9 @@ exactly one partition, hence by exactly one worker.
 from __future__ import annotations
 
 import os
+import pickle
 import time
+import warnings
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.phases import PHASE_JOIN, PHASE_PARTITION
@@ -39,8 +58,9 @@ from repro.core.stats import CpuCounters
 from repro.internal import internal_algorithm
 from repro.io.costmodel import CostModel
 from repro.io.disk import SimulatedDisk
-from repro.kernels.backend import active_backend
-from repro.kernels.rpm import rpm_join_task
+from repro.kernels.backend import active_backend, cpu_count, require_numpy
+from repro.kernels.rpm import rpm_join_ids, rpm_join_task
+from repro.kernels.shm import SharedColumnarStore, columnar_arrays, shm_enabled
 from repro.obs.trace import KIND_RUN, KIND_TASK, KIND_WORKER, NULL_TRACER
 from repro.pbsm.estimator import estimate_partitions
 from repro.pbsm.grid import TileGrid
@@ -52,8 +72,17 @@ EXECUTORS = ("simulated", "process")
 #: that the up-front LPT packing cannot foresee.
 CHUNKS_PER_WORKER = 4
 
+#: Environment override raising the worker-count clamp beyond the usable
+#: CPU count (tests and benches on small machines oversubscribe through
+#: this on purpose).
+MAX_WORKERS_ENV = "REPRO_MAX_WORKERS"
+
 #: ``(pid, records_left, records_right)`` — one partition-pair join task.
 JoinTask = Tuple[int, List[Tuple], List[Tuple]]
+
+#: ``(pid, l_lo, l_hi, r_lo, r_hi)`` — the same task in shared-memory
+#: form: two CSR slices into the segment's partition-index arrays.
+ShmJoinTask = Tuple[int, int, int, int, int]
 
 #: ``(pid, pairs, suppressed, counters_dict, wall_seconds)`` — one task's
 #: outcome.  ``wall_seconds`` is measured inside the worker, so per-task
@@ -83,6 +112,16 @@ def _grid_spec(grid: TileGrid) -> Tuple:
 def _grid_from_spec(spec: Tuple) -> TileGrid:
     xl, yl, xh, yh, nx, ny, n_partitions, mapping = spec
     return TileGrid(Space(xl, yl, xh, yh), nx, ny, n_partitions, mapping)
+
+
+def _worker_cap() -> int:
+    """The largest worker count the process executor will actually spawn."""
+    cap = cpu_count() or 1
+    try:
+        cap = max(cap, int(os.environ.get(MAX_WORKERS_ENV, "")))
+    except (TypeError, ValueError):
+        pass
+    return cap
 
 
 def _run_join_task(internal_name: str, grid: TileGrid, task: JoinTask) -> TaskOutcome:
@@ -122,35 +161,118 @@ def _run_join_task(internal_name: str, grid: TileGrid, task: JoinTask) -> TaskOu
     return pid, pairs, suppressed, counters.as_dict(), wall
 
 
-def _run_chunk(payload: Tuple[str, Tuple, List[JoinTask]]) -> ChunkOutcome:
-    """Worker entry point: run a chunk of join tasks, return their outcomes.
+# ----------------------------------------------------------------------
+# pool worker state (set once per worker by the initializer)
+# ----------------------------------------------------------------------
+_POOL_INTERNAL: Optional[str] = None
+_POOL_GRID: Optional[TileGrid] = None
+_POOL_STORE: Optional[SharedColumnarStore] = None
 
-    Module-level (hence picklable) on purpose; receives only plain tuples
-    so the payload crosses the process boundary without custom reducers.
-    The worker measures its own chunk wall time (and each task measures
-    its own), because the parent cannot observe time spent inside another
-    process — it only sees the fan-out's makespan.
+
+def _pool_init(internal_name: str, grid_spec: Tuple, manifest=None) -> None:
+    """Process-pool initializer: rebuild per-worker state exactly once.
+
+    The internal-algorithm name and the grid used to be re-pickled into
+    every chunk payload; both are installed here instead, once per
+    worker.  With a shared-memory *manifest* the worker also attaches
+    the input segment here, so chunk payloads shrink to bare task
+    tuples.
     """
-    internal_name, grid_spec, tasks = payload
-    grid = _grid_from_spec(grid_spec)
-    started = time.perf_counter()
-    outcomes = [_run_join_task(internal_name, grid, task) for task in tasks]
-    return os.getpid(), time.perf_counter() - started, outcomes
-
-
-def _chunk_tasks(
-    tasks: List[JoinTask], n_chunks: int
-) -> List[List[JoinTask]]:
-    """Pack tasks into *n_chunks* LPT-balanced chunks (by joined size)."""
-    sized = sorted(
-        tasks, key=lambda t: (len(t[1]) + len(t[2]), t[0]), reverse=True
+    global _POOL_INTERNAL, _POOL_GRID, _POOL_STORE
+    _POOL_INTERNAL = internal_name
+    _POOL_GRID = _grid_from_spec(grid_spec)
+    _POOL_STORE = (
+        SharedColumnarStore.attach(manifest) if manifest is not None else None
     )
-    chunks: List[List[JoinTask]] = [[] for _ in range(n_chunks)]
+
+
+def _run_chunk(payload: bytes) -> bytes:
+    """Pickle-transport worker entry point: run one chunk of join tasks.
+
+    The payload is the pickled task list and the return value is the
+    pickled :data:`ChunkOutcome` — the parent pre-serialises and
+    post-deserialises both, so ``len()`` of what crosses the pool is an
+    exact measurement of the bytes this transport ships.  The worker
+    measures its own chunk wall time (and each task measures its own),
+    because the parent cannot observe time spent inside another process —
+    it only sees the fan-out's makespan.
+    """
+    tasks: List[JoinTask] = pickle.loads(payload)
+    started = time.perf_counter()
+    outcomes = [_run_join_task(_POOL_INTERNAL, _POOL_GRID, task) for task in tasks]
+    wall = time.perf_counter() - started
+    return pickle.dumps(
+        (os.getpid(), wall, outcomes), pickle.HIGHEST_PROTOCOL
+    )
+
+
+def _run_shm_chunk(payload: bytes) -> bytes:
+    """Shared-memory worker entry point: tasks are CSR slices, not records.
+
+    Gathers each task's partition rows straight out of the attached
+    segment, runs the columnar RPM kernel (or the scalar internal on a
+    KPE round trip — same values either way), stores every task's
+    ``(rid, sid)`` id buffers in a fresh worker-created segment, and
+    ships back only the per-task metadata plus that segment's manifest.
+    The parent attaches, decodes in partition order and unlinks.
+    """
+    np = require_numpy()
+    store = _POOL_STORE
+    tasks: List[ShmJoinTask] = pickle.loads(payload)
+    started = time.perf_counter()
+    metas = []
+    out_arrays: Dict[str, object] = {}
+    for pid, l_lo, l_hi, r_lo, r_hi in tasks:
+        task_started = time.perf_counter()
+        counters = CpuCounters()
+        a = store.gather("L", store["L.ids"][l_lo:l_hi])
+        b = store.gather("R", store["R.ids"][r_lo:r_hi])
+        if _POOL_INTERNAL == "sweep_numpy":
+            rid, sid, suppressed = rpm_join_ids(
+                a, b, _POOL_GRID, pid, counters
+            )
+            counter_dict = counters.as_dict()
+        else:
+            _, pairs, suppressed, counter_dict, _ = _run_join_task(
+                _POOL_INTERNAL, _POOL_GRID, (pid, a.to_kpes(), b.to_kpes())
+            )
+            rid = np.fromiter(
+                (p[0] for p in pairs), dtype=np.int64, count=len(pairs)
+            )
+            sid = np.fromiter(
+                (p[1] for p in pairs), dtype=np.int64, count=len(pairs)
+            )
+        out_arrays[f"{pid}.rid"] = rid
+        out_arrays[f"{pid}.sid"] = sid
+        metas.append(
+            (pid, suppressed, counter_dict, time.perf_counter() - task_started)
+        )
+    wall = time.perf_counter() - started
+    # Untracked on purpose: the parent unlinks after decoding (a worker
+    # crashing between here and there leaks the segment — see docs).
+    results = SharedColumnarStore.create(out_arrays, track=False)
+    results.close()
+    return pickle.dumps(
+        (os.getpid(), wall, metas, results.manifest), pickle.HIGHEST_PROTOCOL
+    )
+
+
+def _task_size(task) -> int:
+    """Joined record count of a task, in either task representation."""
+    if isinstance(task[1], int):
+        return (task[2] - task[1]) + (task[4] - task[3])
+    return len(task[1]) + len(task[2])
+
+
+def _chunk_tasks(tasks: List, n_chunks: int) -> List[List]:
+    """Pack tasks into *n_chunks* LPT-balanced chunks (by joined size)."""
+    sized = sorted(tasks, key=lambda t: (_task_size(t), t[0]), reverse=True)
+    chunks: List[List] = [[] for _ in range(n_chunks)]
     loads = [0] * n_chunks
     for task in sized:
         idx = min(range(n_chunks), key=loads.__getitem__)
         chunks[idx].append(task)
-        loads[idx] += len(task[1]) + len(task[2])
+        loads[idx] += _task_size(task)
     return [chunk for chunk in chunks if chunk]
 
 
@@ -162,7 +284,10 @@ class ParallelPBSM:
     a process pool.  Both produce identical result pairs in identical
     order, and both report the same simulated costs — the process
     executor additionally delivers real wall-clock speedup on multicore
-    hardware.
+    hardware.  ``shared_memory=True`` switches the process executor to
+    the zero-copy transport (see the module docstring); out-of-range
+    worker counts are clamped with a :class:`RuntimeWarning` instead of
+    raising or silently oversubscribing the machine.
     """
 
     def __init__(
@@ -172,6 +297,7 @@ class ParallelPBSM:
         *,
         internal: str = "sweep_trie",
         executor: str = "simulated",
+        shared_memory: bool = False,
         t_factor: float = 1.2,
         tiles_per_partition: int = 4,
         cost_model: Optional[CostModel] = None,
@@ -179,29 +305,57 @@ class ParallelPBSM:
     ):
         if memory_bytes <= 0:
             raise ValueError("memory_bytes must be positive")
-        if workers < 1:
-            raise ValueError("workers must be >= 1")
         if executor not in EXECUTORS:
             raise ValueError(
                 f"executor must be one of {EXECUTORS}, got {executor!r}"
             )
+        if workers < 1:
+            warnings.warn(
+                f"workers={workers} is below 1; clamped to 1",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            workers = 1
+        if executor == "process":
+            cap = _worker_cap()
+            if workers > cap:
+                warnings.warn(
+                    f"workers={workers} exceeds the usable CPU count ({cap}); "
+                    f"clamped to {cap} (set {MAX_WORKERS_ENV} to allow "
+                    "oversubscription)",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                workers = cap
         self.memory_bytes = memory_bytes
         self.workers = workers
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.internal_name = internal
         self.internal = internal_algorithm(internal)
         self.executor = executor
+        self.shared_memory = shared_memory
         self.t_factor = t_factor
         self.tiles_per_partition = tiles_per_partition
         self.cost_model = cost_model or CostModel()
 
     def run(self, left: Sequence[Tuple], right: Sequence[Tuple]) -> JoinResult:
+        # The zero-copy transport needs a real pool (workers > 1), the
+        # columnar backend, and working platform shared memory; anything
+        # else silently degrades to the pickle/in-process paths, which
+        # produce byte-identical output.
+        use_shm = (
+            self.shared_memory
+            and self.executor == "process"
+            and self.workers > 1
+            and shm_enabled()
+        )
         stats = JoinStats(
             algorithm=f"ParallelPBSM({self.internal_name},W={self.workers})",
             backend=(
                 active_backend() if self.internal_name == "sweep_numpy" else ""
             ),
             executor=self.executor,
+            shared_memory=use_shm,
             n_left=len(left),
             n_right=len(right),
         )
@@ -228,18 +382,20 @@ class ParallelPBSM:
             internal=self.internal_name,
             executor=self.executor,
             workers=self.workers,
+            shared_memory=use_shm,
             backend=stats.backend or None,
         ):
             # --- sequential partitioning phase -----------------------------
+            emit = "ids" if use_shm else "records"
             disk = SimulatedDisk(cost)
             part_cpu = CpuCounters()
             with tracer.span(PHASE_PARTITION, cpu=part_cpu, disk=disk) as sp:
                 with disk.phase(PHASE_PARTITION):
                     left_files, n_left_written = partition_relation(
-                        left, grid, disk, kpe_bytes, part_cpu, "R"
+                        left, grid, disk, kpe_bytes, part_cpu, "R", emit=emit
                     )
                     right_files, n_right_written = partition_relation(
-                        right, grid, disk, kpe_bytes, part_cpu, "S"
+                        right, grid, disk, kpe_bytes, part_cpu, "S", emit=emit
                     )
                 stats.records_partitioned = n_left_written + n_right_written
                 stats.replicas_created = (
@@ -252,7 +408,13 @@ class ParallelPBSM:
 
             with tracer.span(PHASE_JOIN) as sp:
                 # --- materialise the join tasks (reads are charged) --------
-                tasks: List[JoinTask] = []
+                # Record tasks carry the records themselves; shm tasks
+                # carry CSR slices into the concatenated id arrays.  The
+                # files hold the same counts either way, so the charged
+                # reads are identical.
+                tasks: List = []
+                ids_left: List[int] = []
+                ids_right: List[int] = []
                 task_io_units: Dict[int, float] = {}
                 for pid in range(n_partitions):
                     file_left = left_files[pid]
@@ -265,14 +427,33 @@ class ParallelPBSM:
                     if pair_bytes > stats.peak_memory_bytes:
                         stats.peak_memory_bytes = pair_bytes
                     task_disk = SimulatedDisk(cost)
+                    # Rebind so the join-phase reads are charged to this
+                    # task (they used to land on the partition disk's
+                    # default phase, zeroing every task's I/O share).
+                    file_left.disk = task_disk
+                    file_right.disk = task_disk
                     with task_disk.phase(PHASE_JOIN):
                         records_left = file_left.read_all()
                         records_right = file_right.read_all()
-                    tasks.append((pid, records_left, records_right))
+                    if use_shm:
+                        l_lo = len(ids_left)
+                        ids_left.extend(records_left)
+                        r_lo = len(ids_right)
+                        ids_right.extend(records_right)
+                        tasks.append(
+                            (pid, l_lo, len(ids_left), r_lo, len(ids_right))
+                        )
+                    else:
+                        tasks.append((pid, records_left, records_right))
                     task_io_units[pid] = task_disk.total_units()
 
                 # --- execute the tasks -------------------------------------
-                outcomes = self._execute(tasks, grid, stats)
+                if use_shm:
+                    outcomes = self._execute_shm(
+                        tasks, grid, stats, left, right, ids_left, ids_right
+                    )
+                else:
+                    outcomes = self._execute(tasks, grid, stats)
 
                 # --- deterministic merge in partition order ----------------
                 task_costs: List[float] = []
@@ -294,6 +475,13 @@ class ParallelPBSM:
                 stats.duplicates_suppressed = suppressed_total
                 sp.add_counters(join_cpu_total.as_dict())
                 sp.add_counters({"io_units": join_units_total})
+                if stats.ipc_bytes_shipped or stats.ipc_seconds:
+                    sp.add_counters(
+                        {
+                            "bytes_shipped": stats.ipc_bytes_shipped,
+                            "ipc_seconds": stats.ipc_seconds,
+                        }
+                    )
             stats.wall_seconds_by_phase[PHASE_JOIN] = sp.wall_seconds
 
             # --- LPT scheduling onto W workers --------------------------
@@ -354,34 +542,22 @@ class ParallelPBSM:
         stats.join_busy_seconds = sum(outcome[4] for outcome in outcomes)
         return outcomes
 
-    def _execute_process(
-        self, tasks: List[JoinTask], grid: TileGrid, stats: JoinStats
-    ) -> List[TaskOutcome]:
-        """Fan the tasks out over a process pool, LPT-chunked.
+    def _emit_pool_spans(
+        self,
+        stats: JoinStats,
+        chunk_reports: List[Tuple[int, float, List[TaskOutcome], int]],
+    ) -> None:
+        """Worker/task spans and per-worker busy totals for one fan-out.
 
-        Workers report ``(pid, chunk_wall, task_outcomes)``; the parent
-        turns each chunk into a ``worker`` span with its tasks as child
-        ``task`` spans, and aggregates per-worker busy seconds — so the
-        time spent inside the pool is attributed instead of dropped.
+        ``chunk_reports`` rows are ``(worker_pid, chunk_wall,
+        task_outcomes, chunk_bytes)``; ``chunk_bytes`` (payload out plus
+        result blob in) lands on the worker span as a ``bytes_shipped``
+        counter, so traces attribute the IPC volume next to the time.
         """
-        from concurrent.futures import ProcessPoolExecutor
-
         tracer = self.tracer
-        n_chunks = min(len(tasks), self.workers * CHUNKS_PER_WORKER)
-        chunks = _chunk_tasks(tasks, n_chunks)
-        spec = _grid_spec(grid)
-        payloads = [(self.internal_name, spec, chunk) for chunk in chunks]
-        chunk_outcomes: List[ChunkOutcome] = []
-        started = time.perf_counter()
-        with ProcessPoolExecutor(max_workers=self.workers) as pool:
-            for chunk_outcome in pool.map(_run_chunk, payloads):
-                chunk_outcomes.append(chunk_outcome)
-        stats.join_makespan_seconds = time.perf_counter() - started
-
-        outcomes: List[TaskOutcome] = []
         busy_by_worker: Dict[str, float] = {}
-        for chunk_idx, (worker_pid, chunk_wall, task_outcomes) in enumerate(
-            chunk_outcomes
+        for chunk_idx, (worker_pid, chunk_wall, task_outcomes, chunk_bytes) in (
+            enumerate(chunk_reports)
         ):
             label = f"pid-{worker_pid}"
             busy_by_worker[label] = busy_by_worker.get(label, 0.0) + chunk_wall
@@ -393,6 +569,7 @@ class ParallelPBSM:
                     worker=label,
                     chunk=chunk_idx,
                     tasks=len(task_outcomes),
+                    counters={"bytes_shipped": chunk_bytes},
                 )
                 for pid, _pairs, _suppressed, counter_dict, task_wall in (
                     task_outcomes
@@ -406,8 +583,147 @@ class ParallelPBSM:
                         pid=pid,
                         worker=label,
                     )
-            outcomes.extend(task_outcomes)
         stats.worker_busy_seconds = busy_by_worker
+
+    def _execute_process(
+        self, tasks: List[JoinTask], grid: TileGrid, stats: JoinStats
+    ) -> List[TaskOutcome]:
+        """Fan the tasks out over a process pool via the pickle transport.
+
+        The parent pre-pickles every chunk payload and unpickles every
+        result blob itself, so ``stats.ipc_bytes_shipped`` counts the
+        exact bytes crossing the pool (re-pickling a ``bytes`` payload is
+        a memcpy) and ``stats.ipc_seconds`` is the measured
+        serialisation time the transport costs on top of the join work.
+        """
+        from concurrent.futures import ProcessPoolExecutor
+
+        n_chunks = min(len(tasks), self.workers * CHUNKS_PER_WORKER)
+        chunks = _chunk_tasks(tasks, n_chunks)
+        encode_started = time.perf_counter()
+        payloads = [
+            pickle.dumps(chunk, pickle.HIGHEST_PROTOCOL) for chunk in chunks
+        ]
+        ipc_seconds = time.perf_counter() - encode_started
+        bytes_shipped = sum(len(p) for p in payloads)
+
+        blobs: List[bytes] = []
+        started = time.perf_counter()
+        with ProcessPoolExecutor(
+            max_workers=self.workers,
+            initializer=_pool_init,
+            initargs=(self.internal_name, _grid_spec(grid)),
+        ) as pool:
+            for blob in pool.map(_run_chunk, payloads):
+                blobs.append(blob)
+        stats.join_makespan_seconds = time.perf_counter() - started
+
+        decode_started = time.perf_counter()
+        outcomes: List[TaskOutcome] = []
+        chunk_reports = []
+        for payload, blob in zip(payloads, blobs):
+            worker_pid, chunk_wall, task_outcomes = pickle.loads(blob)
+            bytes_shipped += len(blob)
+            outcomes.extend(task_outcomes)
+            chunk_reports.append(
+                (worker_pid, chunk_wall, task_outcomes, len(payload) + len(blob))
+            )
+        ipc_seconds += time.perf_counter() - decode_started
+        stats.ipc_bytes_shipped = bytes_shipped
+        stats.ipc_seconds = ipc_seconds
+        self._emit_pool_spans(stats, chunk_reports)
+        return outcomes
+
+    def _execute_shm(
+        self,
+        tasks: List[ShmJoinTask],
+        grid: TileGrid,
+        stats: JoinStats,
+        left: Sequence[Tuple],
+        right: Sequence[Tuple],
+        ids_left: List[int],
+        ids_right: List[int],
+    ) -> List[TaskOutcome]:
+        """Fan the tasks out via the zero-copy shared-memory transport.
+
+        Loads both inputs once into a columnar segment (plus the CSR id
+        arrays the partitioner emitted), ships five-integer tasks, and
+        decodes worker-returned ``(rid, sid)`` id buffers in partition
+        order — so the merged output is byte-identical to the pickle
+        transport and to sequential execution.  Segment build, payload
+        encode and result decode all count into ``stats.ipc_seconds``;
+        only the pipe traffic counts into ``stats.ipc_bytes_shipped``.
+        """
+        from concurrent.futures import ProcessPoolExecutor
+
+        if not tasks:
+            return []
+        np = require_numpy()
+        stats.join_busy_seconds = 0.0
+
+        encode_started = time.perf_counter()
+        from repro.kernels.columnar import ColumnarRelation
+
+        arrays = columnar_arrays("L", ColumnarRelation.from_kpes(left))
+        arrays.update(columnar_arrays("R", ColumnarRelation.from_kpes(right)))
+        arrays["L.ids"] = np.asarray(ids_left, dtype=np.int64)
+        arrays["R.ids"] = np.asarray(ids_right, dtype=np.int64)
+        n_chunks = min(len(tasks), self.workers * CHUNKS_PER_WORKER)
+        chunks = _chunk_tasks(tasks, n_chunks)
+        payloads = [
+            pickle.dumps(chunk, pickle.HIGHEST_PROTOCOL) for chunk in chunks
+        ]
+        bytes_shipped = sum(len(p) for p in payloads)
+
+        blobs: List[bytes] = []
+        with SharedColumnarStore.create(arrays) as store:
+            ipc_seconds = time.perf_counter() - encode_started
+            started = time.perf_counter()
+            with ProcessPoolExecutor(
+                max_workers=self.workers,
+                initializer=_pool_init,
+                initargs=(self.internal_name, _grid_spec(grid), store.manifest),
+            ) as pool:
+                for blob in pool.map(_run_shm_chunk, payloads):
+                    blobs.append(blob)
+            stats.join_makespan_seconds = time.perf_counter() - started
+
+            decode_started = time.perf_counter()
+            outcomes: List[TaskOutcome] = []
+            chunk_reports = []
+            for payload, blob in zip(payloads, blobs):
+                worker_pid, chunk_wall, metas, manifest = pickle.loads(blob)
+                bytes_shipped += len(blob)
+                results = SharedColumnarStore.attach(manifest)
+                try:
+                    task_outcomes: List[TaskOutcome] = []
+                    for pid, suppressed, counter_dict, task_wall in metas:
+                        task_pairs = list(
+                            zip(
+                                results[f"{pid}.rid"].tolist(),
+                                results[f"{pid}.sid"].tolist(),
+                            )
+                        )
+                        task_outcomes.append(
+                            (pid, task_pairs, suppressed, counter_dict, task_wall)
+                        )
+                finally:
+                    results.close()
+                    results.unlink()
+                outcomes.extend(task_outcomes)
+                chunk_reports.append(
+                    (
+                        worker_pid,
+                        chunk_wall,
+                        task_outcomes,
+                        len(payload) + len(blob),
+                    )
+                )
+            ipc_seconds += time.perf_counter() - decode_started
+        stats.ipc_bytes_shipped = bytes_shipped
+        stats.ipc_seconds = ipc_seconds
+        stats.join_busy_seconds = sum(outcome[4] for outcome in outcomes)
+        self._emit_pool_spans(stats, chunk_reports)
         return outcomes
 
 

@@ -4,6 +4,16 @@ Each partition gets a one-page output buffer (a real PBSM would hold P
 page buffers in memory); a KPE is appended to every partition owning a tile
 its rectangle overlaps.  Reading the input relation is free of charge (the
 paper's model); the partition writes are charged per buffer flush.
+
+``emit="ids"`` writes each record's *position* in the input sequence
+instead of the record tuple itself — the shared-memory executor's
+partitioning mode.  The files, the flush pattern, the charged structure
+operations and the simulated record size are identical either way (the
+cost model charges ``record_bytes`` per record regardless of what Python
+object stands in for it), so the two modes are indistinguishable to the
+simulated-cost accounting.  Reading id-emitting files back per partition
+yields exactly the CSR form (offsets + record ids) the zero-copy workers
+slice; :func:`partition_csr` performs that concatenation.
 """
 
 from __future__ import annotations
@@ -20,6 +30,10 @@ from repro.pbsm.grid import TileGrid
 #: the scalar loop; the charged costs are identical either way.
 _VECTOR_MIN_RECORDS = 64
 
+#: What a partition file may hold: the record tuples themselves, or the
+#: records' integer positions in the input sequence (CSR ids).
+EMIT_MODES = ("records", "ids")
+
 
 def partition_relation(
     kpes: Sequence[Tuple],
@@ -29,13 +43,19 @@ def partition_relation(
     counters: CpuCounters,
     name_prefix: str = "part",
     buffer_pages: int = 1,
+    emit: str = "records",
 ) -> Tuple[List[PageFile], int]:
     """Distribute *kpes* over ``grid.n_partitions`` partition files.
 
     Returns ``(files, records_written)`` where ``records_written`` counts
     every inserted copy (so ``records_written - len(kpes)`` is the number
     of replicas, the redundancy PBSM trades for partition independence).
+    With ``emit="ids"`` each file holds input positions instead of record
+    tuples — same write order, same charged costs.
     """
+    if emit not in EMIT_MODES:
+        raise ValueError(f"emit must be one of {EMIT_MODES}, got {emit!r}")
+    as_ids = emit == "ids"
     files = [
         PageFile(disk, record_bytes, f"{name_prefix}.{pid}")
         for pid in range(grid.n_partitions)
@@ -49,25 +69,44 @@ def partition_relation(
         # identical to the scalar loop — wall clock is the only change.
         from repro.kernels.assign import partition_plan
 
-        for kpe, dest in zip(kpes, partition_plan(kpes, grid)):
+        for i, (kpe, dest) in enumerate(zip(kpes, partition_plan(kpes, grid))):
+            item = i if as_ids else kpe
             if type(dest) is int:
-                writers[dest].write(kpe)
+                writers[dest].write(item)
                 structure_ops += 2
                 written += 1
             else:
                 structure_ops += len(dest) + 1
                 for pid in dest:
-                    writers[pid].write(kpe)
+                    writers[pid].write(item)
                 written += len(dest)
     else:
         partitions_for_rect = grid.partitions_for_rect
-        for kpe in kpes:
+        for i, kpe in enumerate(kpes):
+            item = i if as_ids else kpe
             pids = partitions_for_rect(kpe)
             structure_ops += len(pids) + 1
             for pid in pids:
-                writers[pid].write(kpe)
+                writers[pid].write(item)
             written += len(pids)
     for writer in writers:
         writer.close()
     counters.structure_ops += structure_ops
     return files, written
+
+
+def partition_csr(files: Sequence[PageFile]) -> Tuple[List[int], List[int]]:
+    """Concatenate id-emitting partition files into CSR index arrays.
+
+    Returns ``(offsets, ids)``: partition ``pid``'s record ids are
+    ``ids[offsets[pid]:offsets[pid + 1]]``, in file write order.  Reads
+    are charged through each file's own disk, exactly like
+    ``read_all()`` — callers that need per-partition I/O attribution
+    (the parallel executor) read the files themselves instead.
+    """
+    offsets = [0]
+    ids: List[int] = []
+    for file in files:
+        ids.extend(file.read_all())
+        offsets.append(len(ids))
+    return offsets, ids

@@ -55,6 +55,15 @@ _TREE_INSERT_FACTOR = 1.4
 #: Mild residual skew after hashing tiles_per_partition tiles per partition.
 _SKEW_DAMPING = 0.5
 
+#: Measured pickle sizes for the legacy process transport: one KPE tuple
+#: inside a record list, and one (rid, sid) pair inside a result list.
+PICKLED_KPE_BYTES = 46.0
+PICKLED_PAIR_BYTES = 12.0
+#: Shared-memory transport per-task pipe traffic: a five-integer task
+#: tuple out, its share of per-chunk metadata and manifest back.
+SHM_TASK_BYTES = 64.0
+SHM_CHUNK_OVERHEAD_BYTES = 512.0
+
 
 def _lg(x: float) -> float:
     return math.log2(x) if x > 2.0 else 1.0
@@ -278,14 +287,27 @@ def estimate_pbsm(
     t_factor: float = 1.2,
     dedup: str = "rpm",
     tiles_per_partition: int = 4,
+    workers: int = 1,
+    shared_memory: bool = False,
 ) -> CostEstimate:
-    """Cost of ``PBSM(internal, dedup)`` under formula (1) with *t_factor*."""
+    """Cost of ``PBSM(internal, dedup)`` under formula (1) with *t_factor*.
+
+    With ``workers > 1`` the estimate models ``ParallelPBSM``'s process
+    executor: the partition phase stays sequential (the Amdahl term), the
+    in-memory joins and RPM tests divide by the achievable parallelism
+    ``min(workers, n_partitions)``, and an ``ipc`` term charges the
+    transport — pickled records and pair lists for the legacy transport,
+    task tuples plus manifests when ``shared_memory`` is on.
+    """
     nl, nr = jp.n_left, jp.n_right
     kb = cost.kpe_bytes
     width = jp.space[2] - jp.space[0] or 1.0
     height = jp.space[3] - jp.space[1] or 1.0
 
     n_partitions = estimate_partitions(nl, nr, kb, memory_bytes, t_factor)
+    if workers > 1:
+        # ParallelPBSM guarantees at least one task per worker.
+        n_partitions = max(n_partitions, workers)
     side = max(1, math.ceil(math.sqrt(n_partitions * tiles_per_partition)))
 
     copies_l = min(
@@ -374,14 +396,41 @@ def estimate_pbsm(
             comparisons=detected * _lg(detected)
         )
 
+    ipc_seconds = 0.0
+    ipc_bytes = 0.0
+    if workers > 1:
+        # ParallelPBSM does not repartition (it records overruns), and the
+        # join/dedup work spreads over the achievable parallelism; the
+        # sequential partition phase is left untouched (Amdahl).
+        io_repartition = 0.0
+        cpu_repartition = 0.0
+        speedup = float(min(workers, n_partitions))
+        cpu_internal /= speedup
+        cpu_dedup /= speedup
+        if shared_memory:
+            n_chunks = min(n_partitions, workers * 4)
+            ipc_bytes = (
+                SHM_TASK_BYTES * n_partitions
+                + SHM_CHUNK_OVERHEAD_BYTES * n_chunks
+            )
+        else:
+            ipc_bytes = (nl_part + nr_part) * PICKLED_KPE_BYTES + (
+                jp.est_results * PICKLED_PAIR_BYTES
+            )
+        ipc_seconds = cost.ipc_seconds_for(ipc_bytes)
+
     io_units = io_partition + io_join + io_repartition + io_dedup
-    cpu_seconds = cpu_partition + cpu_internal + cpu_repartition + cpu_dedup
+    cpu_seconds = (
+        cpu_partition + cpu_internal + cpu_repartition + cpu_dedup + ipc_seconds
+    )
     breakdown = {
         PHASE_PARTITION: cost.io_seconds(io_partition) + cpu_partition,
         PHASE_REPARTITION: cost.io_seconds(io_repartition) + cpu_repartition,
         PHASE_JOIN: cost.io_seconds(io_join) + cpu_internal,
         PHASE_DEDUP: cost.io_seconds(io_dedup) + cpu_dedup,
     }
+    if workers > 1:
+        breakdown["ipc"] = ipc_seconds
     predicted = {
         "n_partitions": float(n_partitions),
         "est_results": jp.est_results,
@@ -389,6 +438,8 @@ def estimate_pbsm(
         "replication_rate": (nl_part + nr_part) / max(1, nl + nr),
         "overflow_fraction": overflow,
     }
+    if workers > 1:
+        predicted["ipc_bytes"] = ipc_bytes
     return _estimate(cost, io_units, cpu_seconds, breakdown, predicted)
 
 

@@ -65,9 +65,12 @@ class PlanCandidate:
         parts = []
         for key in sorted(self.kwargs):
             value = self.kwargs[key]
-            short = {"internal": "internal", "t_factor": "t", "strategy": "strategy"}.get(
-                key, key
-            )
+            short = {
+                "internal": "internal",
+                "t_factor": "t",
+                "strategy": "strategy",
+                "shared_memory": "shm",
+            }.get(key, key)
             parts.append(f"{short}={value}")
         return f"{self.method}({', '.join(parts)})"
 
@@ -78,11 +81,16 @@ def enumerate_candidates(
     cost_model: Optional[CostModel] = None,
     t_grid: Sequence[float] = DEFAULT_T_GRID,
     methods: Optional[Sequence[str]] = None,
+    workers: int = 1,
 ) -> List[PlanCandidate]:
     """All candidate plans for a join, each scored by the cost model.
 
     ``methods`` restricts the enumerated join methods (default: all of
-    them); candidates are returned sorted by estimated total cost.
+    them); candidates are returned sorted by estimated total cost.  With
+    ``workers > 1`` parallel PBSM configurations join the space — one
+    per transport (legacy pickle, and zero-copy shared memory where
+    available), so the planner's pickle-vs-shm choice is a costed
+    decision, not a hardcoded preference.
     """
     cost = cost_model or CostModel()
     wanted = set(methods) if methods is not None else None
@@ -119,6 +127,37 @@ def enumerate_candidates(
                 ),
             )
         )
+        if workers > 1:
+            from repro.kernels.shm import shm_enabled
+
+            par_internal = (
+                PBSM_KERNEL_INTERNAL if numpy_enabled() else "sweep_trie"
+            )
+            transports = [False] + ([True] if shm_enabled() else [])
+            for shared in transports:
+                for t in t_grid:
+                    kwargs = {
+                        "internal": par_internal,
+                        "t_factor": t,
+                        "workers": workers,
+                    }
+                    if shared:
+                        kwargs["shared_memory"] = True
+                    candidates.append(
+                        PlanCandidate(
+                            "pbsm",
+                            kwargs,
+                            estimate_pbsm(
+                                jp,
+                                memory_bytes,
+                                cost,
+                                internal=par_internal,
+                                t_factor=t,
+                                workers=workers,
+                                shared_memory=shared,
+                            ),
+                        )
+                    )
 
     if include("s3j"):
         for strategy in S3J_STRATEGIES:

@@ -16,7 +16,7 @@ from typing import List, Optional, Sequence, Tuple
 from repro.core.result import JoinResult
 from repro.io.costmodel import CostModel
 from repro.obs.trace import KIND_PLAN, KIND_SECTION, NULL_TRACER
-from repro.pbsm import PBSM
+from repro.pbsm import PBSM, ParallelPBSM
 from repro.planner.cache import PlannerCache
 from repro.planner.enumerate import (
     DEFAULT_T_GRID,
@@ -46,6 +46,12 @@ def _run_candidate(
         kwargs["tracer"] = tracer
     method = candidate.method
     if method == "pbsm":
+        if "workers" in kwargs:
+            workers = kwargs.pop("workers")
+            kwargs.pop("dedup", None)  # ParallelPBSM is RPM-only
+            return ParallelPBSM(
+                memory_bytes, workers, executor="process", **kwargs
+            ).run(left, right)
         return PBSM(memory_bytes, **kwargs).run(left, right)
     if method == "s3j":
         return S3J(memory_bytes, **kwargs).run(left, right)
@@ -207,6 +213,7 @@ def plan_join(
     cost_model: Optional[CostModel] = None,
     t_grid: Sequence[float] = DEFAULT_T_GRID,
     methods: Optional[Sequence[str]] = None,
+    workers: int = 1,
     tracer=None,
 ) -> JoinPlan:
     """Choose the cheapest plan for joining *left* and *right*.
@@ -215,7 +222,8 @@ def plan_join(
     returns the cached :class:`JoinPlan` without re-profiling.  Planning
     is traced as one ``plan`` span (with ``profile`` and ``enumerate``
     child sections on a fresh enumeration); ``planning_seconds`` is that
-    span's wall time.
+    span's wall time.  ``workers > 1`` adds parallel PBSM candidates
+    (both transports) to the enumeration.
     """
     if memory_bytes <= 0:
         raise ValueError("memory_bytes must be positive")
@@ -230,7 +238,11 @@ def plan_join(
                 cache.relation_profile(left).fingerprint,
                 cache.relation_profile(right).fingerprint,
                 memory_bytes,
-                (tuple(t_grid), tuple(methods) if methods is not None else None),
+                (
+                    tuple(t_grid),
+                    tuple(methods) if methods is not None else None,
+                    workers,
+                ),
             )
             cached = cache.get_plan(key)
         plan_span.set_tag("from_cache", cached is not None)
@@ -238,7 +250,12 @@ def plan_join(
             jp = profile_join(left, right, cache, tracer=tracer)
             with tracer.span("enumerate", kind=KIND_SECTION):
                 candidates = enumerate_candidates(
-                    jp, memory_bytes, cost, t_grid=t_grid, methods=methods
+                    jp,
+                    memory_bytes,
+                    cost,
+                    t_grid=t_grid,
+                    methods=methods,
+                    workers=workers,
                 )
             if not candidates:
                 raise ValueError(

@@ -2,12 +2,17 @@
 
 from __future__ import annotations
 
+import os
 import random
 
 import pytest
 from hypothesis import HealthCheck, settings
 
 from repro.core.rect import KPE
+
+# Let the process-pool tests exercise real multi-worker fan-out even on
+# single-core CI boxes, where ParallelPBSM would otherwise clamp to 1.
+os.environ.setdefault("REPRO_MAX_WORKERS", "4")
 
 # A moderate default so the full suite stays fast; CI-style deep runs can
 # select the "thorough" profile via HYPOTHESIS_PROFILE.

@@ -43,8 +43,9 @@ class TestParallelPBSM:
     def test_validation(self):
         with pytest.raises(ValueError):
             ParallelPBSM(0)
-        with pytest.raises(ValueError):
-            ParallelPBSM(1024, workers=0)
+        # Out-of-range worker counts clamp with a warning, not an error.
+        with pytest.warns(RuntimeWarning, match="clamped to 1"):
+            assert ParallelPBSM(1024, workers=0).workers == 1
 
     @pytest.mark.parametrize("workers", [1, 2, 8])
     def test_matches_brute_force(self, workers, small_pair):

@@ -70,9 +70,27 @@ class TestGracefulDegrade:
             ParallelPBSM(MEMORY, 2, executor="threads")
         assert set(EXECUTORS) == {"simulated", "process"}
 
-    def test_invalid_workers_rejected(self):
-        with pytest.raises(ValueError):
-            ParallelPBSM(MEMORY, 0)
+    def test_invalid_workers_clamped_low(self):
+        with pytest.warns(RuntimeWarning, match="below 1"):
+            pbsm = ParallelPBSM(MEMORY, 0)
+        assert pbsm.workers == 1
+        with pytest.warns(RuntimeWarning, match="below 1"):
+            assert ParallelPBSM(MEMORY, -3, executor="process").workers == 1
+
+    def test_oversized_workers_clamped_for_process(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MAX_WORKERS", "4")
+        with pytest.warns(RuntimeWarning, match="clamped to 4"):
+            pbsm = ParallelPBSM(MEMORY, 99, executor="process")
+        assert pbsm.workers == 4
+        # The env override widens the clamp (oversubscription on purpose).
+        monkeypatch.setenv("REPRO_MAX_WORKERS", "8")
+        with pytest.warns(RuntimeWarning, match="clamped to 8"):
+            assert ParallelPBSM(MEMORY, 99, executor="process").workers == 8
+
+    def test_simulated_workers_not_capped(self):
+        # The simulated executor models hypothetical hardware; a worker
+        # count beyond this machine's cores is the whole point.
+        assert ParallelPBSM(MEMORY, 64, executor="simulated").workers == 64
 
 
 class TestPlumbing:

@@ -9,6 +9,7 @@ sequential partitioning phase and the largest single partition.
 
 import pytest
 
+from repro.core.phases import PHASE_PARTITION
 from repro.bench.render import ExperimentResult
 from repro.bench.workloads import la_join, memory_for_fraction
 from repro.pbsm.parallel import ParallelPBSM
@@ -31,7 +32,7 @@ def run_parallel_speedup() -> ExperimentResult:
                 workers,
                 round(total, 2),
                 round(base / total, 2),
-                round(result.stats.sim_seconds_by_phase["partition"], 2),
+                round(result.stats.sim_seconds_by_phase[PHASE_PARTITION], 2),
                 result.stats.n_results,
             )
         )

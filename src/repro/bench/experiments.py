@@ -26,7 +26,13 @@ from repro.bench.workloads import (
     memory_for_fraction,
     planner_sweep,
 )
-from repro.core.phases import PHASE_DEDUP, PHASE_JOIN, PHASE_PARTITION, PHASE_SORT
+from repro.core.phases import (
+    PHASE_DEDUP,
+    PHASE_JOIN,
+    PHASE_PARTITION,
+    PHASE_REPARTITION,
+    PHASE_SORT,
+)
 from repro.core.stats import CpuCounters
 from repro.datasets import (
     PAPER_COVERAGE,
@@ -234,7 +240,7 @@ def run_fig6(fractions=MEMORY_FRACTIONS) -> ExperimentResult:
         memory = memory_for_fraction(left, right, fraction)
         res = PBSM(memory, internal="sweep_list", t_factor=1.0).run(left, right)
         st = res.stats
-        repart = st.sim_seconds_by_phase.get("repartition", 0.0)
+        repart = st.sim_seconds_by_phase.get(PHASE_REPARTITION, 0.0)
         share = repart / st.sim_seconds if st.sim_seconds else 0.0
         rows.append(
             (
@@ -408,7 +414,7 @@ def run_table3() -> ExperimentResult:
         ),
         (
             "repartition/sort",
-            round(passes(pbsm, "repartition"), 2),
+            round(passes(pbsm, PHASE_REPARTITION), 2),
             round(passes(s3j, PHASE_SORT), 2),
         ),
         ("join (read)", round(passes(pbsm, PHASE_JOIN), 2), round(passes(s3j, PHASE_JOIN), 2)),

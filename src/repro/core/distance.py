@@ -52,7 +52,7 @@ def distance_join(
     method: str = "pbsm",
     *,
     exact: bool = True,
-    **kwargs,
+    **kwargs: object,
 ) -> JoinResult:
     """All pairs whose MBR distance is at most *eps*.
 

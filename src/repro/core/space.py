@@ -24,7 +24,7 @@ class Space:
 
     __slots__ = ("xl", "yl", "xh", "yh", "width", "height")
 
-    def __init__(self, xl: float, yl: float, xh: float, yh: float):
+    def __init__(self, xl: float, yl: float, xh: float, yh: float) -> None:
         if not (xl <= xh and yl <= yh):
             raise ValueError(f"invalid space ({xl}, {yl}, {xh}, {yh})")
         self.xl = xl

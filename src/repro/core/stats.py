@@ -14,7 +14,8 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field, fields
-from typing import Dict
+from types import TracebackType
+from typing import Dict, Optional
 
 
 @dataclass
@@ -108,7 +109,7 @@ class PhaseTimer:
 
     seconds: Dict[str, float] = field(default_factory=dict)
 
-    def time(self, phase: str):
+    def time(self, phase: str) -> "_PhaseContext":
         """Context manager charging elapsed wall time to *phase*."""
         return _PhaseContext(self, phase)
 
@@ -122,7 +123,7 @@ class PhaseTimer:
 class _PhaseContext:
     __slots__ = ("_timer", "_phase", "_start")
 
-    def __init__(self, timer: PhaseTimer, phase: str):
+    def __init__(self, timer: PhaseTimer, phase: str) -> None:
         self._timer = timer
         self._phase = phase
         self._start = 0.0
@@ -131,5 +132,10 @@ class _PhaseContext:
         self._start = time.perf_counter()
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(
+        self,
+        exc_type: Optional[type],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> None:
         self._timer.add(self._phase, time.perf_counter() - self._start)

@@ -17,9 +17,8 @@ import csv
 from pathlib import Path
 from typing import List, Sequence, Tuple, Union
 
-import numpy as np
-
 from repro.core.rect import KPE, valid_kpe
+from repro.kernels.backend import require_numpy_module
 
 PathLike = Union[str, Path]
 
@@ -66,6 +65,7 @@ def read_csv(path: PathLike) -> List[KPE]:
 
 def write_npy(kpes: Sequence[Tuple], path: PathLike) -> None:
     """Write a relation as an ``(n, 5)`` float64 .npy array."""
+    np = require_numpy_module()
     array = np.array(
         [[k[0], k[1], k[2], k[3], k[4]] for k in kpes], dtype=np.float64
     ).reshape(len(kpes), 5)
@@ -74,6 +74,7 @@ def write_npy(kpes: Sequence[Tuple], path: PathLike) -> None:
 
 def read_npy(path: PathLike) -> List[KPE]:
     """Read a relation from an ``(n, 5)`` .npy array."""
+    np = require_numpy_module()
     array = np.load(path)
     if array.ndim != 2 or array.shape[1] != 5:
         raise ValueError(f"{path}: expected an (n, 5) array, got {array.shape}")

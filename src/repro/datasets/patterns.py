@@ -12,9 +12,8 @@ from __future__ import annotations
 
 from typing import List
 
-import numpy as np
-
 from repro.core.rect import KPE
+from repro.kernels.backend import require_numpy_module
 
 
 def manhattan_grid(
@@ -33,6 +32,7 @@ def manhattan_grid(
     """
     if n <= 0:
         return []
+    np = require_numpy_module()
     rng = np.random.default_rng(seed)
     kpes: List[KPE] = []
     oid = start_oid
@@ -73,6 +73,7 @@ def radial_city(
     """Density decaying exponentially with distance from a city centre."""
     if n <= 0:
         return []
+    np = require_numpy_module()
     rng = np.random.default_rng(seed)
     radius = rng.exponential(1.0 / decay, n)
     angle = rng.uniform(0.0, 2 * np.pi, n)
@@ -107,6 +108,7 @@ def mixed_scale(
     """
     if n <= 0:
         return []
+    np = require_numpy_module()
     rng = np.random.default_rng(seed)
     is_large = rng.random(n) < large_fraction
     edges_w = np.where(

@@ -17,11 +17,10 @@ All generators are deterministic in their ``seed``.
 from __future__ import annotations
 
 import math
-from typing import List
-
-import numpy as np
+from typing import Any, List
 
 from repro.core.rect import KPE
+from repro.kernels.backend import require_numpy_module
 
 
 def polyline_mbrs(
@@ -46,6 +45,7 @@ def polyline_mbrs(
     """
     if n <= 0:
         return []
+    np = require_numpy_module()
     rng = np.random.default_rng(seed)
     n_lines = max(1, -(-n // steps_per_line))
 
@@ -96,6 +96,7 @@ def uniform_rects(
     """
     if n <= 0:
         return []
+    np = require_numpy_module()
     rng = np.random.default_rng(seed)
     x = rng.random(n)
     y = rng.random(n)
@@ -120,6 +121,7 @@ def clustered_rects(
     """Gaussian-clustered rectangles (highly skewed placement)."""
     if n <= 0:
         return []
+    np = require_numpy_module()
     rng = np.random.default_rng(seed)
     centres = rng.random((clusters, 2))
     which = rng.integers(0, clusters, n)
@@ -134,17 +136,18 @@ def clustered_rects(
     return _to_kpes(xl, yl, xh, yh, start_oid)
 
 
-def _reflect_unit(values: np.ndarray) -> np.ndarray:
+def _reflect_unit(values: Any) -> Any:
     """Fold arbitrary reals into [0, 1] by reflection at the borders."""
+    np = require_numpy_module()
     folded = np.mod(values, 2.0)
     return np.where(folded > 1.0, 2.0 - folded, folded)
 
 
 def _to_kpes(
-    xl: np.ndarray,
-    yl: np.ndarray,
-    xh: np.ndarray,
-    yh: np.ndarray,
+    xl: Any,
+    yl: Any,
+    xh: Any,
+    yh: Any,
     start_oid: int,
 ) -> List[KPE]:
     return [

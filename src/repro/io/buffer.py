@@ -13,7 +13,7 @@ algorithms behind a buffered storage layer.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Hashable
+from typing import Any, Hashable, Optional
 
 from repro.io.disk import SimulatedDisk
 
@@ -25,7 +25,7 @@ class BufferFullError(RuntimeError):
 class BufferManager:
     """An LRU buffer of *n_frames* page frames."""
 
-    def __init__(self, disk: SimulatedDisk, n_frames: int):
+    def __init__(self, disk: SimulatedDisk, n_frames: int) -> None:
         if n_frames < 1:
             raise ValueError("n_frames must be >= 1")
         self.disk = disk
@@ -38,7 +38,7 @@ class BufferManager:
         self.writebacks = 0
 
     # ------------------------------------------------------------------
-    def pin(self, page_id: Hashable, loader=None):
+    def pin(self, page_id: Hashable, loader: Optional[Any] = None) -> Any:
         """Pin a page, loading it (one charged read) on a miss.
 
         ``loader(page_id)`` supplies the page contents on a miss (default:

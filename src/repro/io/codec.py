@@ -25,7 +25,7 @@ exact only up to float32 — the tests pin that contract.
 from __future__ import annotations
 
 import struct
-from typing import List, Sequence, Tuple
+from typing import Any, List, Sequence, Tuple
 
 from repro.core.rect import KPE
 from repro.io.disk import SimulatedDisk
@@ -66,7 +66,7 @@ class PairCodec:
 class LevelEntryCodec:
     """Level-file entries: a 2*level-bit code (byte-rounded) + the KPE."""
 
-    def __init__(self, level: int):
+    def __init__(self, level: int) -> None:
         if level < 0:
             raise ValueError("level must be non-negative")
         self.level = level
@@ -99,7 +99,7 @@ class PackedPageFile:
     writes, chunked reads).
     """
 
-    def __init__(self, disk: SimulatedDisk, codec, name: str = ""):
+    def __init__(self, disk: SimulatedDisk, codec: Any, name: str = "") -> None:
         self.disk = disk
         self.codec = codec
         self.name = name

@@ -51,7 +51,7 @@ class SimulatedDisk:
     contiguous request.
     """
 
-    def __init__(self, cost_model: Optional[CostModel] = None):
+    def __init__(self, cost_model: Optional[CostModel] = None) -> None:
         self.cost = cost_model or DEFAULT_COST_MODEL
         self._phase = "default"
         self.counters: Dict[str, IoCounters] = {}

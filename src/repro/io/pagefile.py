@@ -13,7 +13,7 @@ granularity the real algorithm would use:
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, List, Sequence
+from typing import Any, Iterable, Iterator, List, Sequence
 
 from repro.io.disk import SimulatedDisk
 
@@ -23,7 +23,7 @@ class PageFile:
 
     __slots__ = ("disk", "record_bytes", "name", "records")
 
-    def __init__(self, disk: SimulatedDisk, record_bytes: int, name: str = ""):
+    def __init__(self, disk: SimulatedDisk, record_bytes: int, name: str = "") -> None:
         self.disk = disk
         self.record_bytes = record_bytes
         self.name = name
@@ -113,7 +113,7 @@ class PageWriter:
 
     __slots__ = ("_file", "_buffer_pages", "_buffer_records", "_pending", "_closed")
 
-    def __init__(self, file: PageFile, buffer_pages: int):
+    def __init__(self, file: PageFile, buffer_pages: int) -> None:
         if buffer_pages < 1:
             raise ValueError("buffer_pages must be >= 1")
         self._file = file
@@ -122,7 +122,7 @@ class PageWriter:
         self._pending: List = []
         self._closed = False
 
-    def write(self, record) -> None:
+    def write(self, record: Any) -> None:
         if self._closed:
             raise RuntimeError(f"writer for {self._file.name!r} is closed")
         self._pending.append(record)
@@ -152,5 +152,5 @@ class PageWriter:
     def __enter__(self) -> "PageWriter":
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
         self.close()

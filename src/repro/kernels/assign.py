@@ -16,7 +16,7 @@ the win is wall clock only.
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple, Union
+from typing import Any, List, Sequence, Tuple, Union
 
 from repro.kernels.backend import get_numpy
 from repro.pbsm.grid import TileGrid
@@ -25,7 +25,7 @@ from repro.pbsm.grid import TileGrid
 PartitionPlanEntry = Union[int, Tuple[int, ...]]
 
 
-def tile_ranges(np, grid: TileGrid, kpes: Sequence[Tuple]):
+def tile_ranges(np: Any, grid: TileGrid, kpes: Sequence[Tuple]) -> Any:
     """Clipped tile-index ranges ``(txl, tyl, txh, tyh)`` of every record.
 
     Replays ``TileGrid.tile_of_point`` on the low and high corners in

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import os
 from contextlib import contextmanager
-from typing import Optional
+from typing import Any, Iterator, Optional
 
 try:  # pragma: no cover - exercised by the no-numpy CI job
     import numpy as _np
@@ -38,12 +38,12 @@ def numpy_enabled() -> bool:
     return _np is not None and not _disabled
 
 
-def get_numpy():
+def get_numpy() -> Optional[Any]:
     """The numpy module, or ``None`` when the backend is disabled."""
     return _np if numpy_enabled() else None
 
 
-def require_numpy():
+def require_numpy() -> Any:
     """The numpy module; raises when the backend is disabled."""
     np = get_numpy()
     if np is None:
@@ -53,6 +53,24 @@ def require_numpy():
             "kernels directly"
         )
     return np
+
+
+def require_numpy_module() -> Any:
+    """The numpy module itself, ignoring the ``REPRO_DISABLE_NUMPY`` gate.
+
+    The gate switches off the *columnar kernels* (which have scalar
+    fallbacks); the dataset generators and ``.npy`` file I/O have no
+    fallback and may use numpy whenever it is importable.  This is the
+    one sanctioned way for non-kernel modules to reach numpy — a
+    function-local call keeps every module importable without numpy
+    (enforced by repro-lint rule RPL001).
+    """
+    if _np is None:
+        raise ModuleNotFoundError(
+            "numpy is required for this operation (dataset generation or "
+            ".npy I/O); install the [perf] extra: pip install 'repro[perf]'"
+        )
+    return _np
 
 
 def active_backend() -> str:
@@ -70,7 +88,7 @@ def set_numpy_enabled(enabled: bool) -> None:
 
 
 @contextmanager
-def python_backend():
+def python_backend() -> Iterator[None]:
     """Context manager forcing the pure-Python fallback (tests only)."""
     global _disabled
     previous = _disabled
@@ -82,7 +100,7 @@ def python_backend():
 
 
 @contextmanager
-def numpy_backend():
+def numpy_backend() -> Iterator[None]:
     """Context manager forcing the numpy path (skips silently sans numpy)."""
     global _disabled
     previous = _disabled

@@ -17,7 +17,7 @@ invisible to tuple-based code.
 from __future__ import annotations
 
 import itertools
-from typing import List, Sequence, Tuple
+from typing import Any, List, Sequence, Tuple
 
 from repro.core.rect import KPE
 from repro.kernels.backend import require_numpy
@@ -32,7 +32,15 @@ class ColumnarRelation:
 
     __slots__ = ("oid", "xl", "yl", "xh", "yh", "sorted_by_xl")
 
-    def __init__(self, oid, xl, yl, xh, yh, sorted_by_xl: bool = False):
+    def __init__(
+        self,
+        oid: Any,
+        xl: Any,
+        yl: Any,
+        xh: Any,
+        yh: Any,
+        sorted_by_xl: bool = False,
+    ) -> None:
         self.oid = oid
         self.xl = xl
         self.yl = yl

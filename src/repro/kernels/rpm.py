@@ -16,7 +16,7 @@ parity tests pin down on tile-boundary points.
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from typing import Any, List, Sequence, Tuple
 
 from repro.core.stats import CpuCounters
 from repro.internal.sweep_list import sweep_list_join
@@ -35,7 +35,7 @@ from repro.pbsm.grid import TILE_HASH_X, TILE_HASH_Y, TileGrid
 BATCH_OPS_PER_RPM_TEST = 6
 
 
-def point_tiles(np, grid: TileGrid, x, y):
+def point_tiles(np: Any, grid: TileGrid, x: Any, y: Any) -> Tuple[Any, Any]:
     """Vectorized ``TileGrid.tile_of_point`` over coordinate arrays."""
     space = grid.space
     tx = ((x - space.xl) / space.width * grid.nx).astype(np.int64)
@@ -45,14 +45,14 @@ def point_tiles(np, grid: TileGrid, x, y):
     return tx, ty
 
 
-def tile_partitions(np, grid: TileGrid, tx, ty):
+def tile_partitions(np: Any, grid: TileGrid, tx: Any, ty: Any) -> Any:
     """Vectorized ``TileGrid.partition_of_tile`` over tile-index arrays."""
     if grid.mapping == "hash":
         return ((tx * TILE_HASH_X) ^ (ty * TILE_HASH_Y)) % grid.n_partitions
     return (ty * grid.nx + tx) % grid.n_partitions
 
 
-def point_partitions(np, grid: TileGrid, x, y):
+def point_partitions(np: Any, grid: TileGrid, x: Any, y: Any) -> Any:
     """Vectorized ``TileGrid.partition_of_point`` (RPM's region lookup)."""
     tx, ty = point_tiles(np, grid, x, y)
     return tile_partitions(np, grid, tx, ty)

@@ -35,7 +35,7 @@ executor falls back to the legacy pickle transport, bit-for-bit.
 from __future__ import annotations
 
 import os
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterator, Optional, Tuple
 
 from repro.kernels.backend import numpy_enabled, require_numpy
 from repro.kernels.columnar import ColumnarRelation
@@ -48,7 +48,7 @@ Manifest = Tuple[str, Tuple[Tuple[str, str, int, int], ...]]
 _platform_probe: Optional[bool] = None
 
 
-def _shared_memory_module():
+def _shared_memory_module() -> Any:
     from multiprocessing import shared_memory
 
     return shared_memory
@@ -58,12 +58,17 @@ def _platform_has_shm() -> bool:
     """Probe (once) whether POSIX shared memory actually works here."""
     global _platform_probe
     if _platform_probe is None:
+        # ImportError: no _posixshmem extension on this platform;
+        # OSError: /dev/shm missing, full, or permission-denied;
+        # BufferError: close() refused while a view is still mapped.
         try:
             seg = _shared_memory_module().SharedMemory(create=True, size=8)
-            seg.close()
-            seg.unlink()
-            _platform_probe = True
-        except Exception:
+            try:
+                _platform_probe = True
+            finally:
+                seg.close()
+                seg.unlink()
+        except (ImportError, OSError, BufferError):
             _platform_probe = False
     return _platform_probe
 
@@ -80,18 +85,22 @@ def shm_enabled() -> bool:
     return numpy_enabled() and _platform_has_shm()
 
 
-def _untrack(segment) -> None:
+def _untrack(segment: Any) -> None:
     """Remove *segment* from the resource tracker (worker-side creates).
 
     A worker-created result segment is cleaned up by the *parent* after
     decoding; without this, the tracker would double-book the name and
     warn about "leaked" shared memory if the parent unlinks first.
+
+    ImportError/AttributeError cover interpreters without the tracker
+    API; OSError covers a tracker process that already exited.  Anything
+    else is a real lifecycle bug and must surface.
     """
     try:
         from multiprocessing import resource_tracker
 
         resource_tracker.unregister(segment._name, "shared_memory")
-    except Exception:
+    except (ImportError, AttributeError, OSError):
         pass
 
 
@@ -107,7 +116,13 @@ class SharedColumnarStore:
 
     __slots__ = ("_segment", "_arrays", "_manifest", "_owner")
 
-    def __init__(self, segment, arrays, manifest: Manifest, owner: bool):
+    def __init__(
+        self,
+        segment: Any,
+        arrays: Dict[str, Any],
+        manifest: Manifest,
+        owner: bool,
+    ) -> None:
         self._segment = segment
         self._arrays = arrays
         self._manifest = manifest
@@ -182,16 +197,16 @@ class SharedColumnarStore:
     def owner(self) -> bool:
         return self._owner
 
-    def __getitem__(self, key: str):
+    def __getitem__(self, key: str) -> Any:
         return self._arrays[key]
 
     def __contains__(self, key: str) -> bool:
         return key in self._arrays
 
-    def keys(self):
+    def keys(self) -> Iterator[str]:
         return self._arrays.keys()
 
-    def gather(self, prefix: str, ids) -> ColumnarRelation:
+    def gather(self, prefix: str, ids: Any) -> ColumnarRelation:
         """Copy rows *ids* of the relation stored under *prefix* out.
 
         ``ids`` may be any integer index array; fancy indexing copies, so
@@ -227,7 +242,7 @@ class SharedColumnarStore:
     def __enter__(self) -> "SharedColumnarStore":
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
         self.close()
         if self._owner:
             self.unlink()

@@ -38,7 +38,7 @@ per-element counts.
 from __future__ import annotations
 
 import math
-from typing import Callable, Iterator, Sequence, Tuple
+from typing import Any, Callable, Iterator, Optional, Sequence, Tuple
 
 from repro.core.stats import CpuCounters
 from repro.io.extsort import BY_XL, ensure_sorted_by_xl
@@ -91,18 +91,18 @@ def sorted_columns(
 # the kernel proper
 # ----------------------------------------------------------------------
 def _pass_batches(
-    np,
-    anchor_yl,
-    anchor_yh,
-    probe_yl,
-    probe_yh,
-    lo,
-    hi,
+    np: Any,
+    anchor_yl: Any,
+    anchor_yh: Any,
+    probe_yl: Any,
+    probe_yh: Any,
+    lo: Any,
+    hi: Any,
     counters: CpuCounters,
     batch_candidates: int,
     swap: bool,
-    anchor_slo=None,
-    probe_slo=None,
+    anchor_slo: Optional[Any] = None,
+    probe_slo: Optional[Any] = None,
     stripe: int = -1,
 ) -> Iterator[Tuple]:
     """Yield ``(anchor_idx, probe_idx)`` pairs of one pass, in batches.
@@ -157,7 +157,7 @@ def _pass_batches(
             yield (probe_hit, anchor_hit) if swap else (anchor_hit, probe_hit)
 
 
-def _stripe_count(np, a: ColumnarRelation, b: ColumnarRelation, span: float) -> int:
+def _stripe_count(np: Any, a: ColumnarRelation, b: ColumnarRelation, span: float) -> int:
     """How many y stripes to use (1 = no striping).
 
     Bounded three ways: enough records per stripe to amortise the
@@ -176,7 +176,7 @@ def _stripe_count(np, a: ColumnarRelation, b: ColumnarRelation, span: float) -> 
 
 
 def _stripe_layout(
-    np, rel: ColumnarRelation, ylo: float, inv_height: float, k: int,
+    np: Any, rel: ColumnarRelation, ylo: float, inv_height: float, k: int,
     counters: CpuCounters,
 ) -> Tuple:
     """Replicate *rel* into its overlapping y stripes.
@@ -205,7 +205,7 @@ def _stripe_layout(
 
 
 def _stripe_passes(
-    np,
+    np: Any,
     a: ColumnarRelation,
     b: ColumnarRelation,
     k: int,

@@ -1,0 +1,41 @@
+"""repro-lint: project-specific static analysis for cross-module invariants.
+
+Run from the command line::
+
+    python -m repro.lint src benchmarks tests
+    python -m repro.lint --list-rules
+    python -m repro.lint --self-test
+
+or import the API (what ``tests/test_lint.py`` does)::
+
+    from repro.lint import lint_source, run_lint, ALL_RULES
+
+Each rule encodes an invariant a past PR fixed by hand; see
+``docs/static_analysis.md`` for the rule catalogue and the inline
+``# repro-lint: disable=RPLxxx`` suppression marker.
+"""
+
+from __future__ import annotations
+
+from repro.lint.engine import (
+    Finding,
+    ModuleInfo,
+    Rule,
+    iter_python_files,
+    lint_source,
+    run_lint,
+    self_test,
+)
+from repro.lint.rules import ALL_RULES, RULES_BY_ID
+
+__all__ = [
+    "ALL_RULES",
+    "Finding",
+    "ModuleInfo",
+    "RULES_BY_ID",
+    "Rule",
+    "iter_python_files",
+    "lint_source",
+    "run_lint",
+    "self_test",
+]

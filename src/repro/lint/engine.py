@@ -1,0 +1,280 @@
+"""The repro-lint rule engine: parse, dispatch rules, filter suppressions.
+
+This is a *project-specific* static-analysis pass: every rule encodes a
+cross-module invariant this repository has already been burned by (see
+``docs/static_analysis.md``).  General style is ruff's job; repro-lint
+checks the things a generic linter cannot know — that phase names come
+from :mod:`repro.core.phases`, that tile-hash arithmetic is never
+re-derived, that shared-memory segments are lifecycle-paired, that every
+CPU counter is priced by the cost model.
+
+Architecture
+------------
+* :class:`Rule` — one invariant.  A rule sees either one parsed module
+  (:meth:`Rule.check_module`) or the whole analyzed file set at once
+  (:meth:`Rule.check_project`, for cross-module currency checks).
+* :class:`ModuleInfo` — a parsed file: AST plus the per-line suppression
+  table built from ``# repro-lint: disable=RPLxxx`` comments.
+* :func:`run_lint` — the entry point used by ``python -m repro.lint``
+  and by ``tests/test_lint.py``.
+
+Every rule ships its own good/bad fixture (:attr:`Rule.fixture_good` /
+:attr:`Rule.fixture_bad`); :func:`self_test` asserts each rule fires on
+its bad fixture and stays silent on the good one, which is how the test
+suite keeps the rules honest.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Sequence, Set, Tuple, Union
+
+#: Pseudo rule id for files the engine cannot parse at all.
+SYNTAX_RULE_ID = "RPL000"
+
+#: The comment marker that suppresses findings on its line, e.g.
+#: ``x = 1  # repro-lint: disable=RPL003`` or ``disable=RPL001,RPL006``.
+DISABLE_MARKER = "repro-lint:"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+@dataclass
+class ModuleInfo:
+    """A parsed source file handed to the rules."""
+
+    #: Display path (what findings print).
+    path: str
+    #: Normalised posix-style path used for location-sensitive rules
+    #: (e.g. "is this file under repro/kernels/?").
+    relpath: str
+    tree: ast.Module
+    source: str
+    #: line number -> rule ids suppressed on that line ("all" wildcard).
+    disabled: Dict[int, Set[str]] = field(default_factory=dict)
+
+    def is_suppressed(self, rule_id: str, line: int) -> bool:
+        rules = self.disabled.get(line)
+        if not rules:
+            return False
+        return "all" in rules or rule_id in rules
+
+
+class Rule:
+    """Base class: one mechanically checkable invariant."""
+
+    #: e.g. "RPL001"; every concrete rule overrides this.
+    rule_id: str = ""
+    #: One-line summary shown by ``--list-rules``.
+    title: str = ""
+    #: Minimal snippet the rule must flag (self-test fodder).
+    fixture_bad: str = ""
+    #: Minimal snippet the rule must accept.
+    fixture_good: str = ""
+
+    def check_module(self, module: ModuleInfo) -> Iterable[Finding]:
+        """Findings for one module (most rules live here)."""
+        return ()
+
+    def check_project(self, modules: Sequence[ModuleInfo]) -> Iterable[Finding]:
+        """Findings needing the whole file set (cross-module currency)."""
+        return ()
+
+    # ------------------------------------------------------------------
+    # helpers shared by the concrete rules
+    # ------------------------------------------------------------------
+    def finding(self, module: ModuleInfo, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            rule=self.rule_id,
+            path=module.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+        )
+
+
+# ----------------------------------------------------------------------
+# suppression comments
+# ----------------------------------------------------------------------
+def _disabled_lines(source: str) -> Dict[int, Set[str]]:
+    """Per-line suppression sets from ``# repro-lint: disable=...`` comments."""
+    disabled: Dict[int, Set[str]] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            text = tok.string.lstrip("#").strip()
+            if not text.startswith(DISABLE_MARKER):
+                continue
+            directive = text[len(DISABLE_MARKER) :].strip()
+            if not directive.startswith("disable="):
+                continue
+            names = directive[len("disable=") :]
+            rules = {name.strip() for name in names.split(",") if name.strip()}
+            if rules:
+                disabled.setdefault(tok.start[0], set()).update(rules)
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        pass  # the parse error surfaces as an RPL000 finding instead
+    return disabled
+
+
+# ----------------------------------------------------------------------
+# parsing and file discovery
+# ----------------------------------------------------------------------
+def parse_source(
+    source: str, path: str, relpath: str = ""
+) -> Tuple[Union[ModuleInfo, None], Union[Finding, None]]:
+    """Parse one source blob; returns ``(module, None)`` or ``(None, finding)``."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return None, Finding(
+            rule=SYNTAX_RULE_ID,
+            path=path,
+            line=exc.lineno or 1,
+            col=exc.offset or 0,
+            message=f"file does not parse: {exc.msg}",
+        )
+    return (
+        ModuleInfo(
+            path=path,
+            relpath=relpath or path.replace("\\", "/"),
+            tree=tree,
+            source=source,
+            disabled=_disabled_lines(source),
+        ),
+        None,
+    )
+
+
+def iter_python_files(paths: Sequence[Union[str, Path]]) -> Iterator[Path]:
+    """Every ``.py`` file under *paths*, skipping caches and hidden dirs."""
+    for raw in paths:
+        root = Path(raw)
+        if root.is_file():
+            if root.suffix == ".py":
+                yield root
+            continue
+        if not root.is_dir():
+            raise FileNotFoundError(f"no such file or directory: {root}")
+        for candidate in sorted(root.rglob("*.py")):
+            parts = candidate.parts
+            if any(p == "__pycache__" or p.startswith(".") for p in parts):
+                continue
+            yield candidate
+
+
+def _load_modules(
+    paths: Sequence[Union[str, Path]]
+) -> Tuple[List[ModuleInfo], List[Finding]]:
+    modules: List[ModuleInfo] = []
+    findings: List[Finding] = []
+    for file_path in iter_python_files(paths):
+        source = file_path.read_text(encoding="utf-8")
+        module, error = parse_source(
+            source, str(file_path), file_path.as_posix()
+        )
+        if error is not None:
+            findings.append(error)
+        elif module is not None:
+            modules.append(module)
+    return modules, findings
+
+
+# ----------------------------------------------------------------------
+# running
+# ----------------------------------------------------------------------
+def _apply_rules(
+    modules: Sequence[ModuleInfo], rules: Sequence[Rule]
+) -> List[Finding]:
+    by_path = {module.path: module for module in modules}
+    findings: List[Finding] = []
+    for rule in rules:
+        raw: List[Finding] = []
+        for module in modules:
+            raw.extend(rule.check_module(module))
+        raw.extend(rule.check_project(modules))
+        for f in raw:
+            module = by_path.get(f.path)
+            if module is not None and module.is_suppressed(f.rule, f.line):
+                continue
+            findings.append(f)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings
+
+
+def run_lint(
+    paths: Sequence[Union[str, Path]],
+    rules: Union[Sequence[Rule], None] = None,
+) -> List[Finding]:
+    """Lint every Python file under *paths* with *rules* (default: all)."""
+    if rules is None:
+        from repro.lint.rules import ALL_RULES
+
+        rules = ALL_RULES
+    modules, findings = _load_modules(paths)
+    findings.extend(_apply_rules(modules, rules))
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    rules: Union[Sequence[Rule], None] = None,
+) -> List[Finding]:
+    """Lint one in-memory source blob (the fixture/test entry point)."""
+    if rules is None:
+        from repro.lint.rules import ALL_RULES
+
+        rules = ALL_RULES
+    module, error = parse_source(source, path)
+    if error is not None:
+        return [error]
+    assert module is not None
+    return _apply_rules([module], rules)
+
+
+def self_test(rules: Union[Sequence[Rule], None] = None) -> List[str]:
+    """Check each rule against its own fixtures; returns failure messages.
+
+    An empty return value means every rule fired on its bad fixture and
+    stayed silent on its good one — run by ``--self-test`` and by
+    ``tests/test_lint.py``.
+    """
+    if rules is None:
+        from repro.lint.rules import ALL_RULES
+
+        rules = ALL_RULES
+    failures: List[str] = []
+    for rule in rules:
+        if not rule.fixture_bad or not rule.fixture_good:
+            failures.append(f"{rule.rule_id}: missing fixture")
+            continue
+        bad = lint_source(rule.fixture_bad, path="fixture_bad.py", rules=[rule])
+        if not any(f.rule == rule.rule_id for f in bad):
+            failures.append(f"{rule.rule_id}: bad fixture produced no finding")
+        good = lint_source(rule.fixture_good, path="fixture_good.py", rules=[rule])
+        stray = [f for f in good if f.rule == rule.rule_id]
+        if stray:
+            failures.append(
+                f"{rule.rule_id}: good fixture flagged: {stray[0].render()}"
+            )
+    return failures

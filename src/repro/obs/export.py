@@ -15,7 +15,8 @@ the CI smoke job uses :func:`read_trace` alone (validation is built in).
 from __future__ import annotations
 
 import json
-from typing import Dict, List, Optional, Sequence
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
 
 from repro.obs.trace import (
     KIND_PHASE,
@@ -76,7 +77,7 @@ def validate_span_dict(record: dict, line_no: Optional[int] = None) -> None:
         )
 
 
-def read_trace(path) -> List[dict]:
+def read_trace(path: Union[str, Path]) -> List[dict]:
     """Load and validate a JSONL trace file; returns the span dicts."""
     spans: List[dict] = []
     with open(path) as handle:

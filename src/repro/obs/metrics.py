@@ -18,7 +18,7 @@ standard metric names:
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Any, Dict, List, Sequence, Tuple
 
 _LabelKey = Tuple[Tuple[str, str], ...]
 
@@ -34,7 +34,7 @@ def _escape(value: str) -> str:
 class _Metric:
     __slots__ = ("name", "kind", "help", "samples")
 
-    def __init__(self, name: str, kind: str, help_text: str):
+    def __init__(self, name: str, kind: str, help_text: str) -> None:
         self.name = name
         self.kind = kind
         self.help = help_text
@@ -44,7 +44,7 @@ class _Metric:
 class MetricsRegistry:
     """Named counters and gauges with labels, exported as Prometheus text."""
 
-    def __init__(self):
+    def __init__(self) -> None:
         self._metrics: Dict[str, _Metric] = {}
 
     # ------------------------------------------------------------------
@@ -69,7 +69,7 @@ class MetricsRegistry:
         """Declare a gauge (set to the latest observed value)."""
         self._declare(name, "gauge", help_text)
 
-    def inc(self, name: str, value: float = 1.0, **labels) -> None:
+    def inc(self, name: str, value: float = 1.0, **labels: str) -> None:
         """Increment a counter (declared implicitly on first use)."""
         self.inc_labels(name, value, labels)
 
@@ -80,12 +80,12 @@ class MetricsRegistry:
         key = _label_key(labels)
         metric.samples[key] = metric.samples.get(key, 0.0) + value
 
-    def set(self, name: str, value: float, **labels) -> None:
+    def set(self, name: str, value: float, **labels: str) -> None:
         """Set a gauge (declared implicitly on first use)."""
         metric = self._declare(name, "gauge", "")
         metric.samples[_label_key(labels)] = value
 
-    def get(self, name: str, **labels) -> float:
+    def get(self, name: str, **labels: str) -> float:
         """Read back one sample (0.0 when never observed)."""
         metric = self._metrics.get(name)
         if metric is None:
@@ -95,7 +95,7 @@ class MetricsRegistry:
     # ------------------------------------------------------------------
     # ingestion
     # ------------------------------------------------------------------
-    def observe_join(self, stats, **labels) -> None:
+    def observe_join(self, stats: Any, **labels: str) -> None:
         """Record one executed join's :class:`JoinStats` into the registry."""
         base = dict(labels)
         base.setdefault("algorithm", stats.algorithm)
@@ -160,7 +160,7 @@ class MetricsRegistry:
                 **base,
             )
 
-    def observe_trace(self, spans: Sequence[dict], **labels) -> None:
+    def observe_trace(self, spans: Sequence[dict], **labels: str) -> None:
         """Record exported span dicts (see :func:`repro.obs.export.read_trace`)."""
         self.counter("repro_trace_spans_total", "Spans per kind")
         self.counter(

@@ -32,7 +32,8 @@ from __future__ import annotations
 import json
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
 
 #: Trace schema version stamped on every exported span.
 SCHEMA_VERSION = 1
@@ -108,7 +109,9 @@ class _ActiveSpan:
         "_pages_before",
     )
 
-    def __init__(self, tracer: "Tracer", span: Span, cpu, disk):
+    def __init__(
+        self, tracer: "Tracer", span: Span, cpu: Any, disk: Any
+    ) -> None:
         self._tracer = tracer
         self.span = span
         self._cpu = cpu
@@ -125,7 +128,7 @@ class _ActiveSpan:
     def span_id(self) -> int:
         return self.span.span_id
 
-    def set_tag(self, key: str, value) -> None:
+    def set_tag(self, key: str, value: Any) -> None:
         self.span.tags[key] = value
 
     def add_counters(self, mapping: Dict[str, float]) -> None:
@@ -146,7 +149,7 @@ class _ActiveSpan:
         self.span.t_start = tracer._now()
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
         tracer = self._tracer
         self.span.t_end = tracer._now()
         if self._cpu is not None:
@@ -187,13 +190,13 @@ class _NullSpan:
         self._t0 = time.perf_counter()
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
         self.wall_seconds = time.perf_counter() - self._t0
 
-    def set_tag(self, key: str, value) -> None:
+    def set_tag(self, key: str, value: Any) -> None:
         pass
 
-    def add_counters(self, mapping) -> None:
+    def add_counters(self, mapping: Dict[str, float]) -> None:
         pass
 
 
@@ -207,7 +210,7 @@ class Tracer:
 
     recording = True
 
-    def __init__(self):
+    def __init__(self) -> None:
         self._epoch = time.perf_counter()
         self.spans: List[Span] = []
         self._stack: List[int] = []
@@ -232,9 +235,9 @@ class Tracer:
         name: str,
         *,
         kind: str = KIND_PHASE,
-        cpu=None,
-        disk=None,
-        **tags,
+        cpu: Optional[Any] = None,
+        disk: Optional[Any] = None,
+        **tags: Any,
     ) -> _ActiveSpan:
         """Open a span as a context manager.
 
@@ -261,7 +264,7 @@ class Tracer:
         kind: str = KIND_TASK,
         parent_id: Optional[int] = None,
         counters: Optional[Dict[str, float]] = None,
-        **tags,
+        **tags: Any,
     ) -> Span:
         """Record an externally-timed span (e.g. measured in a worker).
 
@@ -300,7 +303,7 @@ class Tracer:
         """The whole trace as JSON-lines text (one span per line)."""
         return "\n".join(json.dumps(span.to_dict()) for span in self.spans)
 
-    def write(self, path) -> int:
+    def write(self, path: Union[str, Path]) -> int:
         """Write the trace as JSONL; returns the number of spans written."""
         with open(path, "w") as handle:
             for span in self.spans:
@@ -315,14 +318,22 @@ class NullTracer:
     recording = False
     spans: List[Span] = []  # always empty; shared on purpose
 
-    def span(self, name, *, kind=KIND_PHASE, cpu=None, disk=None, **tags):
+    def span(
+        self,
+        name: str,
+        *,
+        kind: str = KIND_PHASE,
+        cpu: Optional[Any] = None,
+        disk: Optional[Any] = None,
+        **tags: Any,
+    ) -> Any:
         return _NullSpan()
 
-    def add_span(self, name, wall_seconds, **kwargs):
+    def add_span(self, name: str, wall_seconds: float, **kwargs: Any) -> None:
         return None
 
     @property
-    def current_span_id(self):
+    def current_span_id(self) -> Optional[int]:
         return None
 
     def wall_by_phase(self) -> Dict[str, float]:
@@ -334,7 +345,7 @@ class NullTracer:
     def to_jsonl(self) -> str:
         return ""
 
-    def write(self, path) -> int:
+    def write(self, path: Union[str, Path]) -> int:
         return 0
 
 

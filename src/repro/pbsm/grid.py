@@ -40,7 +40,7 @@ class TileGrid:
         ny: int,
         n_partitions: int,
         mapping: str = "hash",
-    ):
+    ) -> None:
         if nx < 1 or ny < 1:
             raise ValueError(f"grid must have at least one tile, got {nx}x{ny}")
         if n_partitions < 1:

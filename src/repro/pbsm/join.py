@@ -19,7 +19,7 @@ pipelining difference; :meth:`PBSM.run` simply drains it.
 
 from __future__ import annotations
 
-from typing import Callable, Iterator, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.core.phases import (
     PHASE_DEDUP,
@@ -83,8 +83,8 @@ class PBSM:
         tile_mapping: str = "hash",
         cost_model: Optional[CostModel] = None,
         max_repartition_depth: int = 8,
-        tracer=None,
-    ):
+        tracer: Optional[Any] = None,
+    ) -> None:
         if memory_bytes <= 0:
             raise ValueError("memory_bytes must be positive")
         if dedup not in DEDUP_MODES:
@@ -239,7 +239,7 @@ class PBSM:
         file_right: PageFile,
         region: Callable[[float, float], bool],
         space: Space,
-        candidate_writer,
+        candidate_writer: Any,
         depth: int,
     ) -> Iterator[Tuple[int, int]]:
         """Join one pair of partitions, repartitioning if necessary."""
@@ -333,7 +333,7 @@ class PBSM:
         file_right: PageFile,
         region: Callable[[float, float], bool],
         space: Space,
-        candidate_writer,
+        candidate_writer: Any,
         depth: int,
     ) -> Iterator[Tuple[int, int]]:
         """Split the larger partition and recurse on each sub-pair."""
@@ -426,7 +426,7 @@ def pbsm_join(
     left: Sequence[Tuple],
     right: Sequence[Tuple],
     memory_bytes: int,
-    **kwargs,
+    **kwargs: Any,
 ) -> JoinResult:
     """Convenience one-call PBSM join (see :class:`PBSM` for options)."""
     return PBSM(memory_bytes, **kwargs).run(left, right)

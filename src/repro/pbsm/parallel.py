@@ -49,7 +49,7 @@ import os
 import pickle
 import time
 import warnings
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.phases import PHASE_JOIN, PHASE_PARTITION
 from repro.core.result import JoinResult, JoinStats
@@ -169,7 +169,9 @@ _POOL_GRID: Optional[TileGrid] = None
 _POOL_STORE: Optional[SharedColumnarStore] = None
 
 
-def _pool_init(internal_name: str, grid_spec: Tuple, manifest=None) -> None:
+def _pool_init(
+    internal_name: str, grid_spec: Tuple, manifest: Optional[Any] = None
+) -> None:
     """Process-pool initializer: rebuild per-worker state exactly once.
 
     The internal-algorithm name and the grid used to be re-pickled into
@@ -249,15 +251,24 @@ def _run_shm_chunk(payload: bytes) -> bytes:
         )
     wall = time.perf_counter() - started
     # Untracked on purpose: the parent unlinks after decoding (a worker
-    # crashing between here and there leaks the segment — see docs).
+    # crashing between here and there leaks the segment — see docs).  If
+    # the reply cannot even be serialised, unlink now: the parent will
+    # never see the manifest, so nobody else can clean the segment up.
     results = SharedColumnarStore.create(out_arrays, track=False)
-    results.close()
-    return pickle.dumps(
-        (os.getpid(), wall, metas, results.manifest), pickle.HIGHEST_PROTOCOL
-    )
+    try:
+        blob = pickle.dumps(
+            (os.getpid(), wall, metas, results.manifest),
+            pickle.HIGHEST_PROTOCOL,
+        )
+    except BaseException:
+        results.unlink()
+        raise
+    finally:
+        results.close()
+    return blob
 
 
-def _task_size(task) -> int:
+def _task_size(task: Tuple) -> int:
     """Joined record count of a task, in either task representation."""
     if isinstance(task[1], int):
         return (task[2] - task[1]) + (task[4] - task[3])
@@ -301,8 +312,8 @@ class ParallelPBSM:
         t_factor: float = 1.2,
         tiles_per_partition: int = 4,
         cost_model: Optional[CostModel] = None,
-        tracer=None,
-    ):
+        tracer: Optional[Any] = None,
+    ) -> None:
         if memory_bytes <= 0:
             raise ValueError("memory_bytes must be positive")
         if executor not in EXECUTORS:

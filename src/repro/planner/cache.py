@@ -25,7 +25,7 @@ from repro.planner.stats import (
 class PlannerCache:
     """Profile / histogram / plan cache with hit-miss accounting."""
 
-    def __init__(self, max_plans: int = 128):
+    def __init__(self, max_plans: int = 128) -> None:
         self.max_plans = max_plans
         self._profiles: Dict[str, RelationProfile] = {}
         self._histograms: Dict[Tuple, GridHistogram] = {}

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, Tuple
 
 from repro.core.phases import (
     PHASE_BUILD,
@@ -173,7 +173,9 @@ def _sweep_cpu(
     )
 
 
-def _grid_replication(profile, width: float, height: float, tiles: int) -> float:
+def _grid_replication(
+    profile: "JoinProfile", width: float, height: float, tiles: int
+) -> float:
     """Expected copies of one of *profile*'s rectangles on a ``tiles``² grid.
 
     ``1 + E[w]/W·s + E[h]/H·s + E[w·h]/(W·H)·s²`` — the cross term uses
@@ -191,7 +193,7 @@ def _grid_replication(profile, width: float, height: float, tiles: int) -> float
     )
 
 
-def _sampled_dup_factor(jp: JoinProfile, side: int, n_partitions: int):
+def _sampled_dup_factor(jp: JoinProfile, side: int, n_partitions: int) -> float:
     """Mean detections per result pair on a hashed ``side``² tile grid.
 
     A pair is detected in every partition holding copies of both
@@ -228,7 +230,7 @@ def _sampled_dup_factor(jp: JoinProfile, side: int, n_partitions: int):
     return total / len(pairs)
 
 
-def _bucket_occupancy(jp: JoinProfile, side: int):
+def _bucket_occupancy(jp: JoinProfile, side: int) -> Tuple[float, float]:
     """SHJ bucket occupancy from the joint-space histograms.
 
     Returns ``(occupied, co_occupied, retention)`` for a ``side``² grid:

@@ -11,7 +11,7 @@ making the estimator's error observable instead of hidden.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import Any, List, Optional, Sequence, Tuple
 
 from repro.core.result import JoinResult
 from repro.io.costmodel import CostModel
@@ -36,7 +36,7 @@ def _run_candidate(
     right: Sequence[Tuple],
     memory_bytes: int,
     cost_model: Optional[CostModel],
-    tracer=None,
+    tracer: Optional[Any] = None,
 ) -> JoinResult:
     """Execute one candidate through its driver."""
     kwargs = dict(candidate.kwargs)
@@ -83,7 +83,7 @@ class JoinPlan:
         self,
         left: Sequence[Tuple],
         right: Sequence[Tuple],
-        tracer=None,
+        tracer: Optional[Any] = None,
     ) -> JoinResult:
         """Run the chosen candidate and remember the measured statistics."""
         result = _run_candidate(
@@ -214,7 +214,7 @@ def plan_join(
     t_grid: Sequence[float] = DEFAULT_T_GRID,
     methods: Optional[Sequence[str]] = None,
     workers: int = 1,
-    tracer=None,
+    tracer: Optional[Any] = None,
 ) -> JoinPlan:
     """Choose the cheapest plan for joining *left* and *right*.
 

@@ -18,7 +18,7 @@ from __future__ import annotations
 import hashlib
 import struct
 from dataclasses import dataclass, field
-from typing import Optional, Sequence, Tuple
+from typing import Any, Optional, Sequence, Tuple
 
 from repro.core.space import Space
 from repro.datasets.stats import average_area, average_edges, coverage, density_skew
@@ -158,7 +158,7 @@ def profile_join(
     left: Sequence[Tuple],
     right: Sequence[Tuple],
     cache: Optional["object"] = None,
-    tracer=None,
+    tracer: Optional[Any] = None,
 ) -> JoinProfile:
     """Build (or fetch from *cache*) the :class:`JoinProfile` of a join.
 

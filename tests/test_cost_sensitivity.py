@@ -10,6 +10,7 @@ each regime.
 
 import pytest
 
+from repro.core.phases import PHASE_JOIN
 from repro.core.stats import CpuCounters
 from repro.internal import internal_algorithm
 from repro.io.costmodel import CostModel
@@ -81,7 +82,7 @@ class TestCountsAreModelIndependent:
                 res.stats.n_results,
                 res.stats.records_partitioned,
                 res.stats.duplicates_suppressed,
-                tuple(sorted(res.stats.cpu_by_phase["join"].items())),
+                tuple(sorted(res.stats.cpu_by_phase[PHASE_JOIN].items())),
             )
             if reference is None:
                 reference = key

@@ -1,5 +1,6 @@
 """Tests for the index nested-loop join (index on one relation)."""
 
+from repro.core.phases import PHASE_BUILD, PHASE_JOIN
 from repro.internal import brute_force_pairs
 from repro.rtree import RTree
 from repro.rtree.inlj import IndexNestedLoopJoin, index_nested_loop_join
@@ -44,15 +45,15 @@ class TestCosts:
     def test_join_io_charged(self, small_pair):
         left, right = small_pair
         res = IndexNestedLoopJoin(fanout=16).run(left, right)
-        assert res.stats.io_units_by_phase["join"] > 0
+        assert res.stats.io_units_by_phase[PHASE_JOIN] > 0
 
     def test_no_build_charge(self, small_pair):
         """The index pre-exists in this class; building is free."""
         left, right = small_pair
         res = IndexNestedLoopJoin(fanout=16).run(left, right)
-        assert "build" not in res.stats.io_units_by_phase
+        assert PHASE_BUILD not in res.stats.io_units_by_phase
 
     def test_intersection_tests_counted(self, small_pair):
         left, right = small_pair
         res = IndexNestedLoopJoin(fanout=16).run(left, right)
-        assert res.stats.cpu_by_phase["join"]["intersection_tests"] > 0
+        assert res.stats.cpu_by_phase[PHASE_JOIN]["intersection_tests"] > 0

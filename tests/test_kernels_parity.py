@@ -257,7 +257,9 @@ class TestGridKernelParity:
         import repro.kernels.rpm as rpm_mod
         import repro.pbsm.grid as grid_mod
 
-        assert (TILE_HASH_X, TILE_HASH_Y) == (73856093, 19349663)
+        # This is the single sanctioned restatement of the multiplier
+        # values: the test that pins them.
+        assert (TILE_HASH_X, TILE_HASH_Y) == (73856093, 19349663)  # repro-lint: disable=RPL003
         assert rpm_mod.TILE_HASH_X is grid_mod.TILE_HASH_X
         assert rpm_mod.TILE_HASH_Y is grid_mod.TILE_HASH_Y
 
@@ -269,7 +271,7 @@ class TestGridKernelParity:
         grid = TileGrid(Space(0.0, 0.0, 1.0, 1.0), 8, 8, 5, mapping="hash")
         for tx in range(grid.nx):
             for ty in range(grid.ny):
-                want = ((tx * TILE_HASH_X) ^ (ty * TILE_HASH_Y)) % grid.n_partitions
+                want = ((tx * TILE_HASH_X) ^ (ty * TILE_HASH_Y)) % grid.n_partitions  # repro-lint: disable=RPL003
                 assert grid.partition_of_tile(tx, ty) == want
         txs = np.arange(grid.nx).repeat(grid.ny)
         tys = np.tile(np.arange(grid.ny), grid.nx)

@@ -1,0 +1,472 @@
+"""The repro-lint invariant engine.
+
+Three layers are pinned here: (1) each shipped rule fires on a bad
+snippet and stays silent on a good one — both the rule's own embedded
+fixtures (via the engine self-test) and independent fixtures written
+here, so a rule cannot "pass" by testing itself against a stale copy of
+its own blind spot; (2) the engine mechanics — suppression comments,
+syntax-error reporting, rule selection, file discovery, CLI exit codes;
+(3) the repository itself: ``python -m repro.lint src benchmarks tests``
+must exit 0, which is the self-check CI runs and the reason the rules
+exist at all.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.lint import (
+    ALL_RULES,
+    RULES_BY_ID,
+    lint_source,
+    run_lint,
+    self_test,
+)
+from repro.lint.engine import SYNTAX_RULE_ID
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+LINT_TARGETS = ["src", "benchmarks", "tests"]
+
+
+def rules_of(findings):
+    return sorted({f.rule for f in findings})
+
+
+def lint_one(source, rule_id, path="module.py"):
+    return lint_source(source, path=path, rules=[RULES_BY_ID[rule_id]])
+
+
+# ----------------------------------------------------------------------
+# rule catalogue and embedded fixtures
+# ----------------------------------------------------------------------
+class TestCatalogue:
+    def test_six_rules_shipped(self):
+        assert [r.rule_id for r in ALL_RULES] == [
+            "RPL001",
+            "RPL002",
+            "RPL003",
+            "RPL004",
+            "RPL005",
+            "RPL006",
+        ]
+
+    def test_every_rule_has_title_and_fixtures(self):
+        for rule in ALL_RULES:
+            assert rule.title, rule.rule_id
+            assert rule.fixture_bad, rule.rule_id
+            assert rule.fixture_good, rule.rule_id
+
+    def test_self_test_passes(self):
+        assert self_test() == []
+
+
+# ----------------------------------------------------------------------
+# RPL001 — numpy gate
+# ----------------------------------------------------------------------
+class TestNumpyGate:
+    def test_flags_top_level_import(self):
+        bad = "import numpy as np\nX = np.zeros(3)\n"
+        assert rules_of(lint_one(bad, "RPL001")) == ["RPL001"]
+
+    def test_flags_from_import(self):
+        bad = "from numpy import zeros\n"
+        assert rules_of(lint_one(bad, "RPL001")) == ["RPL001"]
+
+    def test_flags_submodule_import(self):
+        bad = "import numpy.linalg\n"
+        assert rules_of(lint_one(bad, "RPL001")) == ["RPL001"]
+
+    def test_allows_function_local_import(self):
+        good = "def f():\n    import numpy as np\n    return np.zeros(3)\n"
+        assert lint_one(good, "RPL001") == []
+
+    def test_allows_kernels_package(self):
+        bad = "import numpy as np\n"
+        path = "src/repro/kernels/fast.py"
+        assert lint_one(bad, "RPL001", path=path) == []
+
+    def test_backend_gate_is_the_sanctioned_route(self):
+        good = (
+            "from repro.kernels.backend import require_numpy_module\n"
+            "def gen(n):\n"
+            "    np = require_numpy_module()\n"
+            "    return np.zeros(n)\n"
+        )
+        assert lint_one(good, "RPL001") == []
+
+    def test_numpy_free_interpreter_can_import_everything(self):
+        """The invariant RPL001 exists to protect, checked for real."""
+        script = (
+            "import builtins, importlib, pkgutil, sys\n"
+            "real = builtins.__import__\n"
+            "def guard(name, *a, **k):\n"
+            "    if name == 'numpy' or name.startswith('numpy.'):\n"
+            "        raise ImportError('numpy blocked by test')\n"
+            "    return real(name, *a, **k)\n"
+            "builtins.__import__ = guard\n"
+            "sys.modules.pop('numpy', None)\n"
+            "import repro\n"
+            "bad = []\n"
+            "for m in pkgutil.walk_packages(repro.__path__, 'repro.'):\n"
+            "    try:\n"
+            "        importlib.import_module(m.name)\n"
+            "    except ImportError as exc:\n"
+            "        if 'numpy blocked' in str(exc):\n"
+            "            bad.append(m.name)\n"
+            "print(','.join(bad))\n"
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            cwd=REPO_ROOT,
+            env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"},
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert proc.stdout.strip() == "", (
+            f"modules that import numpy at import time: {proc.stdout}"
+        )
+
+
+# ----------------------------------------------------------------------
+# RPL002 — phase literals
+# ----------------------------------------------------------------------
+class TestPhaseLiteral:
+    def test_flags_by_phase_subscript(self):
+        bad = 'def f(stats):\n    return stats.cpu_by_phase["join"]\n'
+        assert rules_of(lint_one(bad, "RPL002")) == ["RPL002"]
+
+    def test_flags_by_phase_get(self):
+        bad = 'def f(s):\n    return s.io_units_by_phase.get("repartition", 0)\n'
+        assert rules_of(lint_one(bad, "RPL002")) == ["RPL002"]
+
+    def test_flags_phase_keyword(self):
+        bad = 'def f(timer):\n    timer.charge(1.0, phase="dedup")\n'
+        assert rules_of(lint_one(bad, "RPL002")) == ["RPL002"]
+
+    def test_flags_comparison_against_phase(self):
+        bad = 'def f(span):\n    return span.phase == "sort"\n'
+        assert rules_of(lint_one(bad, "RPL002")) == ["RPL002"]
+
+    def test_flags_local_call_with_phase_param(self):
+        bad = (
+            "def charge(counters, phase):\n"
+            "    return phase\n"
+            "def f(counters):\n"
+            '    return charge(counters, "partition")\n'
+        )
+        assert rules_of(lint_one(bad, "RPL002")) == ["RPL002"]
+
+    def test_constant_from_core_phases_is_clean(self):
+        good = (
+            "from repro.core.phases import PHASE_JOIN\n"
+            "def f(stats):\n"
+            "    return stats.cpu_by_phase[PHASE_JOIN]\n"
+        )
+        assert lint_one(good, "RPL002") == []
+
+    def test_non_phase_context_stays_legal(self):
+        # argparse choices, dict keys of unrelated maps: "join" is a fine
+        # word outside a phase position (this is cli.py's situation).
+        good = (
+            "def build(sub):\n"
+            '    sub.add_parser("join")\n'
+            '    return {"mode": "sort"}\n'
+        )
+        assert lint_one(good, "RPL002") == []
+
+    def test_core_phases_itself_exempt(self):
+        good = 'PHASE_JOIN = "join"\n'
+        assert lint_one(good, "RPL002", path="src/repro/core/phases.py") == []
+
+
+# ----------------------------------------------------------------------
+# RPL003 — tile-hash drift
+# ----------------------------------------------------------------------
+class TestTileHashDrift:
+    def test_flags_retyped_multiplier(self):
+        bad = "H = 73856093\n"
+        assert rules_of(lint_one(bad, "RPL003")) == ["RPL003"]
+
+    def test_flags_shadow_constant(self):
+        bad = "from repro.pbsm.grid import TILE_HASH_X as _x\nTILE_HASH_X = _x\n"
+        assert rules_of(lint_one(bad, "RPL003")) == ["RPL003"]
+
+    def test_flags_rederived_hash_expression(self):
+        bad = (
+            "from repro.pbsm.grid import TILE_HASH_X, TILE_HASH_Y\n"
+            "def owner(tx, ty, n):\n"
+            "    return ((tx * TILE_HASH_X) ^ (ty * TILE_HASH_Y)) % n\n"
+        )
+        assert rules_of(lint_one(bad, "RPL003")) == ["RPL003"]
+
+    def test_grid_definition_site_exempt(self):
+        source = "TILE_HASH_X = 73856093\nTILE_HASH_Y = 19349663\n"
+        assert lint_one(source, "RPL003", path="src/repro/pbsm/grid.py") == []
+
+    def test_rpm_replay_site_may_hash_but_not_retype(self):
+        replay = (
+            "from repro.pbsm.grid import TILE_HASH_X, TILE_HASH_Y\n"
+            "def owners(tx, ty, n):\n"
+            "    return ((tx * TILE_HASH_X) ^ (ty * TILE_HASH_Y)) % n\n"
+        )
+        path = "src/repro/kernels/rpm.py"
+        assert lint_one(replay, "RPL003", path=path) == []
+        retyped = "def owners(tx, ty, n):\n    return ((tx * 73856093) ^ (ty * 19349663)) % n\n"
+        assert rules_of(lint_one(retyped, "RPL003", path=path)) == ["RPL003"]
+
+    def test_calling_the_grid_api_is_clean(self):
+        good = "def owner(grid, tx, ty):\n    return grid.partition_of_tile(tx, ty)\n"
+        assert lint_one(good, "RPL003") == []
+
+
+# ----------------------------------------------------------------------
+# RPL004 — shm lifecycle
+# ----------------------------------------------------------------------
+class TestShmLifecycle:
+    BAD = (
+        "from multiprocessing.shared_memory import SharedMemory\n"
+        "def leak():\n"
+        "    seg = SharedMemory(create=True, size=8)\n"
+        "    seg.buf[0] = 1\n"
+        "    seg.close()\n"  # not on the exception path
+    )
+
+    def test_flags_unprotected_binding(self):
+        assert rules_of(lint_one(self.BAD, "RPL004")) == ["RPL004"]
+
+    def test_with_statement_is_custody(self):
+        good = (
+            "def f(store_cls, arrays):\n"
+            "    with store_cls.create(arrays) as store:\n"
+            "        return store.manifest\n"
+        )
+        # `store_cls.create` is not a Store receiver, so make it explicit:
+        good = good.replace("store_cls", "SharedColumnarStore")
+        assert lint_one(good, "RPL004") == []
+
+    def test_try_finally_is_custody(self):
+        good = (
+            "from multiprocessing.shared_memory import SharedMemory\n"
+            "def f():\n"
+            "    seg = SharedMemory(create=True, size=8)\n"
+            "    try:\n"
+            "        seg.buf[0] = 1\n"
+            "    finally:\n"
+            "        seg.close()\n"
+            "        seg.unlink()\n"
+        )
+        assert lint_one(good, "RPL004") == []
+
+    def test_ownership_escape_via_return_is_custody(self):
+        good = (
+            "from multiprocessing.shared_memory import SharedMemory\n"
+            "def open_segment():\n"
+            "    seg = SharedMemory(create=True, size=8)\n"
+            "    return seg\n"
+        )
+        assert lint_one(good, "RPL004") == []
+
+    def test_global_pool_state_is_custody(self):
+        good = (
+            "_SEG = None\n"
+            "def _pool_init(manifest):\n"
+            "    global _SEG\n"
+            "    _SEG = SharedColumnarStore.attach(manifest)\n"
+        )
+        assert lint_one(good, "RPL004") == []
+
+    def test_attribute_assignment_is_custody(self):
+        good = (
+            "from multiprocessing.shared_memory import SharedMemory\n"
+            "class Holder:\n"
+            "    def open(self):\n"
+            "        self.seg = SharedMemory(create=True, size=8)\n"
+        )
+        assert lint_one(good, "RPL004") == []
+
+
+# ----------------------------------------------------------------------
+# RPL005 — counter currency
+# ----------------------------------------------------------------------
+class TestCounterCurrency:
+    def _project(self, extra_counter="", extra_param="", extra_price=""):
+        return (
+            "from dataclasses import dataclass\n"
+            "@dataclass\n"
+            "class CpuCounters:\n"
+            "    intersection_tests: int = 0\n"
+            f"{extra_counter}"
+            "@dataclass\n"
+            "class CostModel:\n"
+            "    test_op_seconds: float = 2.0e-6\n"
+            "    def cpu_seconds(self, counters):\n"
+            "        return (counters.intersection_tests * self.test_op_seconds\n"
+            f"{extra_price}"
+            "        )\n"
+            "    def cpu_seconds_from_counts(self, *, intersection_tests=0.0"
+            f"{extra_param}):\n"
+            "        return intersection_tests * self.test_op_seconds\n"
+            "def format_stats(stats):\n"
+            "    return str(stats.cpu_by_phase)\n"
+        )
+
+    def test_unpriced_counter_flagged_twice(self):
+        src = self._project(extra_counter="    shiny_ops: int = 0\n")
+        findings = lint_one(src, "RPL005")
+        assert rules_of(findings) == ["RPL005"]
+        messages = " ".join(f.message for f in findings)
+        assert "not priced" in messages
+        assert "cpu_seconds_from_counts" in messages
+
+    def test_fully_wired_counter_is_clean(self):
+        src = self._project(
+            extra_counter="    shiny_ops: int = 0\n",
+            extra_price="            + counters.shiny_ops * self.test_op_seconds\n",
+            extra_param=", shiny_ops=0.0",
+        )
+        assert lint_one(src, "RPL005") == []
+
+    def test_result_tallies_exempt(self):
+        src = self._project(extra_counter="    results_reported: int = 0\n")
+        assert lint_one(src, "RPL005") == []
+
+    def test_silent_when_classes_absent(self):
+        assert lint_one("x = 1\n", "RPL005") == []
+
+    def test_real_codebase_is_current(self):
+        findings = run_lint(
+            [
+                REPO_ROOT / "src/repro/core/stats.py",
+                REPO_ROOT / "src/repro/io/costmodel.py",
+                REPO_ROOT / "src/repro/core/report.py",
+            ],
+            rules=[RULES_BY_ID["RPL005"]],
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# RPL006 — silent broad except
+# ----------------------------------------------------------------------
+class TestSilentExcept:
+    def test_flags_swallowing_handler(self):
+        bad = "try:\n    x = 1\nexcept Exception:\n    pass\n"
+        assert rules_of(lint_one(bad, "RPL006")) == ["RPL006"]
+
+    def test_flags_bare_except(self):
+        bad = "try:\n    x = 1\nexcept:\n    x = 2\n"
+        assert rules_of(lint_one(bad, "RPL006")) == ["RPL006"]
+
+    def test_reraise_is_fine(self):
+        good = "try:\n    x = 1\nexcept Exception:\n    raise\n"
+        assert lint_one(good, "RPL006") == []
+
+    def test_logging_is_fine(self):
+        good = (
+            "import logging\n"
+            "try:\n"
+            "    x = 1\n"
+            "except Exception as exc:\n"
+            "    logging.warning('op failed: %s', exc)\n"
+        )
+        assert lint_one(good, "RPL006") == []
+
+    def test_narrow_types_are_fine(self):
+        good = "try:\n    x = 1\nexcept (OSError, ValueError):\n    x = 2\n"
+        assert lint_one(good, "RPL006") == []
+
+
+# ----------------------------------------------------------------------
+# engine mechanics
+# ----------------------------------------------------------------------
+class TestEngine:
+    def test_suppression_comment_silences_one_rule(self):
+        src = "H = 73856093  # repro-lint: disable=RPL003\n"
+        assert lint_source(src) == []
+
+    def test_suppression_is_rule_specific(self):
+        src = "H = 73856093  # repro-lint: disable=RPL006\n"
+        assert rules_of(lint_source(src)) == ["RPL003"]
+
+    def test_suppression_accepts_lists(self):
+        src = (
+            "import numpy  # repro-lint: disable=RPL001,RPL003\n"
+            "H = 19349663  # repro-lint: disable=all\n"
+        )
+        assert lint_source(src) == []
+
+    def test_syntax_error_reported_as_rpl000(self):
+        findings = lint_source("def broken(:\n")
+        assert rules_of(findings) == [SYNTAX_RULE_ID]
+
+    def test_findings_render_as_path_line_col(self):
+        findings = lint_one("import numpy\n", "RPL001", path="pkg/mod.py")
+        assert findings[0].render().startswith("pkg/mod.py:1:0: RPL001 ")
+
+    def test_run_lint_on_directory(self, tmp_path):
+        (tmp_path / "ok.py").write_text("x = 1\n")
+        (tmp_path / "bad.py").write_text("import numpy\n")
+        (tmp_path / "__pycache__").mkdir()
+        (tmp_path / "__pycache__" / "sneaky.py").write_text("import numpy\n")
+        findings = run_lint([tmp_path], rules=[RULES_BY_ID["RPL001"]])
+        assert [Path(f.path).name for f in findings] == ["bad.py"]
+
+    def test_missing_path_raises(self):
+        with pytest.raises(FileNotFoundError):
+            run_lint(["no/such/dir"])
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+class TestCli:
+    def run_cli(self, *argv, cwd=REPO_ROOT):
+        return subprocess.run(
+            [sys.executable, "-m", "repro.lint", *argv],
+            capture_output=True,
+            text=True,
+            cwd=cwd,
+            env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"},
+        )
+
+    def test_repository_is_clean(self):
+        """The CI self-check: the repo passes its own linter."""
+        proc = self.run_cli(*LINT_TARGETS)
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+    def test_violations_exit_1(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import numpy\n")
+        proc = self.run_cli(str(bad))
+        assert proc.returncode == 1
+        assert "RPL001" in proc.stdout
+        assert "disable=RPLxxx" in proc.stderr
+
+    def test_select_limits_rules(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import numpy\nH = 73856093\n")
+        proc = self.run_cli("--select", "RPL003", str(bad))
+        assert proc.returncode == 1
+        assert "RPL003" in proc.stdout and "RPL001" not in proc.stdout
+
+    def test_unknown_rule_is_usage_error(self, tmp_path):
+        proc = self.run_cli("--select", "RPL999", str(tmp_path))
+        assert proc.returncode == 2
+
+    def test_no_paths_is_usage_error(self):
+        proc = self.run_cli()
+        assert proc.returncode == 2
+
+    def test_list_rules(self):
+        proc = self.run_cli("--list-rules")
+        assert proc.returncode == 0
+        for rule in ALL_RULES:
+            assert rule.rule_id in proc.stdout
+
+    def test_self_test_flag(self):
+        proc = self.run_cli("--self-test")
+        assert proc.returncode == 0
+        assert "self-test ok" in proc.stdout

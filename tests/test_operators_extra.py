@@ -6,6 +6,7 @@ behaviour (rather than just code shape) trips these immediately.
 """
 
 
+from repro.core.phases import PHASE_JOIN
 from repro.operators import (
     DistinctOp,
     MaterializeOp,
@@ -131,7 +132,7 @@ class TestRegressionPins:
         assert st.n_results == 151
         assert st.records_partitioned == 980
         assert st.duplicates_suppressed == 126
-        assert st.cpu_by_phase["join"]["intersection_tests"] == 930
+        assert st.cpu_by_phase[PHASE_JOIN]["intersection_tests"] == 930
 
     def test_s3j_hybrid_counters_pinned(self):
         left, right = self._pair()

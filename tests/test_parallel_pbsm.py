@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.core.phases import PHASE_PARTITION
 from repro.internal import brute_force_pairs
 from repro.pbsm.parallel import ParallelPBSM, lpt_schedule
 
@@ -74,8 +75,8 @@ class TestParallelPBSM:
         right = random_kpes(800, 84, start_oid=50_000, max_edge=0.03)
         one = ParallelPBSM(4096, workers=1).run(left, right)
         many = ParallelPBSM(4096, workers=8).run(left, right)
-        assert one.stats.sim_seconds_by_phase["partition"] == pytest.approx(
-            many.stats.sim_seconds_by_phase["partition"]
+        assert one.stats.sim_seconds_by_phase[PHASE_PARTITION] == pytest.approx(
+            many.stats.sim_seconds_by_phase[PHASE_PARTITION]
         )
 
     def test_at_least_one_task_per_worker(self):

@@ -91,8 +91,10 @@ class TestSharedColumnarStore:
         import numpy as np
 
         store = SharedColumnarStore.create({"x": np.zeros(4)})
-        store.close()
-        store.unlink()
+        try:
+            store.close()
+        finally:
+            store.unlink()
         store.unlink()  # second unlink must not raise
 
     def test_empty_arrays_supported(self):

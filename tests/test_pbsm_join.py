@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.core.phases import PHASE_DEDUP, PHASE_JOIN, PHASE_PARTITION
 from repro.core.rect import KPE
 from repro.internal import brute_force_pairs
 from repro.io.costmodel import mb
@@ -116,14 +117,14 @@ class TestStatistics:
         left, right = small_pair
         rpm = PBSM(2048, dedup="rpm").run(left, right)
         srt = PBSM(2048, dedup="sort").run(left, right)
-        assert rpm.stats.io_units_by_phase.get("dedup", 0.0) == 0.0
-        assert srt.stats.io_units_by_phase.get("dedup", 0.0) > 0.0
+        assert rpm.stats.io_units_by_phase.get(PHASE_DEDUP, 0.0) == 0.0
+        assert srt.stats.io_units_by_phase.get(PHASE_DEDUP, 0.0) > 0.0
 
     def test_phase_io_recorded(self, small_pair):
         left, right = small_pair
         res = PBSM(2048).run(left, right)
-        assert res.stats.io_units_by_phase["partition"] > 0
-        assert res.stats.io_units_by_phase["join"] > 0
+        assert res.stats.io_units_by_phase[PHASE_PARTITION] > 0
+        assert res.stats.io_units_by_phase[PHASE_JOIN] > 0
 
     def test_sim_seconds_positive(self, small_pair):
         left, right = small_pair

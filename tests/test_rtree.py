@@ -4,6 +4,7 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
+from repro.core.phases import PHASE_BUILD, PHASE_JOIN
 from repro.core.rect import KPE
 from repro.internal import brute_force_pairs
 from repro.rtree import RTree, RTreeJoin, rtree_join
@@ -134,17 +135,17 @@ class TestRTreeJoin:
         res = joiner.run(left, right, tree_left, tree_right)
         assert res.pair_set() == set(brute_force_pairs(left, right))
         # prebuilt: no build-phase write charge
-        assert res.stats.io_units_by_phase.get("build", 0.0) == 0.0
+        assert res.stats.io_units_by_phase.get(PHASE_BUILD, 0.0) == 0.0
 
     def test_build_charged_when_not_prebuilt(self, small_pair):
         left, right = small_pair
         res = RTreeJoin(fanout=16, prebuilt=False).run(left, right)
-        assert res.stats.io_units_by_phase["build"] > 0
+        assert res.stats.io_units_by_phase[PHASE_BUILD] > 0
 
     def test_join_io_charged(self, small_pair):
         left, right = small_pair
         res = RTreeJoin(fanout=16).run(left, right)
-        assert res.stats.io_units_by_phase["join"] > 0
+        assert res.stats.io_units_by_phase[PHASE_JOIN] > 0
 
     def test_self_join(self):
         rel = random_kpes(150, 13, max_edge=0.08)

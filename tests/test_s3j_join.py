@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.core.phases import PHASE_JOIN, PHASE_PARTITION, PHASE_SORT
 from repro.core.rect import KPE
 from repro.internal import brute_force_pairs
 from repro.s3j import S3J, s3j_join
@@ -63,8 +64,8 @@ class TestCurves:
         res = S3J(8192, curve=curve).run(left, right)
         baseline = S3J(8192, curve="peano").run(left, right)
         assert (
-            res.stats.cpu_by_phase["join"]["intersection_tests"]
-            == baseline.stats.cpu_by_phase["join"]["intersection_tests"]
+            res.stats.cpu_by_phase[PHASE_JOIN]["intersection_tests"]
+            == baseline.stats.cpu_by_phase[PHASE_JOIN]["intersection_tests"]
         )
         assert res.stats.io_units == pytest.approx(baseline.stats.io_units)
 
@@ -138,16 +139,16 @@ class TestStatistics:
         orig = S3J(16_384, replicate=False).run(left, right)
         repl = S3J(16_384, replicate=True).run(left, right)
         assert (
-            repl.stats.cpu_by_phase["join"]["intersection_tests"]
-            < orig.stats.cpu_by_phase["join"]["intersection_tests"]
+            repl.stats.cpu_by_phase[PHASE_JOIN]["intersection_tests"]
+            < orig.stats.cpu_by_phase[PHASE_JOIN]["intersection_tests"]
         )
 
     def test_phases_recorded(self, small_pair):
         left, right = small_pair
         res = S3J(8192).run(left, right)
-        assert res.stats.io_units_by_phase["partition"] > 0
-        assert res.stats.io_units_by_phase["join"] > 0
-        assert "sort" in res.stats.sim_seconds_by_phase
+        assert res.stats.io_units_by_phase[PHASE_PARTITION] > 0
+        assert res.stats.io_units_by_phase[PHASE_JOIN] > 0
+        assert PHASE_SORT in res.stats.sim_seconds_by_phase
 
     def test_iter_pairs_streams(self, small_pair):
         left, right = small_pair

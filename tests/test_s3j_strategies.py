@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.core.phases import PHASE_JOIN
 from repro.core.space import Space
 from repro.core.stats import CpuCounters
 from repro.datasets import mixed_scale
@@ -89,7 +90,7 @@ class TestHybridBehaviour:
         tests = {}
         for strategy in STRATEGIES:
             res = S3J(8192, strategy=strategy).run(left, right)
-            tests[strategy] = res.stats.cpu_by_phase["join"]["intersection_tests"]
+            tests[strategy] = res.stats.cpu_by_phase[PHASE_JOIN]["intersection_tests"]
         assert tests["size"] <= tests["hybrid"] <= tests["original"]
 
     def test_hybrid_entry_counts(self):

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.core.phases import PHASE_BUILD, PHASE_JOIN
 from repro.internal import brute_force_pairs
 from repro.io.buffer import BufferFullError, BufferManager
 from repro.io.disk import SimulatedDisk
@@ -52,8 +53,8 @@ class TestSeededTreeJoin:
     def test_build_phase_charged(self, small_pair):
         left, right = small_pair
         res = SeededTreeJoin(fanout=16).run(left, right)
-        assert res.stats.io_units_by_phase["build"] > 0
-        assert res.stats.io_units_by_phase["join"] > 0
+        assert res.stats.io_units_by_phase[PHASE_BUILD] > 0
+        assert res.stats.io_units_by_phase[PHASE_JOIN] > 0
 
     def test_seeded_tree_holds_all_records(self, small_pair):
         left, right = small_pair

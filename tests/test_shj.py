@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.core.phases import PHASE_JOIN, PHASE_PARTITION
 from repro.core.rect import KPE
 from repro.internal import brute_force_pairs
 from repro.shj import SpatialHashJoin, spatial_hash_join
@@ -82,5 +83,5 @@ class TestEdgeCases:
     def test_io_phases_recorded(self, small_pair):
         left, right = small_pair
         res = SpatialHashJoin(2048).run(left, right)
-        assert res.stats.io_units_by_phase["partition"] > 0
-        assert res.stats.io_units_by_phase["join"] > 0
+        assert res.stats.io_units_by_phase[PHASE_PARTITION] > 0
+        assert res.stats.io_units_by_phase[PHASE_JOIN] > 0

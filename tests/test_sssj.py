@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.core.phases import PHASE_SORT
 from repro.internal import brute_force_pairs
 from repro.sssj import SSSJ, sssj_join
 
@@ -33,7 +34,7 @@ class TestCorrectness:
         res = SSSJ(512, internal=internal).run(left, right)
         assert res.pair_set() == truth
         # run generation + merge must have charged I/O
-        assert res.stats.io_units_by_phase.get("sort", 0.0) > 0
+        assert res.stats.io_units_by_phase.get(PHASE_SORT, 0.0) > 0
 
 
 class TestBehaviour:

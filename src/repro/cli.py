@@ -165,6 +165,104 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import os
+
+    from repro.pbsm.parallel import MAX_WORKERS_ENV
+    from repro.serve import (
+        AdmissionController,
+        DatasetRegistry,
+        EngineHost,
+        JoinServer,
+    )
+
+    if args.workers > 1:
+        # An always-on server is allowed to oversubscribe a small box on
+        # purpose; honor the explicit worker count unless the operator
+        # already set the cap themselves.
+        os.environ.setdefault(MAX_WORKERS_ENV, str(args.workers))
+    registry = DatasetRegistry(pin=not args.no_pin)
+    for spec in args.dataset or ():
+        name, sep, path = spec.partition("=")
+        if not sep or not name or not path:
+            print(f"error: --dataset wants NAME=PATH, got {spec!r}", file=sys.stderr)
+            return 2
+        registry.register_file(name, path)
+        print(f"registered dataset {name!r} from {path}")
+    engine = EngineHost(mb(args.memory_mb), workers=args.workers)
+    admission = AdmissionController(
+        max_inflight=args.max_inflight,
+        max_queue=args.max_queue,
+        budget_seconds=args.budget_seconds,
+    )
+    server = JoinServer(
+        registry,
+        engine,
+        admission,
+        host=args.host,
+        port=args.port,
+        unix_socket=args.unix_socket,
+        page_size=args.page_size,
+    )
+
+    async def run() -> None:
+        await server.start()
+        server.install_signal_handlers()
+        if server.unix_socket is not None:
+            where = server.unix_socket
+        else:
+            where = "{0}:{1}".format(*server.address)
+        print(
+            f"repro serve listening on {where} "
+            f"(workers={engine.workers}, memory={args.memory_mb}MB, "
+            f"inflight<={admission.max_inflight}, queue<={admission.max_queue})",
+            flush=True,
+        )
+        await server.serve_until_stopped()
+
+    asyncio.run(run())
+    print("repro serve stopped cleanly")
+    return 0
+
+
+def _cmd_load(args: argparse.Namespace) -> int:
+    from repro.serve.loadgen import run_load
+
+    report = run_load(
+        host=args.host,
+        port=args.port,
+        unix_socket=args.unix_socket,
+        topologies=args.topologies.split(","),
+        scales=[int(s) for s in args.scales.split(",")],
+        concurrency_levels=[int(c) for c in args.concurrency.split(",")],
+        repeats=args.repeats,
+        memory_mb=args.memory_mb,
+        out=args.out,
+    )
+    for cell in report["cells"]:
+        status = "ok" if cell["checksum_ok"] else "CHECKSUM MISMATCH"
+        print(
+            f"{cell['topology']:>10} n={cell['n']:<8} c={cell['concurrency']:<3} "
+            f"{cell['throughput_qps']:8.2f} q/s  "
+            f"p50 {cell['p50_seconds'] * 1000:8.1f} ms  "
+            f"p99 {cell['p99_seconds'] * 1000:8.1f} ms  {status}"
+        )
+    latency = report.get("server_latency") or {}
+    if latency:
+        print(
+            f"server histogram: p50 {latency.get('p50_seconds', 0.0) * 1000:.1f} ms, "
+            f"p99 {latency.get('p99_seconds', 0.0) * 1000:.1f} ms over "
+            f"{latency.get('count', 0)} queries"
+        )
+    if args.out:
+        print(f"wrote load report to {args.out}")
+    if not report["ok"]:
+        print("load sweep FAILED (checksum or plan-cache violation)", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_explain(args: argparse.Namespace) -> int:
     from repro.planner import plan_join
     from repro.planner.cache import DEFAULT_CACHE
@@ -265,6 +363,79 @@ def build_parser() -> argparse.ArgumentParser:
         "--verbose", action="store_true", help="include the phase-level estimate"
     )
     explain.set_defaults(func=_cmd_explain)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the always-on join service (see docs/serving.md)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=0, help="TCP port (0 picks a free one)"
+    )
+    serve.add_argument(
+        "--unix-socket", default=None, help="serve on a unix socket instead of TCP"
+    )
+    serve.add_argument("--memory-mb", type=float, default=2.5)
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="persistent worker-pool size (1 = in-process execution)",
+    )
+    serve.add_argument(
+        "--max-inflight", type=int, default=4, help="concurrent executing queries"
+    )
+    serve.add_argument(
+        "--max-queue", type=int, default=16, help="queries allowed to wait"
+    )
+    serve.add_argument(
+        "--budget-seconds",
+        type=float,
+        default=None,
+        help="reject queries whose cost estimate exceeds this (simulated s)",
+    )
+    serve.add_argument(
+        "--page-size", type=int, default=20_000, help="result pairs per page"
+    )
+    serve.add_argument(
+        "--dataset",
+        action="append",
+        metavar="NAME=PATH",
+        help="pre-register a relation file (repeatable)",
+    )
+    serve.add_argument(
+        "--no-pin",
+        action="store_true",
+        help="keep datasets as plain lists (no shared-memory pinning)",
+    )
+    serve.set_defaults(func=_cmd_serve)
+
+    load = sub.add_parser(
+        "load",
+        help="closed-loop load sweep against a running repro serve",
+    )
+    load.add_argument("--host", default="127.0.0.1")
+    load.add_argument("--port", type=int, default=0)
+    load.add_argument("--unix-socket", default=None)
+    load.add_argument(
+        "--topologies",
+        default="uniform,clustered",
+        help="comma-separated dataset patterns",
+    )
+    load.add_argument(
+        "--scales", default="2000", help="comma-separated records per relation"
+    )
+    load.add_argument(
+        "--concurrency", default="1,4", help="comma-separated client counts"
+    )
+    load.add_argument(
+        "--repeats", type=int, default=3, help="queries per client per cell"
+    )
+    load.add_argument("--memory-mb", type=float, default=2.5)
+    load.add_argument(
+        "--out", default=None, metavar="PATH", help="write BENCH_serve.json here"
+    )
+    load.set_defaults(func=_cmd_load)
     return parser
 
 

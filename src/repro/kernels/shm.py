@@ -34,8 +34,10 @@ executor falls back to the legacy pickle transport, bit-for-bit.
 
 from __future__ import annotations
 
+import itertools
 import os
-from typing import Any, Dict, Iterator, Optional, Tuple
+import secrets
+from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from repro.kernels.backend import numpy_enabled, require_numpy
 from repro.kernels.columnar import ColumnarRelation
@@ -44,8 +46,48 @@ from repro.kernels.columnar import ColumnarRelation
 #: picklable description from which any process can attach the arrays.
 Manifest = Tuple[str, Tuple[Tuple[str, str, int, int], ...]]
 
+#: Every segment this module creates is named
+#: ``repro_shm_<creator-pid>_<seq>_<token>`` so a sweep can (a) recognise
+#: repro segments among foreign ones and (b) decide staleness by asking
+#: whether the creator pid is still alive (see :func:`sweep_orphan_segments`).
+SEGMENT_PREFIX = "repro_shm_"
+
+_segment_seq = itertools.count()
+
 #: Cached result of the one-time platform probe.
 _platform_probe: Optional[bool] = None
+
+
+def _new_segment_name() -> str:
+    """A fresh segment name that encodes this process as the creator."""
+    return (
+        f"{SEGMENT_PREFIX}{os.getpid()}_{next(_segment_seq)}_"
+        f"{secrets.token_hex(4)}"
+    )
+
+
+def _segment_creator_pid(name: str) -> Optional[int]:
+    """The creator pid encoded in a repro segment name, or ``None``."""
+    stem = name.lstrip("/")
+    if not stem.startswith(SEGMENT_PREFIX):
+        return None
+    try:
+        return int(stem[len(SEGMENT_PREFIX) :].split("_", 1)[0])
+    except (ValueError, IndexError):
+        return None
+
+
+def _pid_alive(pid: int) -> bool:
+    """Best-effort liveness probe for *pid* (POSIX signal 0)."""
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True  # alive, owned by someone else
+    except OSError:
+        return True  # unknowable; err on the side of not sweeping
+    return True
 
 
 def _shared_memory_module() -> Any:
@@ -149,7 +191,7 @@ class SharedColumnarStore:
             entries.append((key, arr.dtype.str, int(arr.shape[0]), offset))
             offset += int(arr.nbytes)
         segment = _shared_memory_module().SharedMemory(
-            create=True, size=max(offset, 1)
+            name=_new_segment_name(), create=True, size=max(offset, 1)
         )
         if not track:
             _untrack(segment)
@@ -248,6 +290,120 @@ class SharedColumnarStore:
             self.unlink()
 
 
+class AliasedStore:
+    """A read-only prefix-renaming view over a store.
+
+    A dataset pinned by the serve registry stores its columns under the
+    neutral prefix ``"D"`` (``D.oid``, ``D.xl``, ...), because at pin
+    time nobody knows whether it will be the left or the right input of
+    a query.  ``AliasedStore(store, {"L": "D"})`` makes that pinned
+    segment answer to the join kernel's ``L.*`` keys without copying a
+    byte.  Only aliased prefixes resolve — un-aliased keys report as
+    missing, so a :class:`ChainedStore` keeps searching.
+    """
+
+    __slots__ = ("_store", "_aliases")
+
+    def __init__(self, store: Any, aliases: Dict[str, str]) -> None:
+        self._store = store
+        self._aliases = dict(aliases)
+
+    def _translate(self, key: str) -> Optional[str]:
+        head, sep, tail = key.partition(".")
+        if not sep:
+            return None
+        real = self._aliases.get(head)
+        if real is None:
+            return None
+        return f"{real}.{tail}"
+
+    def __getitem__(self, key: str) -> Any:
+        translated = self._translate(key)
+        if translated is None or translated not in self._store:
+            raise KeyError(key)
+        return self._store[translated]
+
+    def __contains__(self, key: str) -> bool:
+        translated = self._translate(key)
+        return translated is not None and translated in self._store
+
+
+class ChainedStore:
+    """Several stores presented as one key space (first match wins).
+
+    This is how a query over *pinned* datasets is assembled in a worker:
+    ``[AliasedStore(left_pin, {"L": "D"}), AliasedStore(right_pin,
+    {"R": "D"}), per_query_ids_store]`` — the big relation columns come
+    from long-lived pinned segments, only the small CSR id arrays from
+    the per-query segment.  Implements the same ``__getitem__`` /
+    ``gather`` surface as :class:`SharedColumnarStore`, so the join
+    kernels cannot tell the difference.
+    """
+
+    __slots__ = ("_stores",)
+
+    def __init__(self, stores: Any) -> None:
+        self._stores = list(stores)
+
+    def __getitem__(self, key: str) -> Any:
+        for store in self._stores:
+            if key in store:
+                return store[key]
+        raise KeyError(key)
+
+    def __contains__(self, key: str) -> bool:
+        return any(key in store for store in self._stores)
+
+    def gather(self, prefix: str, ids: Any) -> ColumnarRelation:
+        """Copy rows *ids* of the relation stored under *prefix* out."""
+        return ColumnarRelation(
+            self[f"{prefix}.oid"][ids],
+            self[f"{prefix}.xl"][ids],
+            self[f"{prefix}.yl"][ids],
+            self[f"{prefix}.xh"][ids],
+            self[f"{prefix}.yh"][ids],
+        )
+
+
+def sweep_orphan_segments(include_live: bool = False) -> List[str]:
+    """Unlink repro shared-memory segments whose creator is dead.
+
+    A server killed with SIGKILL (or a worker dying mid-result) can
+    leave named segments behind until reboot.  Every repro segment name
+    embeds its creator's pid, so staleness is decidable: if that pid no
+    longer exists, nobody will ever unlink the segment — reap it.  With
+    ``include_live=True`` segments created by the *current* process are
+    swept too (the shutdown path of a server unlinking its own pins).
+
+    Returns the names actually unlinked.  Safe to call on platforms
+    without shared memory (returns ``[]``).
+    """
+    shm_dir = "/dev/shm"  # POSIX shm backing store on Linux
+    if not os.path.isdir(shm_dir):
+        return []
+    own_pid = os.getpid()
+    swept: List[str] = []
+    try:
+        names = os.listdir(shm_dir)
+    except OSError:
+        return []
+    for name in names:
+        pid = _segment_creator_pid(name)
+        if pid is None:
+            continue  # not ours; never touch foreign segments
+        if pid == own_pid:
+            if not include_live:
+                continue
+        elif _pid_alive(pid):
+            continue
+        try:
+            os.unlink(os.path.join(shm_dir, name))
+            swept.append(name)
+        except OSError:
+            continue  # raced with another sweeper, or permissions
+    return swept
+
+
 def columnar_arrays(prefix: str, cols: ColumnarRelation) -> Dict[str, object]:
     """The five columns of *cols* keyed for a :class:`SharedColumnarStore`."""
     return {
@@ -260,8 +416,12 @@ def columnar_arrays(prefix: str, cols: ColumnarRelation) -> Dict[str, object]:
 
 
 __all__ = [
+    "AliasedStore",
+    "ChainedStore",
     "Manifest",
+    "SEGMENT_PREFIX",
     "SharedColumnarStore",
     "columnar_arrays",
     "shm_enabled",
+    "sweep_orphan_segments",
 ]

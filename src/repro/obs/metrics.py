@@ -18,9 +18,17 @@ standard metric names:
 
 from __future__ import annotations
 
+import bisect
 from typing import Any, Dict, List, Sequence, Tuple
 
 _LabelKey = Tuple[Tuple[str, str], ...]
+
+#: Default latency buckets (seconds) for :meth:`MetricsRegistry.observe`
+#: — the classic Prometheus ladder, wide enough for both in-memory joins
+#: and 100k x 100k service queries.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0,
+)
 
 
 def _label_key(labels: Dict[str, object]) -> _LabelKey:
@@ -29,6 +37,12 @@ def _label_key(labels: Dict[str, object]) -> _LabelKey:
 
 def _escape(value: str) -> str:
     return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _render_labels(key: _LabelKey) -> str:
+    if not key:
+        return ""
+    return "{" + ",".join(f'{k}="{_escape(v)}"' for k, v in key) + "}"
 
 
 class _Metric:
@@ -41,16 +55,78 @@ class _Metric:
         self.samples: Dict[_LabelKey, float] = {}
 
 
+class _HistogramState:
+    """Per-labelset histogram accumulator (cumulative on render only)."""
+
+    __slots__ = ("bucket_counts", "sum", "count")
+
+    def __init__(self, n_buckets: int) -> None:
+        #: raw (non-cumulative) counts; the last slot is the +Inf bucket.
+        self.bucket_counts = [0] * (n_buckets + 1)
+        self.sum = 0.0
+        self.count = 0
+
+
+class _Histogram:
+    __slots__ = ("name", "kind", "help", "buckets", "samples")
+
+    def __init__(
+        self, name: str, help_text: str, buckets: Sequence[float]
+    ) -> None:
+        self.name = name
+        self.kind = "histogram"
+        self.help = help_text
+        self.buckets: Tuple[float, ...] = tuple(sorted(buckets))
+        self.samples: Dict[_LabelKey, _HistogramState] = {}
+
+    def observe(self, value: float, key: _LabelKey) -> None:
+        state = self.samples.get(key)
+        if state is None:
+            state = _HistogramState(len(self.buckets))
+            self.samples[key] = state
+        state.bucket_counts[bisect.bisect_left(self.buckets, value)] += 1
+        state.sum += value
+        state.count += 1
+
+    def quantile(self, q: float, key: _LabelKey) -> float:
+        """Estimated q-quantile from the bucket counts.
+
+        Linear interpolation inside the containing bucket — the same
+        estimate PromQL's ``histogram_quantile`` computes; the +Inf
+        bucket clamps to the largest finite edge.
+        """
+        state = self.samples.get(key)
+        if state is None or state.count == 0:
+            return 0.0
+        rank = q * state.count
+        seen = 0.0
+        for idx, bucket_count in enumerate(state.bucket_counts):
+            if bucket_count == 0:
+                continue
+            if seen + bucket_count >= rank:
+                if idx >= len(self.buckets):  # +Inf bucket
+                    return self.buckets[-1]
+                lo = self.buckets[idx - 1] if idx > 0 else 0.0
+                hi = self.buckets[idx]
+                fraction = (rank - seen) / bucket_count
+                return lo + (hi - lo) * fraction
+            seen += bucket_count
+        return self.buckets[-1]
+
+
 class MetricsRegistry:
     """Named counters and gauges with labels, exported as Prometheus text."""
 
     def __init__(self) -> None:
         self._metrics: Dict[str, _Metric] = {}
+        self._histograms: Dict[str, _Histogram] = {}
 
     # ------------------------------------------------------------------
     # registration & updates
     # ------------------------------------------------------------------
     def _declare(self, name: str, kind: str, help_text: str) -> _Metric:
+        if name in self._histograms:
+            raise ValueError(f"metric {name!r} already registered as histogram")
         metric = self._metrics.get(name)
         if metric is None:
             metric = _Metric(name, kind, help_text)
@@ -61,6 +137,23 @@ class MetricsRegistry:
             )
         return metric
 
+    def _declare_histogram(
+        self,
+        name: str,
+        help_text: str,
+        buckets: Sequence[float],
+    ) -> _Histogram:
+        if name in self._metrics:
+            raise ValueError(
+                f"metric {name!r} already registered as"
+                f" {self._metrics[name].kind}"
+            )
+        hist = self._histograms.get(name)
+        if hist is None:
+            hist = _Histogram(name, help_text, buckets)
+            self._histograms[name] = hist
+        return hist
+
     def counter(self, name: str, help_text: str = "") -> None:
         """Declare a monotonically increasing counter."""
         self._declare(name, "counter", help_text)
@@ -68,6 +161,36 @@ class MetricsRegistry:
     def gauge(self, name: str, help_text: str = "") -> None:
         """Declare a gauge (set to the latest observed value)."""
         self._declare(name, "gauge", help_text)
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str = "",
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        """Declare a histogram (bucketed distribution of observations)."""
+        self._declare_histogram(name, help_text, buckets)
+
+    def observe(self, name: str, value: float, **labels: str) -> None:
+        """Record one observation into a histogram (declared implicitly
+        with :data:`DEFAULT_BUCKETS` on first use)."""
+        hist = self._declare_histogram(name, "", DEFAULT_BUCKETS)
+        hist.observe(value, _label_key(labels))
+
+    def quantile(self, name: str, q: float, **labels: str) -> float:
+        """Estimated *q*-quantile of a histogram (0.0 when never observed)."""
+        hist = self._histograms.get(name)
+        if hist is None:
+            return 0.0
+        return hist.quantile(q, _label_key(labels))
+
+    def histogram_count(self, name: str, **labels: str) -> int:
+        """Total observations recorded into one histogram labelset."""
+        hist = self._histograms.get(name)
+        if hist is None:
+            return 0
+        state = hist.samples.get(_label_key(labels))
+        return 0 if state is None else state.count
 
     def inc(self, name: str, value: float = 1.0, **labels: str) -> None:
         """Increment a counter (declared implicitly on first use)."""
@@ -184,18 +307,33 @@ class MetricsRegistry:
     def render(self) -> str:
         """The registry in the Prometheus text exposition format."""
         lines: List[str] = []
-        for name in sorted(self._metrics):
-            metric = self._metrics[name]
-            if metric.help:
-                lines.append(f"# HELP {name} {metric.help}")
-            lines.append(f"# TYPE {name} {metric.kind}")
-            for key in sorted(metric.samples):
-                value = metric.samples[key]
-                if key:
-                    rendered = ",".join(
-                        f'{k}="{_escape(v)}"' for k, v in key
+        for name in sorted(set(self._metrics) | set(self._histograms)):
+            metric = self._metrics.get(name)
+            if metric is not None:
+                if metric.help:
+                    lines.append(f"# HELP {name} {metric.help}")
+                lines.append(f"# TYPE {name} {metric.kind}")
+                for key in sorted(metric.samples):
+                    value = metric.samples[key]
+                    lines.append(f"{name}{_render_labels(key)} {value:g}")
+                continue
+            hist = self._histograms[name]
+            if hist.help:
+                lines.append(f"# HELP {name} {hist.help}")
+            lines.append(f"# TYPE {name} histogram")
+            for key in sorted(hist.samples):
+                state = hist.samples[key]
+                cumulative = 0
+                for edge, count in zip(hist.buckets, state.bucket_counts):
+                    cumulative += count
+                    le_key = key + (("le", f"{edge:g}"),)
+                    lines.append(
+                        f"{name}_bucket{_render_labels(le_key)} {cumulative}"
                     )
-                    lines.append(f"{name}{{{rendered}}} {value:g}")
-                else:
-                    lines.append(f"{name} {value:g}")
+                inf_key = key + (("le", "+Inf"),)
+                lines.append(
+                    f"{name}_bucket{_render_labels(inf_key)} {state.count}"
+                )
+                lines.append(f"{name}_sum{_render_labels(key)} {state.sum:g}")
+                lines.append(f"{name}_count{_render_labels(key)} {state.count}")
         return "\n".join(lines) + ("\n" if lines else "")

@@ -60,7 +60,14 @@ from repro.io.costmodel import CostModel
 from repro.io.disk import SimulatedDisk
 from repro.kernels.backend import active_backend, cpu_count, require_numpy
 from repro.kernels.rpm import rpm_join_ids, rpm_join_task
-from repro.kernels.shm import SharedColumnarStore, columnar_arrays, shm_enabled
+from repro.kernels.shm import (
+    AliasedStore,
+    ChainedStore,
+    Manifest,
+    SharedColumnarStore,
+    columnar_arrays,
+    shm_enabled,
+)
 from repro.obs.trace import KIND_RUN, KIND_TASK, KIND_WORKER, NULL_TRACER
 from repro.pbsm.estimator import estimate_partitions
 from repro.pbsm.grid import TileGrid
@@ -199,9 +206,15 @@ def _run_chunk(payload: bytes) -> bytes:
     because the parent cannot observe time spent inside another process —
     it only sees the fan-out's makespan.
     """
+    assert _POOL_INTERNAL is not None and _POOL_GRID is not None
     tasks: List[JoinTask] = pickle.loads(payload)
+    return _chunk_blob(_POOL_INTERNAL, _POOL_GRID, tasks)
+
+
+def _chunk_blob(internal_name: str, grid: TileGrid, tasks: List[JoinTask]) -> bytes:
+    """Run one pickle-transport chunk and serialise its :data:`ChunkOutcome`."""
     started = time.perf_counter()
-    outcomes = [_run_join_task(_POOL_INTERNAL, _POOL_GRID, task) for task in tasks]
+    outcomes = [_run_join_task(internal_name, grid, task) for task in tasks]
     wall = time.perf_counter() - started
     return pickle.dumps(
         (os.getpid(), wall, outcomes), pickle.HIGHEST_PROTOCOL
@@ -218,9 +231,16 @@ def _run_shm_chunk(payload: bytes) -> bytes:
     ships back only the per-task metadata plus that segment's manifest.
     The parent attaches, decodes in partition order and unlinks.
     """
-    np = require_numpy()
-    store = _POOL_STORE
+    assert _POOL_INTERNAL is not None and _POOL_GRID is not None
     tasks: List[ShmJoinTask] = pickle.loads(payload)
+    return _shm_chunk_blob(_POOL_INTERNAL, _POOL_GRID, _POOL_STORE, tasks)
+
+
+def _shm_chunk_blob(
+    internal_name: str, grid: TileGrid, store: Any, tasks: List[ShmJoinTask]
+) -> bytes:
+    """Run one shared-memory chunk against *store* and serialise the blob."""
+    np = require_numpy()
     started = time.perf_counter()
     metas = []
     out_arrays: Dict[str, object] = {}
@@ -229,14 +249,12 @@ def _run_shm_chunk(payload: bytes) -> bytes:
         counters = CpuCounters()
         a = store.gather("L", store["L.ids"][l_lo:l_hi])
         b = store.gather("R", store["R.ids"][r_lo:r_hi])
-        if _POOL_INTERNAL == "sweep_numpy":
-            rid, sid, suppressed = rpm_join_ids(
-                a, b, _POOL_GRID, pid, counters
-            )
+        if internal_name == "sweep_numpy":
+            rid, sid, suppressed = rpm_join_ids(a, b, grid, pid, counters)
             counter_dict = counters.as_dict()
         else:
             _, pairs, suppressed, counter_dict, _ = _run_join_task(
-                _POOL_INTERNAL, _POOL_GRID, (pid, a.to_kpes(), b.to_kpes())
+                internal_name, grid, (pid, a.to_kpes(), b.to_kpes())
             )
             rid = np.fromiter(
                 (p[0] for p in pairs), dtype=np.int64, count=len(pairs)
@@ -266,6 +284,83 @@ def _run_shm_chunk(payload: bytes) -> bytes:
     finally:
         results.close()
     return blob
+
+
+# ----------------------------------------------------------------------
+# dynamic-config execution (externally-owned persistent pools)
+# ----------------------------------------------------------------------
+#: ``(manifest, ((alias, real_prefix), ...), cache)`` — one store a
+#: dynamic chunk attaches.  ``cache=True`` marks a long-lived (pinned)
+#: segment the worker may keep attached across queries; ``cache=False``
+#: marks a per-query segment closed again when the chunk ends.
+StoreRef = Tuple[Manifest, Tuple[Tuple[str, str], ...], bool]
+
+#: ``(internal_name, grid_spec, store_refs | None)`` — the per-query
+#: configuration a dynamic chunk carries instead of relying on a pool
+#: initializer.  ``store_refs=None`` selects the pickle transport.
+PoolConfig = Tuple[str, Tuple, Optional[Tuple[StoreRef, ...]]]
+
+#: Long-lived attachments by segment name (pinned dataset segments);
+#: lives in the worker process for the lifetime of the persistent pool.
+_DYN_ATTACHED: Dict[str, SharedColumnarStore] = {}
+
+
+def _dyn_store(
+    refs: Tuple[StoreRef, ...]
+) -> Tuple[Any, List[SharedColumnarStore]]:
+    """Assemble the chunk's store view from *refs*.
+
+    Returns ``(store, ephemeral)`` where *ephemeral* are the attachments
+    the caller must close when the chunk is done (per-query segments);
+    cached attachments stay mapped for the next query over the same
+    pinned dataset — that is the amortisation a persistent pool buys.
+    """
+    views: List[Any] = []
+    ephemeral: List[SharedColumnarStore] = []
+    for manifest, aliases, cache in refs:
+        name = manifest[0]
+        if cache:
+            attached = _DYN_ATTACHED.get(name)
+            if attached is None:
+                # Custody moves into the module-level cache: the segment
+                # stays mapped for the pool's lifetime by design.
+                attached = SharedColumnarStore.attach(manifest)  # repro-lint: disable=RPL004
+                _DYN_ATTACHED[name] = attached
+        else:
+            # Custody moves into the returned `ephemeral` list; the
+            # chunk runner closes every entry in its finally block.
+            attached = SharedColumnarStore.attach(manifest)  # repro-lint: disable=RPL004
+            ephemeral.append(attached)
+        views.append(
+            AliasedStore(attached, dict(aliases)) if aliases else attached
+        )
+    if len(views) == 1:
+        return views[0], ephemeral
+    return ChainedStore(views), ephemeral
+
+
+def _run_dyn_chunk(payload: bytes) -> bytes:
+    """Worker entry point for pools without a per-query initializer.
+
+    A persistent pool (``repro serve``) outlives any single query, so
+    per-query state cannot be installed by a pool initializer — it rides
+    along with every chunk instead: the payload is the pickled
+    ``(config, tasks)`` pair.  Grid rebuild is cheap; segment
+    attachments are cached by name (pinned datasets) or scoped to the
+    chunk (per-query id arrays), so repeated queries over registered
+    datasets touch the big columns without ever re-mapping them.
+    """
+    config, tasks = pickle.loads(payload)
+    internal_name, grid_spec, refs = config
+    grid = _grid_from_spec(grid_spec)
+    if refs is None:
+        return _chunk_blob(internal_name, grid, tasks)
+    store, ephemeral = _dyn_store(refs)
+    try:
+        return _shm_chunk_blob(internal_name, grid, store, tasks)
+    finally:
+        for attached in ephemeral:
+            attached.close()
 
 
 def _task_size(task: Tuple) -> int:
@@ -313,6 +408,8 @@ class ParallelPBSM:
         tiles_per_partition: int = 4,
         cost_model: Optional[CostModel] = None,
         tracer: Optional[Any] = None,
+        pool: Optional[Any] = None,
+        pinned: Optional[Tuple[Manifest, Manifest]] = None,
     ) -> None:
         if memory_bytes <= 0:
             raise ValueError("memory_bytes must be positive")
@@ -348,6 +445,16 @@ class ParallelPBSM:
         self.t_factor = t_factor
         self.tiles_per_partition = tiles_per_partition
         self.cost_model = cost_model or CostModel()
+        #: An externally-owned (persistent) process pool.  When set, the
+        #: fan-out submits dynamic-config chunks to it instead of
+        #: spawning a pool per run — the ``repro serve`` path, where the
+        #: pool outlives every query.  The caller owns its lifecycle.
+        self.pool = pool
+        #: Manifests of pinned left/right dataset segments (columns under
+        #: the neutral ``D.*`` prefix).  With the shared-memory transport
+        #: and an external pool, the per-query segment then carries only
+        #: the CSR id arrays — the relation columns are never re-shipped.
+        self.pinned = pinned
 
     def run(self, left: Sequence[Tuple], right: Sequence[Tuple]) -> JoinResult:
         # The zero-copy transport needs a real pool (workers > 1), the
@@ -612,21 +719,34 @@ class ParallelPBSM:
         n_chunks = min(len(tasks), self.workers * CHUNKS_PER_WORKER)
         chunks = _chunk_tasks(tasks, n_chunks)
         encode_started = time.perf_counter()
-        payloads = [
-            pickle.dumps(chunk, pickle.HIGHEST_PROTOCOL) for chunk in chunks
-        ]
+        if self.pool is not None:
+            config: PoolConfig = (self.internal_name, _grid_spec(grid), None)
+            payloads = [
+                pickle.dumps((config, chunk), pickle.HIGHEST_PROTOCOL)
+                for chunk in chunks
+            ]
+        else:
+            payloads = [
+                pickle.dumps(chunk, pickle.HIGHEST_PROTOCOL) for chunk in chunks
+            ]
         ipc_seconds = time.perf_counter() - encode_started
         bytes_shipped = sum(len(p) for p in payloads)
 
         blobs: List[bytes] = []
         started = time.perf_counter()
-        with ProcessPoolExecutor(
-            max_workers=self.workers,
-            initializer=_pool_init,
-            initargs=(self.internal_name, _grid_spec(grid)),
-        ) as pool:
-            for blob in pool.map(_run_chunk, payloads):
+        if self.pool is not None:
+            # Persistent pool: no spawn, no initializer — the config
+            # rides inside each chunk payload instead.
+            for blob in self.pool.map(_run_dyn_chunk, payloads):
                 blobs.append(blob)
+        else:
+            with ProcessPoolExecutor(
+                max_workers=self.workers,
+                initializer=_pool_init,
+                initargs=(self.internal_name, _grid_spec(grid)),
+            ) as pool:
+                for blob in pool.map(_run_chunk, payloads):
+                    blobs.append(blob)
         stats.join_makespan_seconds = time.perf_counter() - started
 
         decode_started = time.perf_counter()
@@ -675,28 +795,63 @@ class ParallelPBSM:
         encode_started = time.perf_counter()
         from repro.kernels.columnar import ColumnarRelation
 
-        arrays = columnar_arrays("L", ColumnarRelation.from_kpes(left))
-        arrays.update(columnar_arrays("R", ColumnarRelation.from_kpes(right)))
+        pinned_refs: List[StoreRef] = []
+        arrays: Dict[str, object] = {}
+        if self.pool is not None and self.pinned is not None:
+            # The relation columns already live in pinned registry
+            # segments; the per-query segment carries only the CSR id
+            # arrays, so a query's segment-build cost is O(partitioned
+            # ids), not O(data).
+            l_manifest, r_manifest = self.pinned
+            pinned_refs = [
+                (l_manifest, (("L", "D"),), True),
+                (r_manifest, (("R", "D"),), True),
+            ]
+        else:
+            arrays = columnar_arrays("L", ColumnarRelation.from_kpes(left))
+            arrays.update(
+                columnar_arrays("R", ColumnarRelation.from_kpes(right))
+            )
         arrays["L.ids"] = np.asarray(ids_left, dtype=np.int64)
         arrays["R.ids"] = np.asarray(ids_right, dtype=np.int64)
         n_chunks = min(len(tasks), self.workers * CHUNKS_PER_WORKER)
         chunks = _chunk_tasks(tasks, n_chunks)
-        payloads = [
-            pickle.dumps(chunk, pickle.HIGHEST_PROTOCOL) for chunk in chunks
-        ]
-        bytes_shipped = sum(len(p) for p in payloads)
 
         blobs: List[bytes] = []
         with SharedColumnarStore.create(arrays) as store:
+            if self.pool is not None:
+                config: PoolConfig = (
+                    self.internal_name,
+                    _grid_spec(grid),
+                    tuple(pinned_refs) + ((store.manifest, (), False),),
+                )
+                payloads = [
+                    pickle.dumps((config, chunk), pickle.HIGHEST_PROTOCOL)
+                    for chunk in chunks
+                ]
+            else:
+                payloads = [
+                    pickle.dumps(chunk, pickle.HIGHEST_PROTOCOL)
+                    for chunk in chunks
+                ]
+            bytes_shipped = sum(len(p) for p in payloads)
             ipc_seconds = time.perf_counter() - encode_started
             started = time.perf_counter()
-            with ProcessPoolExecutor(
-                max_workers=self.workers,
-                initializer=_pool_init,
-                initargs=(self.internal_name, _grid_spec(grid), store.manifest),
-            ) as pool:
-                for blob in pool.map(_run_shm_chunk, payloads):
+            if self.pool is not None:
+                for blob in self.pool.map(_run_dyn_chunk, payloads):
                     blobs.append(blob)
+            else:
+                with ProcessPoolExecutor(
+                    max_workers=self.workers,
+                    initializer=_pool_init,
+                    initargs=(
+                        self.internal_name,
+                        _grid_spec(grid),
+                        store.manifest,
+                    ),
+                ) as pool:
+                    for blob in pool.map(_run_shm_chunk, payloads):
+                        blobs.append(blob)
             stats.join_makespan_seconds = time.perf_counter() - started
 
             decode_started = time.perf_counter()

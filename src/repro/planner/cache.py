@@ -7,10 +7,25 @@ second join over the same inputs re-uses the cached
 — when the memory budget and knobs match — the complete
 :class:`~repro.planner.plan.JoinPlan`, skipping profiling *and*
 enumeration (the bench's "second run plans in ~zero time" property).
+
+Thread safety
+-------------
+``repro serve`` shares one cache across every concurrent request (the
+handlers run planner work on an executor thread), so all map access is
+serialised by an internal lock.  Profile and histogram *construction*
+deliberately happens outside the lock: two racing builders of the same
+fingerprint do redundant work once, but neither blocks every other
+thread's cache hit for the duration of a 100k-record profiling pass.
+
+Eviction is LRU: a plan-cache hit refreshes the entry's recency, and
+``put_plan`` on a full cache drops the least-recently-used plan — an
+insertion-order drop would evict the service's hottest query the moment
+``max_plans`` one-off queries had passed through.
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, Optional, Sequence, Tuple
 
 from repro.core.space import Space
@@ -27,8 +42,11 @@ class PlannerCache:
 
     def __init__(self, max_plans: int = 128) -> None:
         self.max_plans = max_plans
+        self._lock = threading.RLock()
         self._profiles: Dict[str, RelationProfile] = {}
         self._histograms: Dict[Tuple, GridHistogram] = {}
+        #: insertion order doubles as recency order (dicts preserve it;
+        #: a hit re-inserts its key at the end).
         self._plans: Dict[Tuple, object] = {}
         self.profile_hits = 0
         self.profile_misses = 0
@@ -41,13 +59,17 @@ class PlannerCache:
     def relation_profile(self, kpes: Sequence[Tuple]) -> RelationProfile:
         """Profile *kpes*, reusing the cached profile on a fingerprint hit."""
         fingerprint = relation_fingerprint(kpes)
-        cached = self._profiles.get(fingerprint)
-        if cached is not None:
-            self.profile_hits += 1
-            return cached
-        self.profile_misses += 1
+        with self._lock:
+            cached = self._profiles.get(fingerprint)
+            if cached is not None:
+                self.profile_hits += 1
+                return cached
+            self.profile_misses += 1
+        # Built outside the lock: profiling is the expensive part, and a
+        # racing duplicate build is benign (last writer wins).
         profile = RelationProfile.build(kpes, fingerprint)
-        self._profiles[fingerprint] = profile
+        with self._lock:
+            self._profiles[fingerprint] = profile
         return profile
 
     def joint_histogram(
@@ -58,13 +80,15 @@ class PlannerCache:
     ) -> GridHistogram:
         """Histogram of *kpes* over a joint space, cached per (relation, space)."""
         key = (fingerprint, space_key, PROFILE_RESOLUTION)
-        cached = self._histograms.get(key)
+        with self._lock:
+            cached = self._histograms.get(key)
         if cached is not None:
             return cached
         hist = GridHistogram.build(
             kpes, Space(*space_key), PROFILE_RESOLUTION
         )
-        self._histograms[key] = hist
+        with self._lock:
+            self._histograms[key] = hist
         return hist
 
     # ------------------------------------------------------------------
@@ -80,35 +104,42 @@ class PlannerCache:
         return (fingerprint_left, fingerprint_right, memory_bytes) + tuple(extra)
 
     def get_plan(self, key: Tuple) -> Optional[object]:
-        plan = self._plans.get(key)
-        if plan is not None:
-            self.plan_hits += 1
+        with self._lock:
+            plan = self._plans.get(key)
+            if plan is not None:
+                self.plan_hits += 1
+                # LRU touch: move the key to the recency tail.
+                self._plans.pop(key)
+                self._plans[key] = plan
         return plan
 
     def put_plan(self, key: Tuple, plan: object) -> None:
-        self.plan_misses += 1
-        if len(self._plans) >= self.max_plans:
-            # Drop the oldest entry (insertion order); a planning cache
-            # needs no smarter policy than bounded memory.
-            self._plans.pop(next(iter(self._plans)))
-        self._plans[key] = plan
+        with self._lock:
+            self.plan_misses += 1
+            self._plans.pop(key, None)
+            while len(self._plans) >= self.max_plans:
+                # Evict the least-recently-used entry (recency head).
+                self._plans.pop(next(iter(self._plans)))
+            self._plans[key] = plan
 
     # ------------------------------------------------------------------
     def clear(self) -> None:
-        self._profiles.clear()
-        self._histograms.clear()
-        self._plans.clear()
+        with self._lock:
+            self._profiles.clear()
+            self._histograms.clear()
+            self._plans.clear()
 
     def stats(self) -> Dict[str, int]:
-        return {
-            "profiles": len(self._profiles),
-            "histograms": len(self._histograms),
-            "plans": len(self._plans),
-            "profile_hits": self.profile_hits,
-            "profile_misses": self.profile_misses,
-            "plan_hits": self.plan_hits,
-            "plan_misses": self.plan_misses,
-        }
+        with self._lock:
+            return {
+                "profiles": len(self._profiles),
+                "histograms": len(self._histograms),
+                "plans": len(self._plans),
+                "profile_hits": self.profile_hits,
+                "profile_misses": self.profile_misses,
+                "plan_hits": self.plan_hits,
+                "plan_misses": self.plan_misses,
+            }
 
 
 #: The module-level cache ``spatial_join(method="auto")`` uses by default.

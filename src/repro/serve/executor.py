@@ -1,0 +1,44 @@
+"""The event-loop/engine seam: every blocking engine call goes through here.
+
+The join engine is synchronous — profiling, planning and the join drivers
+all hold the CPU (or block on a process pool) for whole milliseconds to
+seconds at a time.  Calling any of them directly from an asyncio request
+handler would freeze every other connection for the duration, which on a
+server is an outage, not a slowdown.
+
+:func:`run_blocking` is the one sanctioned bridge: it ships the call to a
+worker thread via ``loop.run_in_executor`` and awaits the result, so the
+event loop keeps accepting connections, streaming pages and serving the
+metrics endpoint while a join runs.  repro-lint rule RPL007 enforces the
+contract mechanically: an ``async def`` that calls a blocking engine
+entry point (``spatial_join``, ``plan_join``, ...) without going through
+this wrapper is a lint failure.
+
+The thread pool is the interpreter's default executor; true concurrency
+across queries comes from the *process* pool behind
+:class:`~repro.serve.engine.EngineHost`, not from threads — the threads
+here exist only to keep the loop responsive.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import functools
+from typing import Any, Callable, TypeVar
+
+T = TypeVar("T")
+
+
+async def run_blocking(func: Callable[..., T], *args: Any, **kwargs: Any) -> T:
+    """Await *func(*args, **kwargs)* on a worker thread.
+
+    The only legal way for server request handlers to reach the
+    blocking engine (see RPL007).  Exceptions propagate unchanged.
+    """
+    loop = asyncio.get_running_loop()
+    return await loop.run_in_executor(
+        None, functools.partial(func, *args, **kwargs)
+    )
+
+
+__all__ = ["run_blocking"]

@@ -42,7 +42,7 @@ def lint_one(source, rule_id, path="module.py"):
 # rule catalogue and embedded fixtures
 # ----------------------------------------------------------------------
 class TestCatalogue:
-    def test_six_rules_shipped(self):
+    def test_seven_rules_shipped(self):
         assert [r.rule_id for r in ALL_RULES] == [
             "RPL001",
             "RPL002",
@@ -50,6 +50,7 @@ class TestCatalogue:
             "RPL004",
             "RPL005",
             "RPL006",
+            "RPL007",
         ]
 
     def test_every_rule_has_title_and_fixtures(self):
@@ -377,6 +378,61 @@ class TestSilentExcept:
     def test_narrow_types_are_fine(self):
         good = "try:\n    x = 1\nexcept (OSError, ValueError):\n    x = 2\n"
         assert lint_one(good, "RPL006") == []
+
+
+# ----------------------------------------------------------------------
+# RPL007 — blocking engine calls inside async def
+# ----------------------------------------------------------------------
+class TestAsyncBlockingCall:
+    def test_flags_direct_call_in_coroutine(self):
+        bad = (
+            "from repro import spatial_join\n"
+            "async def handle(left, right):\n"
+            "    return spatial_join(left, right, 1 << 20)\n"
+        )
+        assert rules_of(lint_one(bad, "RPL007")) == ["RPL007"]
+
+    def test_flags_attribute_call_in_coroutine(self):
+        bad = (
+            "import repro.datasets.fileio as fileio\n"
+            "async def ingest(path):\n"
+            "    return fileio.load_relation(path)\n"
+        )
+        assert rules_of(lint_one(bad, "RPL007")) == ["RPL007"]
+
+    def test_run_blocking_wrapper_is_fine(self):
+        good = (
+            "from repro import spatial_join\n"
+            "from repro.serve.executor import run_blocking\n"
+            "async def handle(left, right):\n"
+            "    return await run_blocking(spatial_join, left, right, 1 << 20)\n"
+        )
+        assert lint_one(good, "RPL007") == []
+
+    def test_nested_sync_def_is_fine(self):
+        good = (
+            "from repro import spatial_join\n"
+            "async def handle(left, right):\n"
+            "    def work():\n"
+            "        return spatial_join(left, right, 1 << 20)\n"
+            "    return work\n"
+        )
+        assert lint_one(good, "RPL007") == []
+
+    def test_sync_functions_unaffected(self):
+        good = (
+            "from repro import spatial_join\n"
+            "def handle(left, right):\n"
+            "    return spatial_join(left, right, 1 << 20)\n"
+        )
+        assert lint_one(good, "RPL007") == []
+
+    def test_serve_package_is_current(self):
+        findings = run_lint(
+            [REPO_ROOT / "src/repro/serve"],
+            rules=[RULES_BY_ID["RPL007"]],
+        )
+        assert findings == []
 
 
 # ----------------------------------------------------------------------

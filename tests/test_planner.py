@@ -193,6 +193,49 @@ class TestPlannerCache:
             plan_join(left, right, memory, cache=cache)
         assert cache.stats()["plans"] <= 2
 
+    def test_eviction_is_lru_not_fifo(self, small_pair):
+        """A hit refreshes recency: the hot query survives eviction."""
+        left, right = small_pair
+        cache = PlannerCache(max_plans=2)
+        plan_join(left, right, 8_000, cache=cache)   # A (oldest inserted)
+        plan_join(left, right, 16_000, cache=cache)  # B
+        plan_join(left, right, 8_000, cache=cache)   # touch A
+        plan_join(left, right, 32_000, cache=cache)  # C evicts B, not A
+        assert plan_join(left, right, 8_000, cache=cache).from_cache
+        assert not plan_join(left, right, 16_000, cache=cache).from_cache
+
+    def test_cache_is_thread_safe_under_concurrent_planning(self, small_pair):
+        """The serve path plans from worker threads against one shared
+        cache; hammer it from several threads and demand consistency."""
+        import threading
+
+        left, right = small_pair
+        cache = PlannerCache(max_plans=8)
+        errors = []
+
+        def worker(memory):
+            try:
+                for _ in range(5):
+                    plan = plan_join(left, right, memory, cache=cache)
+                    assert plan.chosen is not None
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+                raise
+
+        threads = [
+            threading.Thread(target=worker, args=(8_000 + 1_000 * i,))
+            for i in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        stats = cache.stats()
+        assert stats["plans"] <= 8
+        # 4 distinct keys x 5 rounds: every round after the first hits.
+        assert stats["plan_hits"] >= 4 * 4
+
 
 # ----------------------------------------------------------------------
 # end-to-end: method="auto"

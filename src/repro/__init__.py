@@ -128,10 +128,10 @@ def spatial_join(
             raise ValueError("shared_memory=True requires workers=")
         if workers is not None and method == "pbsm":
             kwargs.setdefault("internal", "sweep_numpy")
+            kwargs.setdefault("executor", "process")
             result = ParallelPBSM(
                 memory_bytes,
                 workers,
-                executor="process",
                 shared_memory=shared_memory,
                 tracer=tracer,
                 **kwargs,

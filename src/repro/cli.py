@@ -29,6 +29,7 @@ from repro.datasets import (
     polyline_mbrs,
     summarize,
     uniform_rects,
+    zipf_rects,
 )
 from repro.datasets.fileio import load_relation, save_relation
 from repro.datasets.patterns import manhattan_grid, mixed_scale, radial_city
@@ -41,6 +42,7 @@ PATTERNS = {
     "manhattan": manhattan_grid,
     "radial": radial_city,
     "mixed": mixed_scale,
+    "zipf": zipf_rects,
 }
 
 
@@ -99,6 +101,22 @@ def _cmd_join(args: argparse.Namespace) -> int:
             return 2
         kwargs.pop("dedup", None)  # parallel PBSM is always RPM
         kwargs["workers"] = args.workers
+    if args.executor:
+        if args.workers is None or args.method != "pbsm":
+            print(
+                "error: --executor requires --workers and --method pbsm",
+                file=sys.stderr,
+            )
+            return 2
+        kwargs["executor"] = args.executor
+    if args.scheduler:
+        if args.workers is None or args.method != "pbsm":
+            print(
+                "error: --scheduler requires --workers and --method pbsm",
+                file=sys.stderr,
+            )
+            return 2
+        kwargs["scheduler"] = args.scheduler
     if args.shm:
         if args.workers is None or args.method != "pbsm":
             print(
@@ -306,6 +324,20 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="run the PBSM join phase on a process pool with N workers",
+    )
+    join.add_argument(
+        "--executor",
+        default=None,
+        choices=("process", "thread"),
+        help="with --workers: pool flavour — forked processes (default) "
+        "or GIL-releasing threads over the columnar kernel",
+    )
+    join.add_argument(
+        "--scheduler",
+        default=None,
+        choices=("static", "stealing"),
+        help="with --workers: static LPT chunking or work stealing with "
+        "duplicate-free stripe splitting (default)",
     )
     join.add_argument(
         "--shm",

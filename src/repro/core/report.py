@@ -52,6 +52,18 @@ def format_stats(stats: JoinStats, verbose: bool = False) -> str:
             f"join busy/makespan {stats.join_busy_seconds:.3f}s / "
             f"{stats.join_makespan_seconds:.3f}s"
         )
+    if stats.n_workers > 1 and stats.join_makespan_seconds:
+        scheduler = f" ({stats.scheduler})" if stats.scheduler else ""
+        lines.append(
+            f"worker utilization {stats.worker_utilization:.1%} "
+            f"over {stats.n_workers} workers{scheduler}"
+        )
+        if stats.scheduler_idle_seconds:
+            lines.append(
+                f"scheduler idle     {stats.scheduler_idle_seconds:.3f}s"
+            )
+        if stats.tasks_stolen:
+            lines.append(f"tasks stolen       {stats.tasks_stolen:,}")
     if stats.ipc_bytes_shipped:
         lines.append(
             f"ipc shipped        {stats.ipc_bytes_shipped:,} bytes "
@@ -97,4 +109,5 @@ def stats_to_dict(stats: JoinStats) -> dict:
     out["io_units"] = stats.io_units
     out["replication_rate"] = stats.replication_rate
     out["selectivity"] = stats.selectivity()
+    out["worker_utilization"] = stats.worker_utilization
     return out

@@ -62,8 +62,19 @@ class JoinStats:
     #: parent-observed elapsed time of the task fan-out (the makespan the
     #: busy time is compared against to judge parallel efficiency)
     join_makespan_seconds: float = 0.0
-    #: busy seconds per worker (label -> seconds; process executor only)
+    #: busy seconds per worker (label -> seconds; real executors only)
     worker_busy_seconds: Dict[str, float] = field(default_factory=dict)
+    #: worker count the parallel drivers ran with (0 for sequential)
+    n_workers: int = 0
+    #: task-dispatch policy of the parallel join phase ("static" LPT
+    #: chunking or "stealing"; "" for sequential drivers)
+    scheduler: str = ""
+    #: dispatch units that ran on a different worker than static LPT
+    #: packing would have planned (stealing scheduler only)
+    tasks_stolen: int = 0
+    #: worker-seconds the fan-out paid for but did not fill:
+    #: makespan x workers - total busy (the skew penalty, made visible)
+    scheduler_idle_seconds: float = 0.0
     #: bytes that actually crossed the process boundary (chunk payloads
     #: out plus result blobs/manifests back; process executor only)
     ipc_bytes_shipped: int = 0
@@ -89,6 +100,19 @@ class JoinStats:
     @property
     def wall_seconds(self) -> float:
         return sum(self.wall_seconds_by_phase.values())
+
+    @property
+    def worker_utilization(self) -> float:
+        """Busy fraction of the paid worker-seconds (busy / (makespan x W)).
+
+        1.0 means every worker was busy for the whole fan-out; the gap to
+        1.0 is exactly ``scheduler_idle_seconds`` as a fraction.  0.0 when
+        the run was not a real parallel fan-out.
+        """
+        denom = self.join_makespan_seconds * self.n_workers
+        if denom <= 0.0:
+            return 0.0
+        return self.join_busy_seconds / denom
 
     @property
     def replication_rate(self) -> float:

@@ -8,6 +8,7 @@ loaded.
 """
 
 from repro.datasets.stats import DatasetSummary, coverage, selectivity, summarize
+from repro.datasets.synthetic import zipf_rects
 
 __all__ = [
     "DatasetSummary",
@@ -15,6 +16,7 @@ __all__ = [
     "coverage",
     "selectivity",
     "summarize",
+    "zipf_rects",
 ]
 
 try:

@@ -17,10 +17,76 @@ All generators are deterministic in their ``seed``.
 from __future__ import annotations
 
 import math
-from typing import Any, List
+import random
+from typing import Any, List, Optional
 
 from repro.core.rect import KPE
 from repro.kernels.backend import require_numpy_module
+
+
+def zipf_rects(
+    n: int,
+    seed: int,
+    *,
+    grid: int = 16,
+    alpha: float = 1.2,
+    mean_edge: float = 0.004,
+    start_oid: int = 0,
+    tile_seed: Optional[int] = None,
+) -> List[KPE]:
+    """Rectangles with Zipf-distributed tile occupancy (pure python).
+
+    The unit square is cut into ``grid x grid`` tiles; tile *k* (in a
+    seed-shuffled order, so the hot tiles land in different places for
+    different seeds) receives a share proportional to ``1 / (k+1)**alpha``
+    of the *n* rectangles.  With the default ``alpha=1.2`` the hottest
+    tile holds an order of magnitude more records than the median one —
+    the partition-skew regime that breaks static LPT scheduling.  Edges
+    are exponential with mean ``mean_edge``, small against the tile size,
+    so skew stays in *placement* rather than in replication.
+
+    ``tile_seed`` pins the tile *ordering* separately from the record
+    randomness: two relations generated with different ``seed`` but the
+    same ``tile_seed`` put their hot spots in the same places, which is
+    what makes their join (not just each input) skewed.
+
+    Deliberately numpy-free (``random.Random`` only): the skewed
+    property-based tests must run in the fallback environment too.
+    """
+    if n <= 0:
+        return []
+    rng = random.Random(seed)
+    n_tiles = grid * grid
+    tiles = list(range(n_tiles))
+    random.Random(seed if tile_seed is None else tile_seed).shuffle(tiles)
+    weights = [1.0 / float(k + 1) ** alpha for k in range(n_tiles)]
+    total = sum(weights)
+    cum = 0.0
+    out: List[KPE] = []
+    produced = 0
+    for rank, tile in enumerate(tiles):
+        cum += weights[rank]
+        target = int(round(n * cum / total))
+        quota = target - produced
+        if quota <= 0:
+            continue
+        ty, tx = divmod(tile, grid)
+        for _ in range(quota):
+            x = (tx + rng.random()) / grid
+            y = (ty + rng.random()) / grid
+            w = rng.expovariate(1.0 / mean_edge)
+            h = rng.expovariate(1.0 / mean_edge)
+            out.append(
+                KPE(
+                    start_oid + produced,
+                    max(0.0, x - w / 2.0),
+                    max(0.0, y - h / 2.0),
+                    min(1.0, x + w / 2.0),
+                    min(1.0, y + h / 2.0),
+                )
+            )
+            produced += 1
+    return out
 
 
 def polyline_mbrs(

@@ -68,6 +68,19 @@ class CostModel:
     #: pickled records per task under the legacy transport and only task
     #: tuples/manifests under the shared-memory transport.
     ipc_byte_seconds: float = 2.0e-9
+    #: Simulated seconds of parent-side overhead per dispatch unit
+    #: submitted to a pool (future bookkeeping, queue handoff).  Prices
+    #: the scheduler's granularity: stealing dispatches more, smaller
+    #: units than static chunking.
+    dispatch_seconds: float = 5.0e-4
+    #: Simulated seconds to spawn one pool worker process (fork/exec +
+    #: interpreter warm-up).  Charged by the process executor when no
+    #: persistent pool is available; the thread executor never pays it.
+    pool_spawn_seconds: float = 1.5e-2
+    #: Fraction of the vectorized join work that runs with the GIL
+    #: released (inside numpy).  Bounds the thread executor's speedup by
+    #: Amdahl: ``1 / ((1 - f) + f / workers)``.
+    thread_parallel_fraction: float = 0.6
 
     # ------------------------------------------------------------------
     # page arithmetic

@@ -16,7 +16,7 @@ parity tests pin down on tile-boundary points.
 
 from __future__ import annotations
 
-from typing import Any, List, Sequence, Tuple
+from typing import Any, List, Optional, Sequence, Tuple
 
 from repro.core.stats import CpuCounters
 from repro.internal.sweep_list import sweep_list_join
@@ -65,6 +65,7 @@ def rpm_join_ids(
     pid: int,
     counters: CpuCounters,
     batch_candidates: int = DEFAULT_BATCH_CANDIDATES,
+    stripe_slice: Optional[Tuple[int, int]] = None,
 ) -> Tuple:
     """Columnar core of :func:`rpm_join_task`: id buffers, no tuples.
 
@@ -77,26 +78,37 @@ def rpm_join_ids(
     :func:`~repro.kernels.sweep.sorted_columns`, so a caller gathering
     rows straight out of a shared-memory segment charges identically to
     one reading pickled record lists.
+
+    ``stripe_slice=(part, n_parts)`` restricts the scan to its stripe
+    part (see :func:`~repro.kernels.sweep.forward_scan_batches`); the
+    parts concatenated in order are bit-identical to the full call.
     """
     np = require_numpy()
     if a_cols.n == 0 or b_cols.n == 0:
         empty = np.empty(0, dtype=np.int64)
         return empty, empty, 0
+    # Stripe-split sibling parts re-sort only because process isolation
+    # denies them part 0's arrays; the algorithmic sort is charged once.
+    charge_sort = stripe_slice is None or stripe_slice[0] == 0
     if a_cols.sorted_by_xl:
         a = a_cols
     else:
-        _charge_batch_sort(counters, a_cols.n)
+        if charge_sort:
+            _charge_batch_sort(counters, a_cols.n)
         a = a_cols.sort_by_xl()
     if b_cols.sorted_by_xl:
         b = b_cols
     else:
-        _charge_batch_sort(counters, b_cols.n)
+        if charge_sort:
+            _charge_batch_sort(counters, b_cols.n)
         b = b_cols.sort_by_xl()
     rids = []
     sids = []
     suppressed = 0
     detected = 0
-    for a_idx, b_idx in forward_scan_batches(a, b, counters, batch_candidates):
+    for a_idx, b_idx in forward_scan_batches(
+        a, b, counters, batch_candidates, stripe_slice
+    ):
         ref_x = np.maximum(a.xl[a_idx], b.xl[b_idx])
         ref_y = np.minimum(a.yh[a_idx], b.yh[b_idx])
         owner = point_partitions(np, grid, ref_x, ref_y)
@@ -119,6 +131,7 @@ def rpm_join_task(
     pid: int,
     counters: CpuCounters,
     batch_candidates: int = DEFAULT_BATCH_CANDIDATES,
+    stripe_slice: Optional[Tuple[int, int]] = None,
 ) -> Tuple[List[Tuple[int, int]], int]:
     """One partition-pair join with batched RPM ownership by *pid*.
 
@@ -126,17 +139,28 @@ def rpm_join_task(
     ``(left_oid, right_oid)`` tuples owned by partition *pid*.  Uses the
     columnar kernel when the numpy backend is on, and an equivalent
     per-pair path (list sweep + scalar RPM) otherwise — identical result
-    sets either way.
+    sets either way.  With ``stripe_slice=(part, n_parts)`` only that
+    stripe part of the scan runs; the numpy-free fallback cannot slice,
+    so it assigns the whole join to part 0 and leaves other parts empty.
     """
     np = get_numpy()
     if np is None:
+        if stripe_slice is not None and stripe_slice[0] != 0:
+            return [], 0
         return _python_rpm_join_task(records_left, records_right, grid, pid, counters)
     if not records_left or not records_right:
         return [], 0
-    a = sorted_columns(records_left, counters)
-    b = sorted_columns(records_right, counters)
+    if stripe_slice is None or stripe_slice[0] == 0:
+        a = sorted_columns(records_left, counters)
+        b = sorted_columns(records_right, counters)
+    else:
+        # Sibling parts re-sort identical arrays only because process
+        # isolation denies them part 0's copy; charge the sort once.
+        scratch = CpuCounters()
+        a = sorted_columns(records_left, scratch)
+        b = sorted_columns(records_right, scratch)
     rid, sid, suppressed = rpm_join_ids(
-        a, b, grid, pid, counters, batch_candidates
+        a, b, grid, pid, counters, batch_candidates, stripe_slice
     )
     return list(zip(rid.tolist(), sid.tolist())), suppressed
 

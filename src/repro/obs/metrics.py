@@ -260,6 +260,40 @@ class MetricsRegistry:
                 stats.join_makespan_seconds,
                 **base,
             )
+        if stats.n_workers > 1 and stats.join_makespan_seconds:
+            scheduler = stats.scheduler or "static"
+            self.gauge(
+                "repro_join_worker_utilization",
+                "Busy fraction of the paid worker-seconds "
+                "(busy / (makespan x workers))",
+            )
+            self.set(
+                "repro_join_worker_utilization",
+                stats.worker_utilization,
+                scheduler=scheduler,
+                **base,
+            )
+            self.gauge(
+                "repro_join_scheduler_idle_seconds",
+                "Worker-seconds the fan-out paid for but did not fill",
+            )
+            self.set(
+                "repro_join_scheduler_idle_seconds",
+                stats.scheduler_idle_seconds,
+                scheduler=scheduler,
+                **base,
+            )
+            self.counter(
+                "repro_join_tasks_stolen_total",
+                "Dispatch units that ran on a different worker than "
+                "static LPT packing planned",
+            )
+            self.inc(
+                "repro_join_tasks_stolen_total",
+                stats.tasks_stolen,
+                scheduler=scheduler,
+                **base,
+            )
         if stats.ipc_bytes_shipped:
             transport = "shm" if stats.shared_memory else "pickle"
             self.counter(

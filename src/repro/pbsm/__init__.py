@@ -4,23 +4,36 @@ from repro.pbsm.dedup import sort_based_dedup
 from repro.pbsm.estimator import estimate_partitions
 from repro.pbsm.grid import TILE_MAPPINGS, TileGrid
 from repro.pbsm.join import DEDUP_MODES, PBSM, pbsm_join
-from repro.pbsm.parallel import ParallelPBSM, lpt_schedule
+from repro.pbsm.parallel import EXECUTORS, ParallelPBSM, reset_clamp_warnings
 from repro.pbsm.partitioner import partition_csr, partition_relation
 from repro.pbsm.repartition import choose_split, compose_region_test, split_partition
+from repro.pbsm.scheduler import (
+    SCHEDULERS,
+    count_steals,
+    lpt_schedule,
+    static_makespan,
+    steal_schedule,
+)
 
 __all__ = [
     "DEDUP_MODES",
+    "EXECUTORS",
     "PBSM",
     "ParallelPBSM",
+    "SCHEDULERS",
     "TILE_MAPPINGS",
     "TileGrid",
     "choose_split",
     "compose_region_test",
+    "count_steals",
     "estimate_partitions",
     "lpt_schedule",
     "partition_csr",
     "partition_relation",
     "pbsm_join",
+    "reset_clamp_warnings",
     "sort_based_dedup",
     "split_partition",
+    "static_makespan",
+    "steal_schedule",
 ]

@@ -3,7 +3,7 @@
 The paper's related work points to parallel spatial join processing
 [BKS 96, Pat 98]; PBSM parallelises naturally because partition pairs are
 independent once partitioning has replicated the data.  This module offers
-two executors over the same shared-nothing decomposition:
+three executors over the same shared-nothing decomposition:
 
 * ``executor="simulated"`` — the analytic model: the partitioning phase is
   a single sequential scan, after which the P partition-pair join tasks —
@@ -14,11 +14,35 @@ two executors over the same shared-nothing decomposition:
   predicts: the sequential partitioning fraction and the largest single
   partition bound the achievable speedup (Amdahl).
 * ``executor="process"`` — the same task decomposition, actually executed:
-  the join tasks are grouped into LPT-balanced chunks and fanned out over
-  a :class:`concurrent.futures.ProcessPoolExecutor`.  Results are merged
+  the join tasks are fanned out over a
+  :class:`concurrent.futures.ProcessPoolExecutor`.  Results are merged
   in partition order, so the output is byte-identical to the sequential
   execution.  With ``workers=1`` the fan-out degrades gracefully to an
   in-process loop (no pool is spawned).
+* ``executor="thread"`` — the same fan-out over a
+  :class:`concurrent.futures.ThreadPoolExecutor`.  The columnar kernel
+  spends its time inside numpy, which releases the GIL, so threads scale
+  on the vectorized path while costing no process spawn, no pickling and
+  no IPC at all — and they share pinned ``serve/`` segments for free.
+
+On skewed inputs one mega-partition sets the makespan no matter how the
+remaining tasks are packed.  Two knobs attack that:
+
+* **stripe splitting**: any task whose joined size dwarfs the mean is
+  split into sweep-axis stripe parts (``kernels/sweep.py`` computes the
+  stripe plan identically in every part and executes only the part's
+  stripe range), so the mega-partition's work spreads over many workers
+  while the concatenated output stays bit-identical to the sequential
+  scan;
+* the **scheduler**: ``scheduler="static"`` is the classic up-front LPT
+  packing into per-worker chunks; ``scheduler="stealing"`` (default)
+  keeps tasks in one largest-first queue and hands the next unit to
+  whichever worker frees up first (completion-driven dispatch — the
+  pool-level equivalent of idle workers stealing the next-largest task).
+  ``stats.tasks_stolen`` counts the units that ran on a different worker
+  than static LPT would have planned, and
+  ``stats.scheduler_idle_seconds`` is the summed worker idle time the
+  makespan hides.
 
 The process executor ships its data one of two ways:
 
@@ -30,26 +54,38 @@ The process executor ships its data one of two ways:
   both inputs are loaded once into a columnar
   :class:`~repro.kernels.shm.SharedColumnarStore` segment together with
   CSR partition-index arrays, a join task shrinks to five integers
-  ``(pid, l_lo, l_hi, r_lo, r_hi)``, workers attach by segment name in
-  the pool initializer and gather their slices straight out of the
-  mapped pages, and result ``(rid, sid)`` id buffers come back through a
-  worker-created segment — only task tuples and manifests ever cross the
-  pipe.  Requires the numpy backend; ``REPRO_DISABLE_SHM=1`` (or a
-  platform without POSIX shared memory) falls back to the pickle
-  transport with byte-identical output.
+  ``(pid, l_lo, l_hi, r_lo, r_hi)`` (seven with a stripe part), workers
+  attach by segment name in the pool initializer and gather their slices
+  straight out of the mapped pages, and result ``(rid, sid)`` id buffers
+  come back through a worker-created segment — only task tuples and
+  manifests ever cross the pipe.  Requires the numpy backend;
+  ``REPRO_DISABLE_SHM=1`` (or a platform without POSIX shared memory)
+  falls back to the pickle transport with byte-identical output.
 
 Duplicate elimination is RPM, which is what makes the parallel version
 correct without any cross-worker coordination: each result is owned by
-exactly one partition, hence by exactly one worker.
+exactly one partition — and, under stripe splitting, by exactly one
+stripe part of that partition.
 """
 
 from __future__ import annotations
 
 import os
 import pickle
+import threading
 import time
 import warnings
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    cast,
+)
 
 from repro.core.phases import PHASE_JOIN, PHASE_PARTITION
 from repro.core.result import JoinResult, JoinStats
@@ -58,7 +94,12 @@ from repro.core.stats import CpuCounters
 from repro.internal import internal_algorithm
 from repro.io.costmodel import CostModel
 from repro.io.disk import SimulatedDisk
-from repro.kernels.backend import active_backend, cpu_count, require_numpy
+from repro.kernels.backend import (
+    active_backend,
+    cpu_count,
+    numpy_enabled,
+    require_numpy,
+)
 from repro.kernels.rpm import rpm_join_ids, rpm_join_task
 from repro.kernels.shm import (
     AliasedStore,
@@ -72,33 +113,53 @@ from repro.obs.trace import KIND_RUN, KIND_TASK, KIND_WORKER, NULL_TRACER
 from repro.pbsm.estimator import estimate_partitions
 from repro.pbsm.grid import TileGrid
 from repro.pbsm.partitioner import partition_relation
+from repro.pbsm.scheduler import SCHEDULERS, count_steals, lpt_schedule
 
-EXECUTORS = ("simulated", "process")
+EXECUTORS = ("simulated", "process", "thread")
 
 #: Chunks submitted per worker in process mode; >1 smooths load imbalance
 #: that the up-front LPT packing cannot foresee.
 CHUNKS_PER_WORKER = 4
+
+#: A task is stripe-split when its joined size exceeds
+#: ``max(STRIPE_SPLIT_FACTOR * mean task size, STRIPE_SPLIT_MIN_RECORDS)``.
+STRIPE_SPLIT_FACTOR = 2.0
+
+#: Below this joined size splitting cannot amortise the duplicated
+#: stripe-layout work (2x the sweep kernel's own striping floor).
+STRIPE_SPLIT_MIN_RECORDS = 8192
+
+#: Upper bound on stripe parts per task.
+STRIPE_SPLIT_MAX_PARTS = 16
 
 #: Environment override raising the worker-count clamp beyond the usable
 #: CPU count (tests and benches on small machines oversubscribe through
 #: this on purpose).
 MAX_WORKERS_ENV = "REPRO_MAX_WORKERS"
 
-#: ``(pid, records_left, records_right)`` — one partition-pair join task.
-JoinTask = Tuple[int, List[Tuple], List[Tuple]]
+#: ``(pid, records_left, records_right)`` — one partition-pair join task;
+#: a stripe-split part appends ``(part, n_parts)``.
+JoinTask = Tuple[Any, ...]
 
 #: ``(pid, l_lo, l_hi, r_lo, r_hi)`` — the same task in shared-memory
-#: form: two CSR slices into the segment's partition-index arrays.
-ShmJoinTask = Tuple[int, int, int, int, int]
+#: form: two CSR slices into the segment's partition-index arrays; a
+#: stripe-split part appends ``(part, n_parts)``.
+ShmJoinTask = Tuple[Any, ...]
 
-#: ``(pid, pairs, suppressed, counters_dict, wall_seconds)`` — one task's
-#: outcome.  ``wall_seconds`` is measured inside the worker, so per-task
-#: timing survives the process boundary instead of being dropped.
-TaskOutcome = Tuple[int, List[Tuple[int, int]], int, Dict[str, int], float]
+#: ``(pid, part, pairs, suppressed, counters_dict, wall_seconds)`` — one
+#: task's outcome.  ``part`` is the stripe part (0 for unsplit tasks);
+#: merging sorts by ``(pid, part)``.  ``wall_seconds`` is measured inside
+#: the worker, so per-task timing survives the process boundary instead
+#: of being dropped.
+TaskOutcome = Tuple[int, int, List[Tuple[int, int]], int, Dict[str, int], float]
 
 #: ``(worker_pid, chunk_wall_seconds, task_outcomes)`` — what one chunk of
 #: tasks reports back from a pool worker.
 ChunkOutcome = Tuple[int, float, List[TaskOutcome]]
+
+#: ``(worker_label, chunk_wall, task_outcomes, chunk_bytes)`` — one
+#: decoded chunk as :meth:`ParallelPBSM._emit_pool_spans` consumes it.
+ChunkReport = Tuple[str, float, List[TaskOutcome], int]
 
 
 def _grid_spec(grid: TileGrid) -> Tuple:
@@ -122,7 +183,7 @@ def _grid_from_spec(spec: Tuple) -> TileGrid:
 
 
 def _worker_cap() -> int:
-    """The largest worker count the process executor will actually spawn."""
+    """The largest worker count the real executors will actually spawn."""
     cap = cpu_count() or 1
     try:
         cap = max(cap, int(os.environ.get(MAX_WORKERS_ENV, "")))
@@ -131,17 +192,55 @@ def _worker_cap() -> int:
     return cap
 
 
+#: Clamp messages already warned about in this process.  A serve loop
+#: constructs one ``ParallelPBSM`` per query; re-warning the same clamp on
+#: every request is noise, so each distinct message fires exactly once.
+_WARNED_CLAMPS: Set[str] = set()
+
+
+def _warn_clamp(message: str) -> None:
+    """Emit a clamp ``RuntimeWarning`` exactly once per process."""
+    if message in _WARNED_CLAMPS:
+        return
+    _WARNED_CLAMPS.add(message)
+    warnings.warn(message, RuntimeWarning, stacklevel=3)
+
+
+def reset_clamp_warnings() -> None:
+    """Forget previously-warned clamps (tests asserting on the warning)."""
+    _WARNED_CLAMPS.clear()
+
+
+def _task_stripe(task: Tuple) -> Optional[Tuple[int, int]]:
+    """The ``(part, n_parts)`` stripe slice of a task, if it is split."""
+    if isinstance(task[1], int):  # shm form
+        return (task[5], task[6]) if len(task) > 5 else None
+    return (task[3], task[4]) if len(task) > 3 else None
+
+
 def _run_join_task(internal_name: str, grid: TileGrid, task: JoinTask) -> TaskOutcome:
-    """Execute one partition-pair join with RPM ownership by its pid."""
-    pid, records_left, records_right = task
+    """Execute one partition-pair join with RPM ownership by its pid.
+
+    A stripe-split task runs only its stripe part of the scan (the numpy
+    sweep path); scalar internals cannot slice, so for them the whole
+    join belongs to part 0 and every other part is empty — the merged
+    result is identical either way.
+    """
+    pid, records_left, records_right = task[0], task[1], task[2]
+    stripe = _task_stripe(task)
+    part = stripe[0] if stripe is not None else 0
     started = time.perf_counter()
     counters = CpuCounters()
     if internal_name == "sweep_numpy":
         pairs, suppressed = rpm_join_task(
-            records_left, records_right, grid, pid, counters
+            records_left, records_right, grid, pid, counters, stripe_slice=stripe
         )
         wall = time.perf_counter() - started
-        return pid, pairs, suppressed, counters.as_dict(), wall
+        return pid, part, pairs, suppressed, counters.as_dict(), wall
+
+    if stripe is not None and part != 0:
+        wall = time.perf_counter() - started
+        return pid, part, [], 0, counters.as_dict(), wall
 
     pairs: List[Tuple[int, int]] = []
     suppressed = 0
@@ -165,7 +264,7 @@ def _run_join_task(internal_name: str, grid: TileGrid, task: JoinTask) -> TaskOu
     internal_algorithm(internal_name)(records_left, records_right, emit, counters)
     counters.refpoint_tests += refpoint_tests
     wall = time.perf_counter() - started
-    return pid, pairs, suppressed, counters.as_dict(), wall
+    return pid, part, pairs, suppressed, counters.as_dict(), wall
 
 
 # ----------------------------------------------------------------------
@@ -244,17 +343,25 @@ def _shm_chunk_blob(
     started = time.perf_counter()
     metas = []
     out_arrays: Dict[str, object] = {}
-    for pid, l_lo, l_hi, r_lo, r_hi in tasks:
+    for task in tasks:
+        pid, l_lo, l_hi, r_lo, r_hi = task[0], task[1], task[2], task[3], task[4]
+        stripe = _task_stripe(task)
+        part = stripe[0] if stripe is not None else 0
         task_started = time.perf_counter()
         counters = CpuCounters()
         a = store.gather("L", store["L.ids"][l_lo:l_hi])
         b = store.gather("R", store["R.ids"][r_lo:r_hi])
         if internal_name == "sweep_numpy":
-            rid, sid, suppressed = rpm_join_ids(a, b, grid, pid, counters)
+            rid, sid, suppressed = rpm_join_ids(
+                a, b, grid, pid, counters, stripe_slice=stripe
+            )
             counter_dict = counters.as_dict()
         else:
-            _, pairs, suppressed, counter_dict, _ = _run_join_task(
-                internal_name, grid, (pid, a.to_kpes(), b.to_kpes())
+            record_task: Tuple = (pid, a.to_kpes(), b.to_kpes())
+            if stripe is not None:
+                record_task = record_task + stripe
+            _, _, pairs, suppressed, counter_dict, _ = _run_join_task(
+                internal_name, grid, record_task
             )
             rid = np.fromiter(
                 (p[0] for p in pairs), dtype=np.int64, count=len(pairs)
@@ -262,10 +369,10 @@ def _shm_chunk_blob(
             sid = np.fromiter(
                 (p[1] for p in pairs), dtype=np.int64, count=len(pairs)
             )
-        out_arrays[f"{pid}.rid"] = rid
-        out_arrays[f"{pid}.sid"] = sid
+        out_arrays[f"{pid}.{part}.rid"] = rid
+        out_arrays[f"{pid}.{part}.sid"] = sid
         metas.append(
-            (pid, suppressed, counter_dict, time.perf_counter() - task_started)
+            (pid, part, suppressed, counter_dict, time.perf_counter() - task_started)
         )
     wall = time.perf_counter() - started
     # Untracked on purpose: the parent unlinks after decoding (a worker
@@ -364,15 +471,63 @@ def _run_dyn_chunk(payload: bytes) -> bytes:
 
 
 def _task_size(task: Tuple) -> int:
-    """Joined record count of a task, in either task representation."""
+    """Joined record count of a task, in either task representation.
+
+    A stripe-split part is charged its share of the full task: the
+    stripes divide the scan, so ``size / n_parts`` is the scheduling
+    estimate (the stripe plan itself decides the exact distribution).
+    """
     if isinstance(task[1], int):
-        return (task[2] - task[1]) + (task[4] - task[3])
-    return len(task[1]) + len(task[2])
+        size = (task[2] - task[1]) + (task[4] - task[3])
+    else:
+        size = len(task[1]) + len(task[2])
+    stripe = _task_stripe(task)
+    if stripe is not None:
+        size = max(1, size // stripe[1])
+    return size
+
+
+def _task_key(task: Tuple) -> Tuple[int, int]:
+    """Deterministic ``(pid, part)`` identity of a task."""
+    stripe = _task_stripe(task)
+    return task[0], (stripe[0] if stripe is not None else 0)
+
+
+def _split_tasks(tasks: List, workers: int) -> List:
+    """Stripe-split oversized tasks so no single task dominates.
+
+    A task whose joined size exceeds ``STRIPE_SPLIT_FACTOR`` times the
+    mean (and the absolute floor) is replaced by ``n_parts`` stripe-part
+    tasks carrying the same data plus ``(part, n_parts)``.  Each part
+    recomputes the identical stripe plan and runs only its stripe range,
+    so concatenating the parts in order reproduces the unsplit output
+    bit for bit.
+    """
+    if not tasks:
+        return tasks
+    sizes = [_task_size(t) for t in tasks]
+    mean = sum(sizes) / len(sizes)
+    threshold = max(STRIPE_SPLIT_FACTOR * mean, float(STRIPE_SPLIT_MIN_RECORDS))
+    out: List = []
+    for task, size in zip(tasks, sizes):
+        if size <= threshold:
+            out.append(task)
+            continue
+        denom = max(mean, float(STRIPE_SPLIT_MIN_RECORDS))
+        n_parts = min(
+            STRIPE_SPLIT_MAX_PARTS,
+            max(2, workers, int(-(-size // denom))),
+        )
+        for part in range(n_parts):
+            out.append(task + (part, n_parts))
+    return out
 
 
 def _chunk_tasks(tasks: List, n_chunks: int) -> List[List]:
     """Pack tasks into *n_chunks* LPT-balanced chunks (by joined size)."""
-    sized = sorted(tasks, key=lambda t: (_task_size(t), t[0]), reverse=True)
+    sized = sorted(
+        tasks, key=lambda t: (-_task_size(t),) + _task_key(t)
+    )
     chunks: List[List] = [[] for _ in range(n_chunks)]
     loads = [0] * n_chunks
     for task in sized:
@@ -382,18 +537,59 @@ def _chunk_tasks(tasks: List, n_chunks: int) -> List[List]:
     return [chunk for chunk in chunks if chunk]
 
 
+def _steal_units(tasks: List, workers: int) -> List[List]:
+    """Largest-first dispatch units for the work-stealing scheduler.
+
+    Big tasks travel solo so the queue can hand them out one at a time;
+    small tasks are packed together until they reach the target unit
+    size, so dispatch overhead stays bounded.  Units come back sorted
+    largest-first — the dispatch order of the shared queue.
+    """
+    sized = sorted(tasks, key=lambda t: (-_task_size(t),) + _task_key(t))
+    total = sum(_task_size(t) for t in tasks)
+    target = max(1, total // max(1, workers * CHUNKS_PER_WORKER))
+    units: List[List] = []
+    current: List = []
+    current_size = 0
+    for task in sized:
+        size = _task_size(task)
+        if size >= target:
+            units.append([task])
+            continue
+        current.append(task)
+        current_size += size
+        if current_size >= target:
+            units.append(current)
+            current = []
+            current_size = 0
+    if current:
+        units.append(current)
+    return units
+
+
+def _unit_sizes(units: List[List]) -> List[float]:
+    return [float(sum(_task_size(t) for t in unit)) for unit in units]
+
+
 class ParallelPBSM:
     """PBSM with the join phase spread over *workers* workers.
 
     ``executor="simulated"`` runs sequentially and *models* the parallel
     runtime; ``executor="process"`` actually fans the join tasks out over
-    a process pool.  Both produce identical result pairs in identical
-    order, and both report the same simulated costs — the process
-    executor additionally delivers real wall-clock speedup on multicore
-    hardware.  ``shared_memory=True`` switches the process executor to
-    the zero-copy transport (see the module docstring); out-of-range
-    worker counts are clamped with a :class:`RuntimeWarning` instead of
-    raising or silently oversubscribing the machine.
+    a process pool and ``executor="thread"`` over a thread pool (numpy
+    releases the GIL inside the vectorized kernel, so threads scale on
+    the ``sweep_numpy`` path with zero spawn or pickling cost).  All
+    executors produce identical result pairs in identical order, and all
+    report the same simulated costs — the real executors additionally
+    deliver wall-clock speedup on multicore hardware.
+
+    ``scheduler`` selects the task-dispatch policy (``"stealing"``
+    default, ``"static"`` for the classic up-front LPT chunking) and
+    gates stripe splitting of oversized tasks — see the module
+    docstring.  ``shared_memory=True`` switches the process executor to
+    the zero-copy transport; out-of-range worker counts are clamped with
+    a :class:`RuntimeWarning` (once per process per distinct clamp)
+    instead of raising or silently oversubscribing the machine.
     """
 
     def __init__(
@@ -403,6 +599,7 @@ class ParallelPBSM:
         *,
         internal: str = "sweep_trie",
         executor: str = "simulated",
+        scheduler: str = "stealing",
         shared_memory: bool = False,
         t_factor: float = 1.2,
         tiles_per_partition: int = 4,
@@ -417,22 +614,20 @@ class ParallelPBSM:
             raise ValueError(
                 f"executor must be one of {EXECUTORS}, got {executor!r}"
             )
-        if workers < 1:
-            warnings.warn(
-                f"workers={workers} is below 1; clamped to 1",
-                RuntimeWarning,
-                stacklevel=2,
+        if scheduler not in SCHEDULERS:
+            raise ValueError(
+                f"scheduler must be one of {SCHEDULERS}, got {scheduler!r}"
             )
+        if workers < 1:
+            _warn_clamp(f"workers={workers} is below 1; clamped to 1")
             workers = 1
-        if executor == "process":
+        if executor in ("process", "thread"):
             cap = _worker_cap()
             if workers > cap:
-                warnings.warn(
+                _warn_clamp(
                     f"workers={workers} exceeds the usable CPU count ({cap}); "
                     f"clamped to {cap} (set {MAX_WORKERS_ENV} to allow "
-                    "oversubscription)",
-                    RuntimeWarning,
-                    stacklevel=2,
+                    "oversubscription)"
                 )
                 workers = cap
         self.memory_bytes = memory_bytes
@@ -441,6 +636,7 @@ class ParallelPBSM:
         self.internal_name = internal
         self.internal = internal_algorithm(internal)
         self.executor = executor
+        self.scheduler = scheduler
         self.shared_memory = shared_memory
         self.t_factor = t_factor
         self.tiles_per_partition = tiles_per_partition
@@ -476,6 +672,8 @@ class ParallelPBSM:
             shared_memory=use_shm,
             n_left=len(left),
             n_right=len(right),
+            n_workers=self.workers,
+            scheduler=self.scheduler,
         )
         pairs: List[Tuple[int, int]] = []
         if not left or not right:
@@ -499,6 +697,7 @@ class ParallelPBSM:
             kind=KIND_RUN,
             internal=self.internal_name,
             executor=self.executor,
+            scheduler=self.scheduler,
             workers=self.workers,
             shared_memory=use_shm,
             backend=stats.backend or None,
@@ -565,6 +764,19 @@ class ParallelPBSM:
                         tasks.append((pid, records_left, records_right))
                     task_io_units[pid] = task_disk.total_units()
 
+                # --- stripe-split oversized tasks --------------------------
+                # Only the stealing scheduler splits (static stays the
+                # unchanged baseline), and only the vectorized sweep can
+                # execute a stripe range.  Splitting never changes the
+                # output: parts merge back in (pid, part) order.
+                if (
+                    self.scheduler == "stealing"
+                    and self.workers > 1
+                    and self.internal_name == "sweep_numpy"
+                    and numpy_enabled()
+                ):
+                    tasks = _split_tasks(tasks, self.workers)
+
                 # --- execute the tasks -------------------------------------
                 if use_shm:
                     outcomes = self._execute_shm(
@@ -573,18 +785,24 @@ class ParallelPBSM:
                 else:
                     outcomes = self._execute(tasks, grid, stats)
 
-                # --- deterministic merge in partition order ----------------
+                # --- deterministic merge in (pid, part) order --------------
                 task_costs: List[float] = []
                 join_cpu_total = CpuCounters()
                 join_units_total = 0.0
                 suppressed_total = 0
-                for pid, task_pairs, suppressed, counter_dict, _wall in sorted(
-                    outcomes
+                parts_per_pid: Dict[int, int] = {}
+                for outcome in outcomes:
+                    parts_per_pid[outcome[0]] = parts_per_pid.get(outcome[0], 0) + 1
+                for pid, part, task_pairs, suppressed, counter_dict, _wall in (
+                    sorted(outcomes, key=lambda o: (o[0], o[1]))
                 ):
                     pairs.extend(task_pairs)
                     suppressed_total += suppressed
                     task_cpu = CpuCounters(**counter_dict)
-                    units = task_io_units[pid]
+                    # A split task's I/O (the partition files are read
+                    # once, in the parent, before the fan-out) is
+                    # amortised evenly across the parts it feeds.
+                    units = task_io_units[pid] / parts_per_pid[pid]
                     task_costs.append(
                         cost.io_seconds(units) + cost.cpu_seconds(task_cpu)
                     )
@@ -639,6 +857,8 @@ class ParallelPBSM:
             return []
         if self.executor == "process" and self.workers > 1:
             outcomes = self._execute_process(tasks, grid, stats)
+        elif self.executor == "thread" and self.workers > 1:
+            outcomes = self._execute_thread(tasks, grid, stats)
         else:
             # Simulated mode and the workers=1 degenerate case share the
             # in-process loop; no pool is spawned.
@@ -651,33 +871,79 @@ class ParallelPBSM:
                 if tracer.recording:
                     tracer.add_span(
                         "task",
-                        outcome[4],
+                        outcome[5],
                         kind=KIND_TASK,
-                        counters=outcome[3],
+                        counters=outcome[4],
                         pid=outcome[0],
+                        part=outcome[1],
                     )
             stats.join_makespan_seconds = time.perf_counter() - started
-        stats.join_busy_seconds = sum(outcome[4] for outcome in outcomes)
+        stats.join_busy_seconds = sum(outcome[5] for outcome in outcomes)
         return outcomes
+
+    def _drain(
+        self,
+        pool: Any,
+        run_fn: Callable[[Any], Any],
+        payloads: Sequence[Any],
+    ) -> List[Any]:
+        """Run *payloads* on *pool*, honouring the configured scheduler.
+
+        ``static`` maps the pre-packed chunks over the pool up front.
+        ``stealing`` keeps the (largest-first) payload queue in the
+        parent and submits the head to whichever worker slot frees up
+        first — completion-driven dispatch, the executor-level
+        realisation of idle workers stealing the next-largest task.
+        Results come back indexed by payload order either way.
+        """
+        if self.scheduler != "stealing":
+            return list(pool.map(run_fn, payloads))
+        from concurrent.futures import FIRST_COMPLETED, wait
+
+        results: List[Any] = [None] * len(payloads)
+        pending: Dict[Any, int] = {}
+        next_idx = 0
+        while next_idx < len(payloads) and len(pending) < self.workers:
+            future = pool.submit(run_fn, payloads[next_idx])
+            pending[future] = next_idx
+            next_idx += 1
+        while pending:
+            done, _ = wait(set(pending), return_when=FIRST_COMPLETED)
+            for future in done:
+                idx = pending.pop(future)
+                results[idx] = future.result()
+                if next_idx < len(payloads):
+                    queued = pool.submit(run_fn, payloads[next_idx])
+                    pending[queued] = next_idx
+                    next_idx += 1
+        return results
+
+    def _units(self, tasks: List) -> List[List]:
+        """Dispatch units for one fan-out, per the configured scheduler."""
+        if self.scheduler == "stealing":
+            return _steal_units(tasks, self.workers)
+        n_chunks = min(len(tasks), self.workers * CHUNKS_PER_WORKER)
+        return _chunk_tasks(tasks, n_chunks)
 
     def _emit_pool_spans(
         self,
         stats: JoinStats,
-        chunk_reports: List[Tuple[int, float, List[TaskOutcome], int]],
+        chunk_reports: List[ChunkReport],
     ) -> None:
         """Worker/task spans and per-worker busy totals for one fan-out.
 
-        ``chunk_reports`` rows are ``(worker_pid, chunk_wall,
+        ``chunk_reports`` rows are ``(worker_label, chunk_wall,
         task_outcomes, chunk_bytes)``; ``chunk_bytes`` (payload out plus
         result blob in) lands on the worker span as a ``bytes_shipped``
         counter, so traces attribute the IPC volume next to the time.
+        Also derives ``scheduler_idle_seconds`` — the worker-seconds the
+        fan-out paid for but did not fill (``makespan x W - busy``).
         """
         tracer = self.tracer
         busy_by_worker: Dict[str, float] = {}
-        for chunk_idx, (worker_pid, chunk_wall, task_outcomes, chunk_bytes) in (
+        for chunk_idx, (label, chunk_wall, task_outcomes, chunk_bytes) in (
             enumerate(chunk_reports)
         ):
-            label = f"pid-{worker_pid}"
             busy_by_worker[label] = busy_by_worker.get(label, 0.0) + chunk_wall
             if tracer.recording:
                 worker_span = tracer.add_span(
@@ -689,7 +955,7 @@ class ParallelPBSM:
                     tasks=len(task_outcomes),
                     counters={"bytes_shipped": chunk_bytes},
                 )
-                for pid, _pairs, _suppressed, counter_dict, task_wall in (
+                for pid, part, _pairs, _suppressed, counter_dict, task_wall in (
                     task_outcomes
                 ):
                     tracer.add_span(
@@ -699,9 +965,15 @@ class ParallelPBSM:
                         parent_id=worker_span.span_id,
                         counters=counter_dict,
                         pid=pid,
+                        part=part,
                         worker=label,
                     )
         stats.worker_busy_seconds = busy_by_worker
+        stats.scheduler_idle_seconds = max(
+            0.0,
+            stats.join_makespan_seconds * self.workers
+            - sum(busy_by_worker.values()),
+        )
 
     def _execute_process(
         self, tasks: List[JoinTask], grid: TileGrid, stats: JoinStats
@@ -716,8 +988,7 @@ class ParallelPBSM:
         """
         from concurrent.futures import ProcessPoolExecutor
 
-        n_chunks = min(len(tasks), self.workers * CHUNKS_PER_WORKER)
-        chunks = _chunk_tasks(tasks, n_chunks)
+        chunks = self._units(tasks)
         encode_started = time.perf_counter()
         if self.pool is not None:
             config: PoolConfig = (self.internal_name, _grid_spec(grid), None)
@@ -732,36 +1003,99 @@ class ParallelPBSM:
         ipc_seconds = time.perf_counter() - encode_started
         bytes_shipped = sum(len(p) for p in payloads)
 
-        blobs: List[bytes] = []
         started = time.perf_counter()
         if self.pool is not None:
             # Persistent pool: no spawn, no initializer — the config
             # rides inside each chunk payload instead.
-            for blob in self.pool.map(_run_dyn_chunk, payloads):
-                blobs.append(blob)
+            blobs = cast(
+                List[bytes], self._drain(self.pool, _run_dyn_chunk, payloads)
+            )
         else:
             with ProcessPoolExecutor(
                 max_workers=self.workers,
                 initializer=_pool_init,
                 initargs=(self.internal_name, _grid_spec(grid)),
             ) as pool:
-                for blob in pool.map(_run_chunk, payloads):
-                    blobs.append(blob)
+                blobs = cast(
+                    List[bytes], self._drain(pool, _run_chunk, payloads)
+                )
         stats.join_makespan_seconds = time.perf_counter() - started
 
         decode_started = time.perf_counter()
         outcomes: List[TaskOutcome] = []
-        chunk_reports = []
+        chunk_reports: List[ChunkReport] = []
+        executed_by: List[str] = []
         for payload, blob in zip(payloads, blobs):
             worker_pid, chunk_wall, task_outcomes = pickle.loads(blob)
             bytes_shipped += len(blob)
             outcomes.extend(task_outcomes)
+            executed_by.append(f"pid-{worker_pid}")
             chunk_reports.append(
-                (worker_pid, chunk_wall, task_outcomes, len(payload) + len(blob))
+                (
+                    f"pid-{worker_pid}",
+                    chunk_wall,
+                    task_outcomes,
+                    len(payload) + len(blob),
+                )
             )
         ipc_seconds += time.perf_counter() - decode_started
         stats.ipc_bytes_shipped = bytes_shipped
         stats.ipc_seconds = ipc_seconds
+        if self.scheduler == "stealing":
+            stats.tasks_stolen = count_steals(
+                _unit_sizes(chunks), executed_by, self.workers
+            )
+        self._emit_pool_spans(stats, chunk_reports)
+        return outcomes
+
+    def _execute_thread(
+        self, tasks: List[JoinTask], grid: TileGrid, stats: JoinStats
+    ) -> List[TaskOutcome]:
+        """Fan the tasks out over a thread pool — no spawn, no pickling.
+
+        The vectorized kernel releases the GIL inside numpy, so the scan
+        work genuinely overlaps; everything stays in one address space,
+        so ``ipc_bytes_shipped`` is rightfully zero and pinned segments
+        (or any caller-held arrays) are shared for free.  Worker labels
+        are thread names normalised to ``thread-N`` in first-appearance
+        order.
+        """
+        from concurrent.futures import ThreadPoolExecutor
+
+        units = self._units(tasks)
+        internal_name = self.internal_name
+
+        def run_unit(unit: List[JoinTask]) -> Tuple[str, float, List[TaskOutcome]]:
+            unit_started = time.perf_counter()
+            unit_outcomes = [
+                _run_join_task(internal_name, grid, task) for task in unit
+            ]
+            wall = time.perf_counter() - unit_started
+            return threading.current_thread().name, wall, unit_outcomes
+
+        started = time.perf_counter()
+        with ThreadPoolExecutor(
+            max_workers=self.workers, thread_name_prefix="repro-join"
+        ) as pool:
+            reports = cast(
+                List[Tuple[str, float, List[TaskOutcome]]],
+                self._drain(pool, run_unit, units),
+            )
+        stats.join_makespan_seconds = time.perf_counter() - started
+
+        outcomes: List[TaskOutcome] = []
+        chunk_reports: List[ChunkReport] = []
+        labels: Dict[str, str] = {}
+        executed_by: List[str] = []
+        for thread_name, unit_wall, unit_outcomes in reports:
+            label = labels.setdefault(thread_name, f"thread-{len(labels)}")
+            outcomes.extend(unit_outcomes)
+            executed_by.append(label)
+            chunk_reports.append((label, unit_wall, unit_outcomes, 0))
+        if self.scheduler == "stealing":
+            stats.tasks_stolen = count_steals(
+                _unit_sizes(units), executed_by, self.workers
+            )
         self._emit_pool_spans(stats, chunk_reports)
         return outcomes
 
@@ -778,12 +1112,13 @@ class ParallelPBSM:
         """Fan the tasks out via the zero-copy shared-memory transport.
 
         Loads both inputs once into a columnar segment (plus the CSR id
-        arrays the partitioner emitted), ships five-integer tasks, and
-        decodes worker-returned ``(rid, sid)`` id buffers in partition
-        order — so the merged output is byte-identical to the pickle
-        transport and to sequential execution.  Segment build, payload
-        encode and result decode all count into ``stats.ipc_seconds``;
-        only the pipe traffic counts into ``stats.ipc_bytes_shipped``.
+        arrays the partitioner emitted), ships five-integer tasks (seven
+        with a stripe part), and decodes worker-returned ``(rid, sid)``
+        id buffers in ``(pid, part)`` order — so the merged output is
+        byte-identical to the pickle transport and to sequential
+        execution.  Segment build, payload encode and result decode all
+        count into ``stats.ipc_seconds``; only the pipe traffic counts
+        into ``stats.ipc_bytes_shipped``.
         """
         from concurrent.futures import ProcessPoolExecutor
 
@@ -814,10 +1149,8 @@ class ParallelPBSM:
             )
         arrays["L.ids"] = np.asarray(ids_left, dtype=np.int64)
         arrays["R.ids"] = np.asarray(ids_right, dtype=np.int64)
-        n_chunks = min(len(tasks), self.workers * CHUNKS_PER_WORKER)
-        chunks = _chunk_tasks(tasks, n_chunks)
+        chunks = self._units(tasks)
 
-        blobs: List[bytes] = []
         with SharedColumnarStore.create(arrays) as store:
             if self.pool is not None:
                 config: PoolConfig = (
@@ -838,8 +1171,10 @@ class ParallelPBSM:
             ipc_seconds = time.perf_counter() - encode_started
             started = time.perf_counter()
             if self.pool is not None:
-                for blob in self.pool.map(_run_dyn_chunk, payloads):
-                    blobs.append(blob)
+                blobs = cast(
+                    List[bytes],
+                    self._drain(self.pool, _run_dyn_chunk, payloads),
+                )
             else:
                 with ProcessPoolExecutor(
                     max_workers=self.workers,
@@ -850,36 +1185,46 @@ class ParallelPBSM:
                         store.manifest,
                     ),
                 ) as pool:
-                    for blob in pool.map(_run_shm_chunk, payloads):
-                        blobs.append(blob)
+                    blobs = cast(
+                        List[bytes], self._drain(pool, _run_shm_chunk, payloads)
+                    )
             stats.join_makespan_seconds = time.perf_counter() - started
 
             decode_started = time.perf_counter()
             outcomes: List[TaskOutcome] = []
-            chunk_reports = []
+            chunk_reports: List[ChunkReport] = []
+            executed_by: List[str] = []
             for payload, blob in zip(payloads, blobs):
                 worker_pid, chunk_wall, metas, manifest = pickle.loads(blob)
                 bytes_shipped += len(blob)
                 results = SharedColumnarStore.attach(manifest)
                 try:
                     task_outcomes: List[TaskOutcome] = []
-                    for pid, suppressed, counter_dict, task_wall in metas:
+                    for pid, part, suppressed, counter_dict, task_wall in metas:
                         task_pairs = list(
                             zip(
-                                results[f"{pid}.rid"].tolist(),
-                                results[f"{pid}.sid"].tolist(),
+                                results[f"{pid}.{part}.rid"].tolist(),
+                                results[f"{pid}.{part}.sid"].tolist(),
                             )
                         )
                         task_outcomes.append(
-                            (pid, task_pairs, suppressed, counter_dict, task_wall)
+                            (
+                                pid,
+                                part,
+                                task_pairs,
+                                suppressed,
+                                counter_dict,
+                                task_wall,
+                            )
                         )
                 finally:
                     results.close()
                     results.unlink()
                 outcomes.extend(task_outcomes)
+                executed_by.append(f"pid-{worker_pid}")
                 chunk_reports.append(
                     (
-                        worker_pid,
+                        f"pid-{worker_pid}",
                         chunk_wall,
                         task_outcomes,
                         len(payload) + len(blob),
@@ -888,19 +1233,24 @@ class ParallelPBSM:
             ipc_seconds += time.perf_counter() - decode_started
         stats.ipc_bytes_shipped = bytes_shipped
         stats.ipc_seconds = ipc_seconds
-        stats.join_busy_seconds = sum(outcome[4] for outcome in outcomes)
+        stats.join_busy_seconds = sum(outcome[5] for outcome in outcomes)
+        if self.scheduler == "stealing":
+            stats.tasks_stolen = count_steals(
+                _unit_sizes(chunks), executed_by, self.workers
+            )
         self._emit_pool_spans(stats, chunk_reports)
         return outcomes
 
 
-def lpt_schedule(task_costs: Sequence[float], workers: int) -> Tuple[float, List[float]]:
-    """Longest-processing-time-first scheduling.
-
-    Returns ``(makespan, per-worker loads)``.  LPT is within 4/3 of the
-    optimal makespan — plenty for a speedup model.
-    """
-    loads = [0.0] * workers
-    for cost in sorted(task_costs, reverse=True):
-        idx = min(range(workers), key=loads.__getitem__)
-        loads[idx] += cost
-    return (max(loads) if loads else 0.0), loads
+__all__ = [
+    "CHUNKS_PER_WORKER",
+    "EXECUTORS",
+    "MAX_WORKERS_ENV",
+    "ParallelPBSM",
+    "SCHEDULERS",
+    "STRIPE_SPLIT_FACTOR",
+    "STRIPE_SPLIT_MAX_PARTS",
+    "STRIPE_SPLIT_MIN_RECORDS",
+    "lpt_schedule",
+    "reset_clamp_warnings",
+]

@@ -1,0 +1,143 @@
+"""Task scheduling policies for parallel PBSM.
+
+Two policies are modelled here:
+
+* **Static LPT** (``lpt_schedule`` / ``lpt_assign``): tasks are packed
+  onto workers up front, longest-processing-time first.  LPT is within
+  4/3 of the optimal makespan *when the costs are known exactly* — on
+  skewed inputs where estimates are wrong, a single mega-task strands
+  every other worker.
+* **Work stealing** (``steal_schedule``): tasks sit in one shared queue,
+  sorted largest-estimate first, and each worker pulls the next task the
+  moment it goes idle.  This is classic greedy list scheduling — the
+  makespan can never exceed static LPT's on the same costs, and when the
+  estimates are wrong it degrades gracefully instead of stranding
+  workers.
+
+Both are deterministic and run in the simulator's cost currency, so the
+planner and the ``simulated`` executor can compare policies without
+spawning a single process.  ``count_steals`` reconstructs, post hoc, how
+many tasks a real pool executed on a different worker than static LPT
+would have chosen — the observable signature of stealing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+SCHEDULERS: Tuple[str, ...] = ("static", "stealing")
+
+
+def lpt_schedule(task_costs: Sequence[float], workers: int) -> Tuple[float, List[float]]:
+    """Longest-processing-time-first scheduling.
+
+    Returns ``(makespan, per-worker loads)``.  LPT is within 4/3 of the
+    optimal makespan — plenty for a speedup model.
+    """
+    loads = [0.0] * workers
+    for cost in sorted(task_costs, reverse=True):
+        idx = min(range(workers), key=loads.__getitem__)
+        loads[idx] += cost
+    return (max(loads) if loads else 0.0), loads
+
+
+def lpt_assign(task_costs: Sequence[float], workers: int) -> List[int]:
+    """The worker slot LPT gives each task, in input order.
+
+    Ties in cost are broken by input index (stable), and ties in load by
+    the lowest slot — the same deterministic choices ``lpt_schedule``
+    makes, so ``lpt_schedule(costs, w)[1]`` equals the per-slot sums of
+    this assignment.
+    """
+    order = sorted(range(len(task_costs)), key=lambda i: (-task_costs[i], i))
+    loads = [0.0] * workers
+    slots = [0] * len(task_costs)
+    for i in order:
+        idx = min(range(workers), key=loads.__getitem__)
+        loads[idx] += task_costs[i]
+        slots[i] = idx
+    return slots
+
+
+def steal_schedule(
+    actuals: Sequence[float],
+    workers: int,
+    estimates: Optional[Sequence[float]] = None,
+) -> Tuple[float, List[float]]:
+    """Event-driven greedy scheduling with a shared largest-first queue.
+
+    Tasks are dispatched in descending *estimated* cost; each dispatch
+    goes to the worker that frees up earliest and occupies it for the
+    task's *actual* cost.  With ``estimates is None`` (or equal to
+    ``actuals``) this reproduces ``lpt_schedule`` exactly; with
+    mis-estimates it models what a real stealing pool does: the queue
+    order is wrong but no worker ever idles while tasks remain.
+    """
+    if estimates is None:
+        estimates = actuals
+    if len(estimates) != len(actuals):
+        raise ValueError("estimates and actuals must be the same length")
+    order = sorted(range(len(actuals)), key=lambda i: (-estimates[i], i))
+    loads = [0.0] * workers
+    for i in order:
+        idx = min(range(workers), key=loads.__getitem__)
+        loads[idx] += actuals[i]
+    return (max(loads) if loads else 0.0), loads
+
+
+def static_makespan(
+    estimates: Sequence[float],
+    actuals: Sequence[float],
+    workers: int,
+) -> float:
+    """Makespan of static LPT packing on ``estimates``, paid in ``actuals``.
+
+    This is the baseline a stealing scheduler is measured against: the
+    assignment is frozen before execution, so estimate error lands
+    entirely on the makespan.
+    """
+    if len(estimates) != len(actuals):
+        raise ValueError("estimates and actuals must be the same length")
+    slots = lpt_assign(estimates, workers)
+    loads = [0.0] * workers
+    for i, slot in enumerate(slots):
+        loads[slot] += actuals[i]
+    return max(loads) if loads else 0.0
+
+
+def count_steals(
+    unit_sizes: Sequence[float],
+    executed_by: Sequence[str],
+    workers: int,
+) -> int:
+    """How many units ran on a different worker than static LPT planned.
+
+    ``executed_by`` carries one opaque worker label per unit (a pid or a
+    thread name) in the same order as ``unit_sizes``.  Labels are bound
+    to LPT slots greedily in first-appearance order — a label gets the
+    slot LPT wanted for its first unit if that slot is still unclaimed,
+    otherwise the lowest free slot — then every unit whose executing
+    label is bound to a different slot than LPT assigned counts as
+    stolen.
+    """
+    if len(unit_sizes) != len(executed_by):
+        raise ValueError("unit_sizes and executed_by must be the same length")
+    planned = lpt_assign(unit_sizes, workers)
+    label_slot: Dict[str, int] = {}
+    claimed: List[bool] = [False] * workers
+    for i, label in enumerate(executed_by):
+        if label in label_slot:
+            continue
+        want = planned[i]
+        if not claimed[want]:
+            label_slot[label] = want
+            claimed[want] = True
+            continue
+        free = [s for s in range(workers) if not claimed[s]]
+        slot = free[0] if free else want
+        label_slot[label] = slot
+        if free:
+            claimed[slot] = True
+    return sum(
+        1 for i, label in enumerate(executed_by) if label_slot[label] != planned[i]
+    )

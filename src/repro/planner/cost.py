@@ -291,15 +291,27 @@ def estimate_pbsm(
     tiles_per_partition: int = 4,
     workers: int = 1,
     shared_memory: bool = False,
+    executor: str = "process",
+    scheduler: str = "stealing",
 ) -> CostEstimate:
     """Cost of ``PBSM(internal, dedup)`` under formula (1) with *t_factor*.
 
-    With ``workers > 1`` the estimate models ``ParallelPBSM``'s process
-    executor: the partition phase stays sequential (the Amdahl term), the
-    in-memory joins and RPM tests divide by the achievable parallelism
-    ``min(workers, n_partitions)``, and an ``ipc`` term charges the
-    transport — pickled records and pair lists for the legacy transport,
-    task tuples plus manifests when ``shared_memory`` is on.
+    With ``workers > 1`` the estimate models ``ParallelPBSM``: the
+    partition phase stays sequential (the Amdahl term), the in-memory
+    joins and RPM tests shrink to the *makespan fraction* — the larger of
+    the ideal ``1/speedup`` and the biggest task's share of the join work
+    (skew: one mega-partition bounds the makespan no matter how the rest
+    is packed) — and an ``ipc`` term charges the transport: pickled
+    records and pair lists for the legacy transport, task tuples plus
+    manifests when ``shared_memory`` is on.
+
+    ``executor`` and ``scheduler`` refine the model: the thread executor
+    pays no spawn and no IPC but its speedup is Amdahl-bounded by
+    ``cost.thread_parallel_fraction`` (the GIL-released share); the
+    stealing scheduler stripe-splits the dominant task (shrinking the
+    skew share, at a small duplicated-layout overhead) and pays per-unit
+    dispatch through ``cost.dispatch_seconds`` (a ``schedule`` breakdown
+    entry).
     """
     nl, nr = jp.n_left, jp.n_right
     kb = cost.kpe_bytes
@@ -400,16 +412,49 @@ def estimate_pbsm(
 
     ipc_seconds = 0.0
     ipc_bytes = 0.0
+    schedule_seconds = 0.0
     if workers > 1:
         # ParallelPBSM does not repartition (it records overruns), and the
-        # join/dedup work spreads over the achievable parallelism; the
+        # join/dedup work shrinks to the makespan fraction; the
         # sequential partition phase is left untouched (Amdahl).
         io_repartition = 0.0
         cpu_repartition = 0.0
         speedup = float(min(workers, n_partitions))
-        cpu_internal /= speedup
-        cpu_dedup /= speedup
-        if shared_memory:
+        if executor == "thread":
+            # GIL-released fraction bounds the thread speedup (Amdahl).
+            f = cost.thread_parallel_fraction
+            speedup = 1.0 / ((1.0 - f) + f / speedup)
+        # The dominant task's share of the join work: residual skew
+        # concentrates roughly that multiple of the mean in one
+        # partition, and that task alone bounds the static makespan.
+        share = min(1.0, residual_skew / n_partitions)
+        n_units = float(min(n_partitions, workers * 4))
+        can_split = (
+            scheduler == "stealing"
+            and internal == "sweep_numpy"
+            and numpy_enabled()
+        )
+        if can_split:
+            # Stripe splitting divides the mega task; the parts add a
+            # duplicated stripe-layout pass each (O(records), charged as
+            # batch ops) and more dispatch units.
+            n_slices = min(16.0, max(1.0, share * n_partitions * workers))
+            share /= n_slices
+            n_units += n_slices
+            cpu_internal += cost.cpu_seconds_from_counts(
+                batch_ops=(n_slices - 1.0) * 8.0 * (a + b)
+            )
+        makespan_fraction = max(1.0 / speedup, share)
+        cpu_internal *= makespan_fraction
+        cpu_dedup *= makespan_fraction
+        schedule_seconds = cost.dispatch_seconds * n_units
+        if executor != "thread":
+            # One-shot pools fork a worker per slot; persistent pools
+            # (serve) amortise this, but the planner prices the cold run.
+            schedule_seconds += cost.pool_spawn_seconds * workers
+        if executor == "thread":
+            ipc_bytes = 0.0
+        elif shared_memory:
             n_chunks = min(n_partitions, workers * 4)
             ipc_bytes = (
                 SHM_TASK_BYTES * n_partitions
@@ -423,7 +468,12 @@ def estimate_pbsm(
 
     io_units = io_partition + io_join + io_repartition + io_dedup
     cpu_seconds = (
-        cpu_partition + cpu_internal + cpu_repartition + cpu_dedup + ipc_seconds
+        cpu_partition
+        + cpu_internal
+        + cpu_repartition
+        + cpu_dedup
+        + ipc_seconds
+        + schedule_seconds
     )
     breakdown = {
         PHASE_PARTITION: cost.io_seconds(io_partition) + cpu_partition,
@@ -433,6 +483,7 @@ def estimate_pbsm(
     }
     if workers > 1:
         breakdown["ipc"] = ipc_seconds
+        breakdown["schedule"] = schedule_seconds
     predicted = {
         "n_partitions": float(n_partitions),
         "est_results": jp.est_results,

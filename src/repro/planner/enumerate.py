@@ -70,6 +70,8 @@ class PlanCandidate:
                 "t_factor": "t",
                 "strategy": "strategy",
                 "shared_memory": "shm",
+                "executor": "exec",
+                "scheduler": "sched",
             }.get(key, key)
             parts.append(f"{short}={value}")
         return f"{self.method}({', '.join(parts)})"
@@ -87,10 +89,12 @@ def enumerate_candidates(
 
     ``methods`` restricts the enumerated join methods (default: all of
     them); candidates are returned sorted by estimated total cost.  With
-    ``workers > 1`` parallel PBSM configurations join the space — one
-    per transport (legacy pickle, and zero-copy shared memory where
-    available), so the planner's pickle-vs-shm choice is a costed
-    decision, not a hardcoded preference.
+    ``workers > 1`` parallel PBSM configurations join the space — the
+    cross product of transport (legacy pickle, and zero-copy shared
+    memory where available), executor (process, and thread when the
+    columnar backend is on) and scheduler (static LPT vs work stealing),
+    so transport, executor and scheduler are all costed decisions, not
+    hardcoded preferences.
     """
     cost = cost_model or CostModel()
     wanted = set(methods) if methods is not None else None
@@ -134,12 +138,25 @@ def enumerate_candidates(
                 PBSM_KERNEL_INTERNAL if numpy_enabled() else "sweep_trie"
             )
             transports = [False] + ([True] if shm_enabled() else [])
+            # executor x scheduler: the process executor on both
+            # transports and both schedulers, plus the thread executor
+            # (stealing only — its whole point is skipping spawn and
+            # pickling, and the static baseline adds nothing there that
+            # process/static does not already cover).
+            configs: List[Tuple[str, str, bool]] = []
             for shared in transports:
+                for scheduler in ("static", "stealing"):
+                    configs.append(("process", scheduler, shared))
+            if numpy_enabled():
+                configs.append(("thread", "stealing", False))
+            for executor, scheduler, shared in configs:
                 for t in t_grid:
                     kwargs = {
                         "internal": par_internal,
                         "t_factor": t,
                         "workers": workers,
+                        "executor": executor,
+                        "scheduler": scheduler,
                     }
                     if shared:
                         kwargs["shared_memory"] = True
@@ -155,6 +172,8 @@ def enumerate_candidates(
                                 t_factor=t,
                                 workers=workers,
                                 shared_memory=shared,
+                                executor=executor,
+                                scheduler=scheduler,
                             ),
                         )
                     )

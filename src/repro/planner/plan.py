@@ -49,9 +49,10 @@ def _run_candidate(
         if "workers" in kwargs:
             workers = kwargs.pop("workers")
             kwargs.pop("dedup", None)  # ParallelPBSM is RPM-only
-            return ParallelPBSM(
-                memory_bytes, workers, executor="process", **kwargs
-            ).run(left, right)
+            kwargs.setdefault("executor", "process")
+            return ParallelPBSM(memory_bytes, workers, **kwargs).run(
+                left, right
+            )
         return PBSM(memory_bytes, **kwargs).run(left, right)
     if method == "s3j":
         return S3J(memory_bytes, **kwargs).run(left, right)

@@ -133,20 +133,24 @@ class EngineHost:
         """Execute *plan*, routing parallel PBSM through the persistent pool.
 
         Sequential plans run through ``JoinPlan.execute`` unchanged.  A
-        parallel PBSM plan is rebuilt with ``pool=`` (no spawn) and —
-        when the chosen transport is shared memory and both datasets are
-        pinned — with ``pinned=`` manifests, so the per-query segment
-        carries only CSR id arrays.
+        parallel *process* PBSM plan is rebuilt with ``pool=`` (no spawn)
+        and — when the chosen transport is shared memory and both
+        datasets are pinned — with ``pinned=`` manifests, so the
+        per-query segment carries only CSR id arrays.  A *thread* plan
+        runs in-host: its whole point is skipping the process boundary,
+        so it takes neither the pool nor pinned manifests.
         """
         chosen = plan.chosen
         kwargs = dict(chosen.kwargs)
         if (
             chosen.method == "pbsm"
             and "workers" in kwargs
+            and kwargs.get("executor", "process") == "process"
             and self.pool is not None
         ):
             workers = kwargs.pop("workers")
             kwargs.pop("dedup", None)  # ParallelPBSM is RPM-only
+            kwargs.setdefault("executor", "process")
             pinned: Optional[Tuple[Any, Any]] = None
             if (
                 kwargs.get("shared_memory")
@@ -157,7 +161,6 @@ class EngineHost:
             driver = ParallelPBSM(
                 plan.memory_bytes,
                 workers,
-                executor="process",
                 cost_model=plan.cost_model,
                 tracer=tracer,
                 pool=self.pool,

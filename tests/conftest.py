@@ -31,6 +31,15 @@ settings.register_profile(
 settings.load_profile("default")
 
 
+@pytest.fixture(autouse=True)
+def _fresh_clamp_warnings():
+    """Clamp RuntimeWarnings fire once per process; re-arm them per test."""
+    from repro.pbsm.parallel import reset_clamp_warnings
+
+    reset_clamp_warnings()
+    yield
+
+
 def random_kpes(n: int, seed: int, start_oid: int = 0, max_edge: float = 0.1):
     """Plain-random KPEs with a plain `random.Random` (no numpy)."""
     rng = random.Random(seed)

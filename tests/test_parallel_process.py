@@ -68,7 +68,11 @@ class TestGracefulDegrade:
     def test_invalid_executor_rejected(self):
         with pytest.raises(ValueError):
             ParallelPBSM(MEMORY, 2, executor="threads")
-        assert set(EXECUTORS) == {"simulated", "process"}
+        assert set(EXECUTORS) == {"simulated", "process", "thread"}
+
+    def test_invalid_scheduler_rejected(self):
+        with pytest.raises(ValueError):
+            ParallelPBSM(MEMORY, 2, scheduler="fifo")
 
     def test_invalid_workers_clamped_low(self):
         with pytest.warns(RuntimeWarning, match="below 1"):

@@ -1,0 +1,129 @@
+"""The scheduling policies: static LPT vs the work-stealing queue.
+
+The claims pinned here are the ones the planner's cost model and the
+skew bench lean on: greedy list scheduling (stealing) never produces a
+*worse* makespan than static LPT when costs are known, and when the
+estimates are wrong — the skew regime — static LPT strands workers while
+stealing degrades gracefully.  ``count_steals`` is the post-hoc
+reconstruction the real executors use to surface ``tasks_stolen``.
+"""
+
+import pytest
+
+from repro.pbsm.scheduler import (
+    SCHEDULERS,
+    count_steals,
+    lpt_assign,
+    lpt_schedule,
+    static_makespan,
+    steal_schedule,
+)
+
+# Adversarial cost distributions for a 2..4-worker pool.
+ONE_GIANT = [100.0] + [1.0] * 20
+ALL_EQUAL = [5.0] * 12
+GEOMETRIC = [2.0**k for k in range(10)]  # 1, 2, 4, ... 512
+DISTRIBUTIONS = [ONE_GIANT, ALL_EQUAL, GEOMETRIC]
+
+
+class TestLpt:
+    @pytest.mark.parametrize("costs", DISTRIBUTIONS)
+    @pytest.mark.parametrize("workers", [1, 2, 3, 4])
+    def test_loads_conserve_work(self, costs, workers):
+        makespan, loads = lpt_schedule(costs, workers)
+        assert len(loads) == workers
+        assert sum(loads) == pytest.approx(sum(costs))
+        assert makespan == pytest.approx(max(loads))
+
+    @pytest.mark.parametrize("costs", DISTRIBUTIONS)
+    @pytest.mark.parametrize("workers", [2, 3, 4])
+    def test_assign_matches_schedule(self, costs, workers):
+        # lpt_assign makes the same deterministic choices as
+        # lpt_schedule: summing costs per assigned slot reproduces the
+        # schedule's per-worker loads exactly.
+        slots = lpt_assign(costs, workers)
+        loads = [0.0] * workers
+        for i, slot in enumerate(slots):
+            loads[slot] += costs[i]
+        assert sorted(loads) == pytest.approx(sorted(lpt_schedule(costs, workers)[1]))
+
+    def test_lower_bounds(self):
+        # The giant task is an absolute floor on the makespan.
+        makespan, _ = lpt_schedule(ONE_GIANT, 4)
+        assert makespan >= 100.0
+        assert lpt_schedule([], 3) == (0.0, [0.0, 0.0, 0.0])
+
+
+class TestStealing:
+    @pytest.mark.parametrize("costs", DISTRIBUTIONS)
+    @pytest.mark.parametrize("workers", [1, 2, 3, 4])
+    def test_equals_lpt_with_exact_estimates(self, costs, workers):
+        # With estimates == actuals, greedy list scheduling IS LPT.
+        assert steal_schedule(costs, workers) == lpt_schedule(costs, workers)
+
+    @pytest.mark.parametrize("costs", DISTRIBUTIONS)
+    @pytest.mark.parametrize("workers", [2, 3, 4])
+    def test_never_worse_than_static_under_misestimation(self, costs, workers):
+        # Estimates all-equal while actuals are skewed: static LPT
+        # freezes a bad packing, stealing re-balances at run time.
+        estimates = [1.0] * len(costs)
+        stolen, _ = steal_schedule(costs, workers, estimates=estimates)
+        static = static_makespan(estimates, costs, workers)
+        assert stolen <= static + 1e-9
+
+    def test_misestimation_strands_static_only(self):
+        # Estimates that trick static LPT into stacking both actually-
+        # giant tasks onto one worker; the stealing queue pays the first
+        # giant, then routes everything else to the free worker, so the
+        # static baseline costs >= 1.5x more.
+        estimates = [10.0, 9.0, 8.0, 7.0]
+        actuals = [100.0, 1.0, 1.0, 100.0]
+        static = static_makespan(estimates, actuals, 2)
+        stolen, _ = steal_schedule(actuals, 2, estimates=estimates)
+        assert static / stolen >= 1.5
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            steal_schedule([1.0], 2, estimates=[1.0, 2.0])
+        with pytest.raises(ValueError):
+            static_makespan([1.0, 2.0], [1.0], 2)
+
+    def test_schedulers_tuple(self):
+        assert SCHEDULERS == ("static", "stealing")
+
+
+class TestCountSteals:
+    def test_plan_followed_counts_zero(self):
+        sizes = [8.0, 6.0, 4.0, 2.0]
+        planned = lpt_assign(sizes, 2)
+        executed = [f"pid-{1000 + slot}" for slot in planned]
+        assert count_steals(sizes, executed, 2) == 0
+
+    def test_single_worker_draining_everything(self):
+        # One worker executes all units of a 2-slot plan: everything
+        # planned for the other slot was stolen.
+        sizes = [8.0, 6.0, 4.0, 2.0]
+        planned = lpt_assign(sizes, 2)
+        executed = ["pid-1"] * len(sizes)
+        other = sum(1 for slot in planned if slot != planned[0])
+        assert count_steals(sizes, executed, 2) == other
+
+    def test_swapped_tail_counts(self):
+        sizes = [8.0, 6.0, 4.0, 2.0]
+        planned = lpt_assign(sizes, 2)
+        labels = {0: "pid-a", 1: "pid-b"}
+        executed = [labels[slot] for slot in planned]
+        executed[-1] = labels[1 - planned[-1]]  # last unit ran elsewhere
+        assert count_steals(sizes, executed, 2) == 1
+
+    def test_deterministic(self):
+        sizes = [5.0, 4.0, 3.0, 2.0, 1.0]
+        executed = ["t-0", "t-1", "t-0", "t-0", "t-1"]
+        first = count_steals(sizes, executed, 2)
+        assert all(
+            count_steals(sizes, executed, 2) == first for _ in range(5)
+        )
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            count_steals([1.0, 2.0], ["a"], 2)

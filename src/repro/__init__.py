@@ -100,9 +100,14 @@ def spatial_join(
         time themselves, so the stats below are always populated.
     kwargs:
         Forwarded to the driver (e.g. ``internal="sweep_trie"``,
-        ``dedup="rpm"``, ``replicate=True``, ``curve="peano"``).  With
-        ``method="auto"``: forwarded to :func:`repro.planner.plan_join`
-        (e.g. ``cache=...``, ``t_grid=...``, ``methods=...``).
+        ``dedup="rpm"``/``"twolayer"``/``"sort"``, ``replicate=True``,
+        ``curve="peano"``).  With ``workers``, ``dedup`` must be an
+        online scheme (``"rpm"`` or ``"twolayer"`` — corner-class
+        duplicate avoidance, see ``docs/duplicates.md``);
+        :class:`~repro.pbsm.ParallelPBSM` rejects ``dedup="sort"``.
+        With ``method="auto"``: forwarded to
+        :func:`repro.planner.plan_join` (e.g. ``cache=...``,
+        ``t_grid=...``, ``methods=...``).
 
     Returns
     -------

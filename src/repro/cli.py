@@ -99,7 +99,15 @@ def _cmd_join(args: argparse.Namespace) -> int:
             parser_error = "--workers requires --method pbsm or auto"
             print(f"error: {parser_error}", file=sys.stderr)
             return 2
-        kwargs.pop("dedup", None)  # parallel PBSM is always RPM
+        if kwargs.get("dedup") == "sort":
+            print(
+                "error: --dedup sort cannot run with --workers: the "
+                "offline sorting phase would serialise the parallel "
+                "join (use --dedup rpm or --dedup twolayer, or drop "
+                "--workers)",
+                file=sys.stderr,
+            )
+            return 2
         kwargs["workers"] = args.workers
     if args.executor:
         if args.workers is None or args.method != "pbsm":
@@ -318,7 +326,14 @@ def build_parser() -> argparse.ArgumentParser:
     join.add_argument("--method", choices=SPATIAL_JOIN_METHODS, default="pbsm")
     join.add_argument("--memory-mb", type=float, default=2.5)
     join.add_argument("--internal", default=None, help="internal algorithm name")
-    join.add_argument("--dedup", default=None, choices=("rpm", "sort"))
+    join.add_argument(
+        "--dedup",
+        default=None,
+        choices=("rpm", "twolayer", "sort"),
+        help="duplicate handling: rpm reference-point tests, twolayer "
+        "corner-class avoidance (zero per-pair work), sort offline "
+        "removal (sequential only)",
+    )
     join.add_argument(
         "--workers",
         type=int,

@@ -14,7 +14,10 @@ files is kept as the system's interchange format; this package adds a
   and partition ownership of whole candidate batches in a handful of
   array operations;
 * :mod:`repro.kernels.assign` — vectorized tile assignment for the PBSM
-  partitioning phase.
+  partitioning phase;
+* :mod:`repro.kernels.twolayer` — batched two-layer corner-class
+  duplicate avoidance: class assignment as two comparisons per replica
+  and class-partitioned slices feeding the forward-scan internals.
 
 Everything degrades gracefully without numpy (or with
 ``REPRO_DISABLE_NUMPY=1``): same result sets, classic per-element
@@ -50,6 +53,7 @@ from repro.kernels.rpm import (
 )
 from repro.kernels.assign import partition_plan, tile_ranges
 from repro.kernels.shm import SharedColumnarStore, columnar_arrays, shm_enabled
+from repro.kernels.twolayer import twolayer_join_ids, twolayer_join_task
 
 __all__ = [
     "ColumnarRelation",
@@ -78,4 +82,6 @@ __all__ = [
     "sweep_numpy_join",
     "tile_partitions",
     "tile_ranges",
+    "twolayer_join_ids",
+    "twolayer_join_task",
 ]

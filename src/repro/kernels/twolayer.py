@@ -1,0 +1,330 @@
+"""Vectorized two-layer corner-class duplicate avoidance.
+
+The columnar counterpart of :mod:`repro.pbsm.twolayer`: class assignment
+is two array comparisons per replica over the tile arrays, and the nine
+cross-class mini-joins are class-partitioned *slices* fed straight into
+the existing forward-scan kernel — no reference-point test, no dedup
+sort, nothing per pair.
+
+Pipeline per partition task:
+
+1. sort both inputs by ``xl`` (charged once, exactly like the RPM kernel);
+2. replay the tile arithmetic of :class:`repro.pbsm.grid.TileGrid` with
+   the vectorized helpers of :mod:`repro.kernels.rpm` (bit-identical tile
+   indices, the property the parity tests pin down), expand each record
+   into its overlapped tiles, and keep the replicas landing in tiles
+   mapped to the task's partition;
+3. classify every replica with two comparisons
+   (``home_tx < tx``, ``home_ty < ty``) and group replicas by
+   ``(tile, class)`` with one stable argsort — stability preserves the
+   ``xl`` order inside each group, so every group is forward-scan ready
+   as a plain slice;
+4. per tile present on both sides, run the nine mini-joins of
+   :data:`~repro.pbsm.twolayer.MINI_JOIN_SCHEDULE` through
+   :func:`~repro.kernels.sweep.forward_scan_batches`.
+
+**Stripe splitting** composes with avoidance without touching ownership:
+a split part receives a contiguous, work-balanced range of the task's
+mini-join sequence (every part derives the identical plan from the
+identical inputs), and a mini-join straddling a part boundary is shared
+by handing each covering part a stripe sub-slice of that one scan —
+ownership stays the tile's, the stripes only restrict the sweep range,
+and concatenating the parts in order reproduces the unsplit output byte
+for byte.  The classification/layout work is charged once, to part 0,
+under the same charge-once convention as the RPM kernel's sorts.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from typing import Any, List, Optional, Sequence, Tuple
+
+from repro.core.stats import CpuCounters
+from repro.internal.sweep_list import sweep_list_join
+from repro.kernels.backend import get_numpy, require_numpy
+from repro.kernels.columnar import ColumnarRelation
+from repro.kernels.rpm import point_tiles, tile_partitions
+from repro.kernels.sweep import (
+    DEFAULT_BATCH_CANDIDATES,
+    _charge_batch_sort,
+    forward_scan_batches,
+    sorted_columns,
+)
+from repro.pbsm.grid import TileGrid
+from repro.pbsm.twolayer import MINI_JOIN_SCHEDULE, twolayer_partition_join
+
+#: Array operations charged per input record for the vectorized tile
+#: ranges (two tile computations per corner pair, widths, replica counts).
+CLASSIFY_BATCH_OPS_PER_RECORD = 6
+
+#: Array operations charged per expanded replica: tile enumeration (3),
+#: partition hash + filter (2), the two class comparisons, group key (1).
+CLASSIFY_BATCH_OPS_PER_REPLICA = 8
+
+#: ``(a_lo, a_hi, b_lo, b_hi)`` — one mini-join as slices into the
+#: gathered, (tile, class)-grouped replica arrays.
+MiniJoin = Tuple[int, int, int, int]
+
+
+def _classify(
+    np: Any,
+    rel: ColumnarRelation,
+    grid: TileGrid,
+    pid: int,
+    counters: CpuCounters,
+) -> Tuple[Any, Any]:
+    """Expand *rel* into per-tile replicas of partition *pid*, classified.
+
+    Returns ``(orig, key)``: ``orig`` are indices into *rel* grouped by
+    ``key = (ty * nx + tx) * 4 + class`` in ascending key order.  The
+    stable grouping sort keeps the ``xl`` order of *rel* inside every
+    group, so slices of the gathered columns are forward-scan ready.
+    """
+    txl, tyl = point_tiles(np, grid, rel.xl, rel.yl)
+    txh, tyh = point_tiles(np, grid, rel.xh, rel.yh)
+    widths = txh - txl + 1
+    counts = widths * (tyh - tyl + 1)
+    total = int(counts.sum())
+    orig = np.repeat(np.arange(rel.n), counts)
+    offsets = np.cumsum(counts) - counts
+    flat = np.arange(total) - np.repeat(offsets, counts)
+    w = widths[orig]
+    tx = txl[orig] + flat % w
+    ty = tyl[orig] + flat // w
+    keep = tile_partitions(np, grid, tx, ty) == pid
+    orig = orig[keep]
+    tx = tx[keep]
+    ty = ty[keep]
+    cls = (txl[orig] < tx).astype(np.int64) + 2 * (tyl[orig] < ty)
+    key = (ty * grid.nx + tx) * 4 + cls
+    order = np.argsort(key, kind="stable")
+    counters.batch_ops += (
+        CLASSIFY_BATCH_OPS_PER_RECORD * rel.n
+        + CLASSIFY_BATCH_OPS_PER_REPLICA * total
+    )
+    _charge_batch_sort(counters, total)
+    return orig[order], key[order]
+
+
+def _gather(rel: ColumnarRelation, orig: Any) -> ColumnarRelation:
+    """The grouped replica columns (xl-sorted inside every group)."""
+    return ColumnarRelation(
+        rel.oid[orig],
+        rel.xl[orig],
+        rel.yl[orig],
+        rel.xh[orig],
+        rel.yh[orig],
+        sorted_by_xl=True,
+    )
+
+
+def _mini_joins(
+    np: Any, a_key: Any, b_key: Any
+) -> Tuple[List[MiniJoin], List[int]]:
+    """The task's mini-join sequence and per-mini-join work weights.
+
+    Tiles run in ascending key (row-major) order, classes in schedule
+    order — the canonical order every split part reproduces.  Only
+    non-empty combinations on tiles present in both relations appear
+    (the owner tile of any pair holds replicas of both sides).
+    """
+    tiles = np.intersect1d(a_key // 4, b_key // 4)
+    minis: List[MiniJoin] = []
+    weights: List[int] = []
+    if tiles.size == 0:
+        return minis, weights
+    probes = tiles[:, None] * 4 + np.arange(5)
+    a_bounds = np.searchsorted(a_key, probes)
+    b_bounds = np.searchsorted(b_key, probes)
+    for t in range(int(tiles.size)):
+        for left_cls, right_cls in MINI_JOIN_SCHEDULE:
+            a_lo = int(a_bounds[t, left_cls])
+            a_hi = int(a_bounds[t, left_cls + 1])
+            b_lo = int(b_bounds[t, right_cls])
+            b_hi = int(b_bounds[t, right_cls + 1])
+            if a_hi > a_lo and b_hi > b_lo:
+                minis.append((a_lo, a_hi, b_lo, b_hi))
+                weights.append((a_hi - a_lo) + (b_hi - b_lo))
+    return minis, weights
+
+
+def _split_plan(
+    weights: Sequence[int], part: int, n_parts: int
+) -> List[Tuple[int, Optional[Tuple[int, int]]]]:
+    """Part *part*'s share of the mini-join sequence.
+
+    The cumulative work axis ``[0, total)`` is cut into ``n_parts`` equal
+    intervals; a part runs every mini-join whose work span intersects its
+    interval.  A mini-join covered by a single part runs whole
+    (``stripe_slice=None``); one straddling ``m`` parts is shared by
+    giving covering part ``j`` the stripe sub-slice ``(j, m)`` of that
+    one scan — the forward-scan kernel guarantees the sub-slices
+    concatenated in order are bit-identical to the full scan, so the
+    parts concatenated in part order reproduce the unsplit task exactly.
+
+    Every part computes the identical plan from the identical inputs
+    (pure integer/float arithmetic, no state), which is what makes the
+    split deterministic across processes.
+    """
+    n = len(weights)
+    if n == 0:
+        return []
+    cum: List[int] = []
+    running = 0
+    for w in weights:
+        running += w
+        cum.append(running)
+    total = running
+    ranges: List[Tuple[int, int]] = []
+    for p in range(n_parts):
+        s = total * p / n_parts
+        e = float(total) if p + 1 == n_parts else total * (p + 1) / n_parts
+        lo = bisect_right(cum, s)
+        hi = min(bisect_left(cum, e), n - 1)
+        ranges.append((lo, hi))
+    first_cover = [0] * n
+    n_cover = [0] * n
+    for p, (lo, hi) in enumerate(ranges):
+        for i in range(lo, hi + 1):
+            if n_cover[i] == 0:
+                first_cover[i] = p
+            n_cover[i] += 1
+    lo, hi = ranges[part]
+    plan: List[Tuple[int, Optional[Tuple[int, int]]]] = []
+    for i in range(lo, hi + 1):
+        m = n_cover[i]
+        sub = (part - first_cover[i], m) if m > 1 else None
+        plan.append((i, sub))
+    return plan
+
+
+def twolayer_join_ids(
+    a_cols: ColumnarRelation,
+    b_cols: ColumnarRelation,
+    grid: TileGrid,
+    pid: int,
+    counters: CpuCounters,
+    batch_candidates: int = DEFAULT_BATCH_CANDIDATES,
+    stripe_slice: Optional[Tuple[int, int]] = None,
+) -> Tuple:
+    """Columnar two-layer join of one partition pair: id buffers, no tuples.
+
+    Returns ``(rid, sid, suppressed)`` in the calling convention of
+    :func:`repro.kernels.rpm.rpm_join_ids`; ``suppressed`` is always 0 —
+    avoidance never detects a pair it has to throw away.  Unsorted inputs
+    are sorted here with the same charge-once convention as the RPM
+    kernel; ``stripe_slice=(part, n_parts)`` runs only that part of the
+    mini-join plan (see :func:`_split_plan`).
+    """
+    np = require_numpy()
+    if a_cols.n == 0 or b_cols.n == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty, 0
+    # Split sibling parts redo the sort/classification only because
+    # process isolation denies them part 0's arrays; charge once.
+    charge = stripe_slice is None or stripe_slice[0] == 0
+    if a_cols.sorted_by_xl:
+        a = a_cols
+    else:
+        if charge:
+            _charge_batch_sort(counters, a_cols.n)
+        a = a_cols.sort_by_xl()
+    if b_cols.sorted_by_xl:
+        b = b_cols
+    else:
+        if charge:
+            _charge_batch_sort(counters, b_cols.n)
+        b = b_cols.sort_by_xl()
+    layout_counters = counters if charge else CpuCounters()
+    a_orig, a_key = _classify(np, a, grid, pid, layout_counters)
+    b_orig, b_key = _classify(np, b, grid, pid, layout_counters)
+    ga = _gather(a, a_orig)
+    gb = _gather(b, b_orig)
+    minis, weights = _mini_joins(np, a_key, b_key)
+    if stripe_slice is None:
+        todo: List[Tuple[int, Optional[Tuple[int, int]]]] = [
+            (i, None) for i in range(len(minis))
+        ]
+    else:
+        todo = _split_plan(weights, stripe_slice[0], stripe_slice[1])
+    rids = []
+    sids = []
+    for i, sub in todo:
+        a_lo, a_hi, b_lo, b_hi = minis[i]
+        a_grp = ColumnarRelation(
+            ga.oid[a_lo:a_hi],
+            ga.xl[a_lo:a_hi],
+            ga.yl[a_lo:a_hi],
+            ga.xh[a_lo:a_hi],
+            ga.yh[a_lo:a_hi],
+            sorted_by_xl=True,
+        )
+        b_grp = ColumnarRelation(
+            gb.oid[b_lo:b_hi],
+            gb.xl[b_lo:b_hi],
+            gb.yl[b_lo:b_hi],
+            gb.xh[b_lo:b_hi],
+            gb.yh[b_lo:b_hi],
+            sorted_by_xl=True,
+        )
+        for a_idx, b_idx in forward_scan_batches(
+            a_grp, b_grp, counters, batch_candidates, sub
+        ):
+            rids.append(a_grp.oid[a_idx])
+            sids.append(b_grp.oid[b_idx])
+    if rids:
+        return np.concatenate(rids), np.concatenate(sids), 0
+    empty = np.empty(0, dtype=np.int64)
+    return empty, empty, 0
+
+
+def twolayer_join_task(
+    records_left: Sequence[Tuple],
+    records_right: Sequence[Tuple],
+    grid: TileGrid,
+    pid: int,
+    counters: CpuCounters,
+    batch_candidates: int = DEFAULT_BATCH_CANDIDATES,
+    stripe_slice: Optional[Tuple[int, int]] = None,
+) -> Tuple[List[Tuple[int, int]], int]:
+    """One partition-pair join with two-layer avoidance, tuples in and out.
+
+    The ``(pairs, duplicates_suppressed)`` convention of
+    :func:`repro.kernels.rpm.rpm_join_task`; the second element is always
+    0.  Uses the columnar kernel when the numpy backend is on and the
+    scalar engine of :mod:`repro.pbsm.twolayer` (list sweep internals)
+    otherwise.  The scalar engine cannot slice a mini-join plan, so under
+    a stripe split it assigns the whole join to part 0 and leaves the
+    other parts empty — the merged result is identical either way.
+    """
+    np = get_numpy()
+    if np is None:
+        if stripe_slice is not None and stripe_slice[0] != 0:
+            return [], 0
+        return (
+            twolayer_partition_join(
+                records_left, records_right, grid, pid, sweep_list_join, counters
+            ),
+            0,
+        )
+    if not records_left or not records_right:
+        return [], 0
+    if stripe_slice is None or stripe_slice[0] == 0:
+        a = sorted_columns(records_left, counters)
+        b = sorted_columns(records_right, counters)
+    else:
+        scratch = CpuCounters()
+        a = sorted_columns(records_left, scratch)
+        b = sorted_columns(records_right, scratch)
+    rid, sid, _ = twolayer_join_ids(
+        a, b, grid, pid, counters, batch_candidates, stripe_slice
+    )
+    return list(zip(rid.tolist(), sid.tolist())), 0
+
+
+__all__ = [
+    "CLASSIFY_BATCH_OPS_PER_RECORD",
+    "CLASSIFY_BATCH_OPS_PER_REPLICA",
+    "twolayer_join_ids",
+    "twolayer_join_task",
+]

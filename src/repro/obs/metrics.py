@@ -19,6 +19,7 @@ standard metric names:
 from __future__ import annotations
 
 import bisect
+import math
 from typing import Any, Dict, List, Sequence, Tuple
 
 _LabelKey = Tuple[Tuple[str, str], ...]
@@ -92,26 +93,46 @@ class _Histogram:
         """Estimated q-quantile from the bucket counts.
 
         Linear interpolation inside the containing bucket — the same
-        estimate PromQL's ``histogram_quantile`` computes; the +Inf
-        bucket clamps to the largest finite edge.
+        estimate PromQL's ``histogram_quantile`` computes.  Always
+        returns a finite value: mass in the +Inf bucket (explicit or
+        the implicit overflow slot) clamps to the largest finite edge,
+        ``q`` is clamped into ``[0, 1]``, an unobserved label set
+        returns 0.0, and a histogram with no finite edges at all falls
+        back to the observed mean (0.0 if even that overflowed) — so
+        no ``inf``/``nan`` ever leaks into stats exports.
         """
         state = self.samples.get(key)
         if state is None or state.count == 0:
             return 0.0
+        q = min(1.0, max(0.0, q))
+        clamp = 0.0
+        for edge in reversed(self.buckets):
+            if math.isfinite(edge):
+                clamp = edge
+                break
+        else:
+            # No finite edge to interpolate on: every observation sits
+            # in an infinite bucket, so the mean is the best estimate.
+            mean = state.sum / state.count
+            return mean if math.isfinite(mean) else 0.0
         rank = q * state.count
         seen = 0.0
         for idx, bucket_count in enumerate(state.bucket_counts):
             if bucket_count == 0:
                 continue
             if seen + bucket_count >= rank:
-                if idx >= len(self.buckets):  # +Inf bucket
-                    return self.buckets[-1]
+                if idx >= len(self.buckets) or not math.isfinite(
+                    self.buckets[idx]
+                ):
+                    return clamp  # +Inf bucket
                 lo = self.buckets[idx - 1] if idx > 0 else 0.0
+                if not math.isfinite(lo):
+                    lo = 0.0
                 hi = self.buckets[idx]
                 fraction = (rank - seen) / bucket_count
                 return lo + (hi - lo) * fraction
             seen += bucket_count
-        return self.buckets[-1]
+        return clamp
 
 
 class MetricsRegistry:

@@ -4,7 +4,12 @@ from repro.pbsm.dedup import sort_based_dedup
 from repro.pbsm.estimator import estimate_partitions
 from repro.pbsm.grid import TILE_MAPPINGS, TileGrid
 from repro.pbsm.join import DEDUP_MODES, PBSM, pbsm_join
-from repro.pbsm.parallel import EXECUTORS, ParallelPBSM, reset_clamp_warnings
+from repro.pbsm.parallel import (
+    EXECUTORS,
+    PARALLEL_DEDUP_MODES,
+    ParallelPBSM,
+    reset_clamp_warnings,
+)
 from repro.pbsm.partitioner import partition_csr, partition_relation
 from repro.pbsm.repartition import choose_split, compose_region_test, split_partition
 from repro.pbsm.scheduler import (
@@ -14,17 +19,31 @@ from repro.pbsm.scheduler import (
     static_makespan,
     steal_schedule,
 )
+from repro.pbsm.twolayer import (
+    CORNER_CLASSES,
+    MINI_JOIN_SCHEDULE,
+    bottom_left_refpoint,
+    classify_tiles,
+    corner_class,
+    twolayer_partition_join,
+)
 
 __all__ = [
+    "CORNER_CLASSES",
     "DEDUP_MODES",
     "EXECUTORS",
+    "MINI_JOIN_SCHEDULE",
+    "PARALLEL_DEDUP_MODES",
     "PBSM",
     "ParallelPBSM",
     "SCHEDULERS",
     "TILE_MAPPINGS",
     "TileGrid",
+    "bottom_left_refpoint",
+    "classify_tiles",
     "choose_split",
     "compose_region_test",
+    "corner_class",
     "count_steals",
     "estimate_partitions",
     "lpt_schedule",
@@ -36,4 +55,5 @@ __all__ = [
     "split_partition",
     "static_makespan",
     "steal_schedule",
+    "twolayer_partition_join",
 ]

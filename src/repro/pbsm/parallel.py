@@ -62,10 +62,13 @@ The process executor ships its data one of two ways:
   ``REPRO_DISABLE_SHM=1`` (or a platform without POSIX shared memory)
   falls back to the pickle transport with byte-identical output.
 
-Duplicate elimination is RPM, which is what makes the parallel version
-correct without any cross-worker coordination: each result is owned by
-exactly one partition — and, under stripe splitting, by exactly one
-stripe part of that partition.
+Duplicate handling is online — ``dedup="rpm"`` (the reference-point test)
+or ``dedup="twolayer"`` (corner-class avoidance, zero per-pair work) —
+which is what makes the parallel version correct without any cross-worker
+coordination: each result is owned by exactly one partition — and, under
+stripe splitting, by exactly one stripe part of that partition.  The
+offline ``"sort"`` mode would serialise the join behind a global sorting
+phase, so it is rejected here rather than silently degraded.
 """
 
 from __future__ import annotations
@@ -109,13 +112,19 @@ from repro.kernels.shm import (
     columnar_arrays,
     shm_enabled,
 )
+from repro.kernels.twolayer import twolayer_join_ids, twolayer_join_task
 from repro.obs.trace import KIND_RUN, KIND_TASK, KIND_WORKER, NULL_TRACER
 from repro.pbsm.estimator import estimate_partitions
 from repro.pbsm.grid import TileGrid
 from repro.pbsm.partitioner import partition_relation
 from repro.pbsm.scheduler import SCHEDULERS, count_steals, lpt_schedule
+from repro.pbsm.twolayer import twolayer_partition_join
 
 EXECUTORS = ("simulated", "process", "thread")
+
+#: Dedup modes the parallel driver supports: both are *online* (each pair
+#: is owned by exactly one task), so no cross-worker phase is needed.
+PARALLEL_DEDUP_MODES = ("rpm", "twolayer")
 
 #: Chunks submitted per worker in process mode; >1 smooths load imbalance
 #: that the up-front LPT packing cannot foresee.
@@ -218,13 +227,17 @@ def _task_stripe(task: Tuple) -> Optional[Tuple[int, int]]:
     return (task[3], task[4]) if len(task) > 3 else None
 
 
-def _run_join_task(internal_name: str, grid: TileGrid, task: JoinTask) -> TaskOutcome:
-    """Execute one partition-pair join with RPM ownership by its pid.
+def _run_join_task(
+    internal_name: str, grid: TileGrid, task: JoinTask, dedup: str = "rpm"
+) -> TaskOutcome:
+    """Execute one partition-pair join with online ownership by its pid.
 
-    A stripe-split task runs only its stripe part of the scan (the numpy
-    sweep path); scalar internals cannot slice, so for them the whole
-    join belongs to part 0 and every other part is empty — the merged
-    result is identical either way.
+    ``dedup`` selects the ownership scheme: ``"rpm"`` (reference-point
+    test) or ``"twolayer"`` (corner-class avoidance).  A stripe-split
+    task runs only its stripe part of the scan (the numpy sweep path);
+    scalar internals cannot slice, so for them the whole join belongs to
+    part 0 and every other part is empty — the merged result is
+    identical either way.
     """
     pid, records_left, records_right = task[0], task[1], task[2]
     stripe = _task_stripe(task)
@@ -232,7 +245,8 @@ def _run_join_task(internal_name: str, grid: TileGrid, task: JoinTask) -> TaskOu
     started = time.perf_counter()
     counters = CpuCounters()
     if internal_name == "sweep_numpy":
-        pairs, suppressed = rpm_join_task(
+        join_task = rpm_join_task if dedup == "rpm" else twolayer_join_task
+        pairs, suppressed = join_task(
             records_left, records_right, grid, pid, counters, stripe_slice=stripe
         )
         wall = time.perf_counter() - started
@@ -241,6 +255,18 @@ def _run_join_task(internal_name: str, grid: TileGrid, task: JoinTask) -> TaskOu
     if stripe is not None and part != 0:
         wall = time.perf_counter() - started
         return pid, part, [], 0, counters.as_dict(), wall
+
+    if dedup == "twolayer":
+        pairs = twolayer_partition_join(
+            records_left,
+            records_right,
+            grid,
+            pid,
+            internal_algorithm(internal_name),
+            counters,
+        )
+        wall = time.perf_counter() - started
+        return pid, part, pairs, 0, counters.as_dict(), wall
 
     pairs: List[Tuple[int, int]] = []
     suppressed = 0
@@ -273,25 +299,30 @@ def _run_join_task(internal_name: str, grid: TileGrid, task: JoinTask) -> TaskOu
 _POOL_INTERNAL: Optional[str] = None
 _POOL_GRID: Optional[TileGrid] = None
 _POOL_STORE: Optional[SharedColumnarStore] = None
+_POOL_DEDUP: str = "rpm"
 
 
 def _pool_init(
-    internal_name: str, grid_spec: Tuple, manifest: Optional[Any] = None
+    internal_name: str,
+    grid_spec: Tuple,
+    manifest: Optional[Any] = None,
+    dedup: str = "rpm",
 ) -> None:
     """Process-pool initializer: rebuild per-worker state exactly once.
 
-    The internal-algorithm name and the grid used to be re-pickled into
-    every chunk payload; both are installed here instead, once per
-    worker.  With a shared-memory *manifest* the worker also attaches
-    the input segment here, so chunk payloads shrink to bare task
-    tuples.
+    The internal-algorithm name, the grid and the dedup mode used to be
+    re-pickled into every chunk payload; all are installed here instead,
+    once per worker.  With a shared-memory *manifest* the worker also
+    attaches the input segment here, so chunk payloads shrink to bare
+    task tuples.
     """
-    global _POOL_INTERNAL, _POOL_GRID, _POOL_STORE
+    global _POOL_INTERNAL, _POOL_GRID, _POOL_STORE, _POOL_DEDUP
     _POOL_INTERNAL = internal_name
     _POOL_GRID = _grid_from_spec(grid_spec)
     _POOL_STORE = (
         SharedColumnarStore.attach(manifest) if manifest is not None else None
     )
+    _POOL_DEDUP = dedup
 
 
 def _run_chunk(payload: bytes) -> bytes:
@@ -307,13 +338,15 @@ def _run_chunk(payload: bytes) -> bytes:
     """
     assert _POOL_INTERNAL is not None and _POOL_GRID is not None
     tasks: List[JoinTask] = pickle.loads(payload)
-    return _chunk_blob(_POOL_INTERNAL, _POOL_GRID, tasks)
+    return _chunk_blob(_POOL_INTERNAL, _POOL_GRID, tasks, _POOL_DEDUP)
 
 
-def _chunk_blob(internal_name: str, grid: TileGrid, tasks: List[JoinTask]) -> bytes:
+def _chunk_blob(
+    internal_name: str, grid: TileGrid, tasks: List[JoinTask], dedup: str = "rpm"
+) -> bytes:
     """Run one pickle-transport chunk and serialise its :data:`ChunkOutcome`."""
     started = time.perf_counter()
-    outcomes = [_run_join_task(internal_name, grid, task) for task in tasks]
+    outcomes = [_run_join_task(internal_name, grid, task, dedup) for task in tasks]
     wall = time.perf_counter() - started
     return pickle.dumps(
         (os.getpid(), wall, outcomes), pickle.HIGHEST_PROTOCOL
@@ -332,11 +365,17 @@ def _run_shm_chunk(payload: bytes) -> bytes:
     """
     assert _POOL_INTERNAL is not None and _POOL_GRID is not None
     tasks: List[ShmJoinTask] = pickle.loads(payload)
-    return _shm_chunk_blob(_POOL_INTERNAL, _POOL_GRID, _POOL_STORE, tasks)
+    return _shm_chunk_blob(
+        _POOL_INTERNAL, _POOL_GRID, _POOL_STORE, tasks, _POOL_DEDUP
+    )
 
 
 def _shm_chunk_blob(
-    internal_name: str, grid: TileGrid, store: Any, tasks: List[ShmJoinTask]
+    internal_name: str,
+    grid: TileGrid,
+    store: Any,
+    tasks: List[ShmJoinTask],
+    dedup: str = "rpm",
 ) -> bytes:
     """Run one shared-memory chunk against *store* and serialise the blob."""
     np = require_numpy()
@@ -352,7 +391,8 @@ def _shm_chunk_blob(
         a = store.gather("L", store["L.ids"][l_lo:l_hi])
         b = store.gather("R", store["R.ids"][r_lo:r_hi])
         if internal_name == "sweep_numpy":
-            rid, sid, suppressed = rpm_join_ids(
+            join_ids = rpm_join_ids if dedup == "rpm" else twolayer_join_ids
+            rid, sid, suppressed = join_ids(
                 a, b, grid, pid, counters, stripe_slice=stripe
             )
             counter_dict = counters.as_dict()
@@ -361,7 +401,7 @@ def _shm_chunk_blob(
             if stripe is not None:
                 record_task = record_task + stripe
             _, _, pairs, suppressed, counter_dict, _ = _run_join_task(
-                internal_name, grid, record_task
+                internal_name, grid, record_task, dedup
             )
             rid = np.fromiter(
                 (p[0] for p in pairs), dtype=np.int64, count=len(pairs)
@@ -402,10 +442,10 @@ def _shm_chunk_blob(
 #: marks a per-query segment closed again when the chunk ends.
 StoreRef = Tuple[Manifest, Tuple[Tuple[str, str], ...], bool]
 
-#: ``(internal_name, grid_spec, store_refs | None)`` — the per-query
-#: configuration a dynamic chunk carries instead of relying on a pool
-#: initializer.  ``store_refs=None`` selects the pickle transport.
-PoolConfig = Tuple[str, Tuple, Optional[Tuple[StoreRef, ...]]]
+#: ``(internal_name, grid_spec, store_refs | None, dedup)`` — the
+#: per-query configuration a dynamic chunk carries instead of relying on
+#: a pool initializer.  ``store_refs=None`` selects the pickle transport.
+PoolConfig = Tuple[str, Tuple, Optional[Tuple[StoreRef, ...]], str]
 
 #: Long-lived attachments by segment name (pinned dataset segments);
 #: lives in the worker process for the lifetime of the persistent pool.
@@ -458,13 +498,13 @@ def _run_dyn_chunk(payload: bytes) -> bytes:
     datasets touch the big columns without ever re-mapping them.
     """
     config, tasks = pickle.loads(payload)
-    internal_name, grid_spec, refs = config
+    internal_name, grid_spec, refs, dedup = config
     grid = _grid_from_spec(grid_spec)
     if refs is None:
-        return _chunk_blob(internal_name, grid, tasks)
+        return _chunk_blob(internal_name, grid, tasks, dedup)
     store, ephemeral = _dyn_store(refs)
     try:
-        return _shm_chunk_blob(internal_name, grid, store, tasks)
+        return _shm_chunk_blob(internal_name, grid, store, tasks, dedup)
     finally:
         for attached in ephemeral:
             attached.close()
@@ -586,10 +626,15 @@ class ParallelPBSM:
     ``scheduler`` selects the task-dispatch policy (``"stealing"``
     default, ``"static"`` for the classic up-front LPT chunking) and
     gates stripe splitting of oversized tasks — see the module
-    docstring.  ``shared_memory=True`` switches the process executor to
-    the zero-copy transport; out-of-range worker counts are clamped with
-    a :class:`RuntimeWarning` (once per process per distinct clamp)
-    instead of raising or silently oversubscribing the machine.
+    docstring.  ``dedup`` selects the online ownership scheme —
+    ``"rpm"`` (per-pair reference-point test) or ``"twolayer"``
+    (corner-class avoidance with zero per-pair work); the offline
+    ``"sort"`` mode is rejected because it would serialise the join
+    behind a global sorting phase.  ``shared_memory=True`` switches the
+    process executor to the zero-copy transport; out-of-range worker
+    counts are clamped with a :class:`RuntimeWarning` (once per process
+    per distinct clamp) instead of raising or silently oversubscribing
+    the machine.
     """
 
     def __init__(
@@ -601,6 +646,7 @@ class ParallelPBSM:
         executor: str = "simulated",
         scheduler: str = "stealing",
         shared_memory: bool = False,
+        dedup: str = "rpm",
         t_factor: float = 1.2,
         tiles_per_partition: int = 4,
         cost_model: Optional[CostModel] = None,
@@ -613,6 +659,13 @@ class ParallelPBSM:
         if executor not in EXECUTORS:
             raise ValueError(
                 f"executor must be one of {EXECUTORS}, got {executor!r}"
+            )
+        if dedup not in PARALLEL_DEDUP_MODES:
+            raise ValueError(
+                f"ParallelPBSM dedup must be one of {PARALLEL_DEDUP_MODES}, "
+                f"got {dedup!r}: offline sort-based removal would serialise "
+                "the join behind a global sorting phase (use the sequential "
+                "PBSM driver for dedup='sort')"
             )
         if scheduler not in SCHEDULERS:
             raise ValueError(
@@ -638,6 +691,7 @@ class ParallelPBSM:
         self.executor = executor
         self.scheduler = scheduler
         self.shared_memory = shared_memory
+        self.dedup = dedup
         self.t_factor = t_factor
         self.tiles_per_partition = tiles_per_partition
         self.cost_model = cost_model or CostModel()
@@ -663,8 +717,14 @@ class ParallelPBSM:
             and self.workers > 1
             and shm_enabled()
         )
+        # RPM stays untagged (the historical spelling); avoidance is
+        # surfaced so reports and traces show which scheme owned pairs.
+        dedup_tag = "" if self.dedup == "rpm" else ",2L"
         stats = JoinStats(
-            algorithm=f"ParallelPBSM({self.internal_name},W={self.workers})",
+            algorithm=(
+                f"ParallelPBSM({self.internal_name}{dedup_tag},"
+                f"W={self.workers})"
+            ),
             backend=(
                 active_backend() if self.internal_name == "sweep_numpy" else ""
             ),
@@ -696,6 +756,7 @@ class ParallelPBSM:
             "parallel_pbsm",
             kind=KIND_RUN,
             internal=self.internal_name,
+            dedup=self.dedup,
             executor=self.executor,
             scheduler=self.scheduler,
             workers=self.workers,
@@ -866,7 +927,9 @@ class ParallelPBSM:
             started = time.perf_counter()
             outcomes = []
             for task in tasks:
-                outcome = _run_join_task(self.internal_name, grid, task)
+                outcome = _run_join_task(
+                    self.internal_name, grid, task, self.dedup
+                )
                 outcomes.append(outcome)
                 if tracer.recording:
                     tracer.add_span(
@@ -991,7 +1054,12 @@ class ParallelPBSM:
         chunks = self._units(tasks)
         encode_started = time.perf_counter()
         if self.pool is not None:
-            config: PoolConfig = (self.internal_name, _grid_spec(grid), None)
+            config: PoolConfig = (
+                self.internal_name,
+                _grid_spec(grid),
+                None,
+                self.dedup,
+            )
             payloads = [
                 pickle.dumps((config, chunk), pickle.HIGHEST_PROTOCOL)
                 for chunk in chunks
@@ -1014,7 +1082,7 @@ class ParallelPBSM:
             with ProcessPoolExecutor(
                 max_workers=self.workers,
                 initializer=_pool_init,
-                initargs=(self.internal_name, _grid_spec(grid)),
+                initargs=(self.internal_name, _grid_spec(grid), None, self.dedup),
             ) as pool:
                 blobs = cast(
                     List[bytes], self._drain(pool, _run_chunk, payloads)
@@ -1064,11 +1132,12 @@ class ParallelPBSM:
 
         units = self._units(tasks)
         internal_name = self.internal_name
+        dedup = self.dedup
 
         def run_unit(unit: List[JoinTask]) -> Tuple[str, float, List[TaskOutcome]]:
             unit_started = time.perf_counter()
             unit_outcomes = [
-                _run_join_task(internal_name, grid, task) for task in unit
+                _run_join_task(internal_name, grid, task, dedup) for task in unit
             ]
             wall = time.perf_counter() - unit_started
             return threading.current_thread().name, wall, unit_outcomes
@@ -1157,6 +1226,7 @@ class ParallelPBSM:
                     self.internal_name,
                     _grid_spec(grid),
                     tuple(pinned_refs) + ((store.manifest, (), False),),
+                    self.dedup,
                 )
                 payloads = [
                     pickle.dumps((config, chunk), pickle.HIGHEST_PROTOCOL)
@@ -1183,6 +1253,7 @@ class ParallelPBSM:
                         self.internal_name,
                         _grid_spec(grid),
                         store.manifest,
+                        self.dedup,
                     ),
                 ) as pool:
                     blobs = cast(
@@ -1246,6 +1317,7 @@ __all__ = [
     "CHUNKS_PER_WORKER",
     "EXECUTORS",
     "MAX_WORKERS_ENV",
+    "PARALLEL_DEDUP_MODES",
     "ParallelPBSM",
     "SCHEDULERS",
     "STRIPE_SPLIT_FACTOR",

@@ -1,0 +1,196 @@
+"""Two-layer corner-class duplicate *avoidance* for PBSM (``dedup="twolayer"``).
+
+The paper's two duplicate strategies both pay per pair: ``dedup="sort"``
+materialises every candidate and sorts, ``dedup="rpm"`` runs a reference
+point test on every detected pair.  Two-layer space-oriented partitioning
+(Tsitsigkos et al.) removes the per-pair cost entirely: inside each tile,
+every replicated rectangle is classified once by where its *low* corners
+fall —
+
+* class **A** — both low corners inside the tile (its home tile),
+* class **B** — the x-low corner is in a tile to the left,
+* class **C** — the y-low corner is in a tile below,
+* class **D** — both low corners outside (left *and* below),
+
+and then only the cross-class mini-joins of :data:`MINI_JOIN_SCHEDULE` are
+executed.  The schedule is exactly the set of class combinations for which
+the intersection's bottom-left corner ``(max(r.xl, s.xl), max(r.yl, s.yl))``
+provably lies in the tile: per axis, the clamped tile index is monotone, so
+``tile_x(max(r.xl, s.xl)) == tx`` iff at least one of the two rectangles has
+its x-low corner inside the tile's x-slab (class A or C), and symmetrically
+for y.  Enumerating the sixteen ordered class pairs under
+``(r.ax or s.ax) and (r.ay or s.ay)`` leaves the nine combinations below —
+each intersecting pair therefore surfaces in *exactly one* mini-join of
+*exactly one* tile, with zero reference-point tests and zero sorting.
+
+Ownership by the intersection's **bottom-left** corner (RPM uses the
+top-left) also settles every degenerate case: a point MBR's home tile is
+the only tile it overlaps, so it is always class A, and the owner tile of
+any pair contains a real point of both rectangles — ownership can never
+escape the tiles the pair actually intersects.
+
+This module is the scalar engine (pluggable internal algorithms, the same
+registry the sequential driver uses); :mod:`repro.kernels.twolayer` is the
+vectorized columnar variant.  Both own pairs identically.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from repro.core.stats import CpuCounters
+from repro.pbsm.grid import TileGrid
+
+#: Corner classes, indexed by ``(x_low_outside) + 2 * (y_low_outside)``.
+CLASS_A, CLASS_B, CLASS_C, CLASS_D = 0, 1, 2, 3
+
+#: Class names for display and tests.
+CORNER_CLASSES = ("A", "B", "C", "D")
+
+#: The nine ordered ``(left_class, right_class)`` mini-joins whose pairs
+#: are owned by the tile (see the module docstring for the derivation).
+#: Grouped A-side first so the common case (A x everything) runs first.
+MINI_JOIN_SCHEDULE: Tuple[Tuple[int, int], ...] = (
+    (CLASS_A, CLASS_A),
+    (CLASS_A, CLASS_B),
+    (CLASS_A, CLASS_C),
+    (CLASS_A, CLASS_D),
+    (CLASS_B, CLASS_A),
+    (CLASS_B, CLASS_C),
+    (CLASS_C, CLASS_A),
+    (CLASS_C, CLASS_B),
+    (CLASS_D, CLASS_A),
+)
+
+#: Scalar structure operations charged per (record, tile) visit of the
+#: classification walk (tile step + partition filter).
+CLASSIFY_OPS_PER_VISIT = 1
+
+#: Scalar structure operations charged per kept replica — the two corner
+#: comparisons that assign its class.
+CLASSIFY_OPS_PER_REPLICA = 2
+
+#: An internal join algorithm from the :mod:`repro.internal` registry.
+InternalAlgorithm = Callable[
+    [Sequence[Tuple], Sequence[Tuple], Callable[[Tuple, Tuple], None], CpuCounters],
+    None,
+]
+
+#: Per-tile class groups: four record lists indexed by corner class.
+TileGroups = Dict[Tuple[int, int], List[List[Tuple]]]
+
+
+def bottom_left_refpoint(r: Tuple, s: Tuple) -> Tuple[float, float]:
+    """The intersection's bottom-left corner — two-layer's ownership point.
+
+    Mirrors :func:`repro.core.refpoint.reference_point` (which uses the
+    top-left corner); both are points of ``r ∩ s``, so either defines a
+    consistent exactly-once ownership.  Two-layer uses the bottom-left
+    corner because it is the corner the classes are built from.
+    """
+    return (
+        r[1] if r[1] >= s[1] else s[1],
+        r[2] if r[2] >= s[2] else s[2],
+    )
+
+
+def corner_class(grid: TileGrid, kpe: Tuple, tx: int, ty: int) -> int:
+    """The corner class of *kpe* relative to tile ``(tx, ty)``.
+
+    The home tile (the tile of the low corner) can never be above or to
+    the right of a tile the rectangle overlaps, so two comparisons decide
+    the class.
+    """
+    hx, hy = grid.tile_of_point(kpe[1], kpe[2])
+    return (1 if hx < tx else 0) + (2 if hy < ty else 0)
+
+
+def classify_tiles(
+    records: Sequence[Tuple],
+    grid: TileGrid,
+    pid: int,
+    counters: CpuCounters,
+) -> TileGroups:
+    """Group *records* by (tile, corner class) over partition *pid*'s tiles.
+
+    A partition file stores each record once even when it overlaps several
+    of the partition's tiles, so the classification re-expands it: every
+    overlapped tile mapped to *pid* receives the record in the class its
+    low corners dictate.  Tile walk and class comparisons are charged as
+    ``structure_ops`` (this is the scalar engine; the vectorized variant
+    charges ``batch_ops``).
+    """
+    groups: TileGroups = {}
+    partition_of_tile = grid.partition_of_tile
+    tile_of_point = grid.tile_of_point
+    visits = 0
+    kept = 0
+    for rec in records:
+        hx, hy = tile_of_point(rec[1], rec[2])
+        txh, tyh = tile_of_point(rec[3], rec[4])
+        for ty in range(hy, tyh + 1):
+            for tx in range(hx, txh + 1):
+                visits += 1
+                if partition_of_tile(tx, ty) != pid:
+                    continue
+                kept += 1
+                cls = (1 if hx < tx else 0) + (2 if hy < ty else 0)
+                tile = groups.get((tx, ty))
+                if tile is None:
+                    tile = [[], [], [], []]
+                    groups[(tx, ty)] = tile
+                tile[cls].append(rec)
+    counters.structure_ops += (
+        CLASSIFY_OPS_PER_VISIT * visits + CLASSIFY_OPS_PER_REPLICA * kept
+    )
+    return groups
+
+
+def twolayer_partition_join(
+    records_left: Sequence[Tuple],
+    records_right: Sequence[Tuple],
+    grid: TileGrid,
+    pid: int,
+    internal: InternalAlgorithm,
+    counters: CpuCounters,
+) -> List[Tuple[int, int]]:
+    """One partition-pair join with two-layer duplicate avoidance.
+
+    Classifies both sides over the partition's tiles, then runs the nine
+    cross-class mini-joins of :data:`MINI_JOIN_SCHEDULE` per tile with the
+    pluggable *internal* algorithm.  Every emitted pair is owned by its
+    tile by construction — there is no per-pair test and nothing to
+    suppress, which is the whole point of the scheme.
+
+    Tiles run in ``(tx, ty)`` order, mini-joins in schedule order, so the
+    output order is deterministic for a given internal algorithm.
+    """
+    left_groups = classify_tiles(records_left, grid, pid, counters)
+    right_groups = classify_tiles(records_right, grid, pid, counters)
+    pairs: List[Tuple[int, int]] = []
+
+    def emit(r: Tuple, s: Tuple) -> None:
+        pairs.append((r[0], s[0]))
+
+    # A pair's owner tile contains a point of both rectangles, so both
+    # sides are replicated there — tiles present on one side only cannot
+    # own anything.
+    for tile in sorted(set(left_groups) & set(right_groups)):
+        lg = left_groups[tile]
+        rg = right_groups[tile]
+        for left_cls, right_cls in MINI_JOIN_SCHEDULE:
+            if lg[left_cls] and rg[right_cls]:
+                internal(lg[left_cls], rg[right_cls], emit, counters)
+    return pairs
+
+
+__all__ = [
+    "CLASSIFY_OPS_PER_REPLICA",
+    "CLASSIFY_OPS_PER_VISIT",
+    "CORNER_CLASSES",
+    "MINI_JOIN_SCHEDULE",
+    "bottom_left_refpoint",
+    "classify_tiles",
+    "corner_class",
+    "twolayer_partition_join",
+]

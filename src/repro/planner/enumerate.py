@@ -4,8 +4,9 @@ The planner's search space is deliberately the cross product the paper's
 experiments explore by hand:
 
 * PBSM x {sweep_list, sweep_trie, sweep_tree} x a ``t``-factor grid
-  (Fig. 4/5 x Sec. 3.2.3), plus one sort-based-dedup configuration so
-  EXPLAIN can show *why* the Reference Point Method wins (Fig. 3);
+  (Fig. 4/5 x Sec. 3.2.3) x {rpm, twolayer} duplicate handling, plus one
+  sort-based-dedup configuration so EXPLAIN can show *why* the online
+  schemes win (Fig. 3);
 * S3J x its assignment/dedup strategies (original vs. size-replicated vs.
   hybrid — Fig. 10/11);
 * SHJ and SSSJ as the one-pass baselines;
@@ -112,15 +113,21 @@ def enumerate_candidates(
         )
         for internal in internals:
             for t in t_grid:
-                candidates.append(
-                    PlanCandidate(
-                        "pbsm",
-                        {"internal": internal, "t_factor": t, "dedup": "rpm"},
-                        estimate_pbsm(
-                            jp, memory_bytes, cost, internal=internal, t_factor=t
-                        ),
+                for dedup in ("rpm", "twolayer"):
+                    candidates.append(
+                        PlanCandidate(
+                            "pbsm",
+                            {"internal": internal, "t_factor": t, "dedup": dedup},
+                            estimate_pbsm(
+                                jp,
+                                memory_bytes,
+                                cost,
+                                internal=internal,
+                                t_factor=t,
+                                dedup=dedup,
+                            ),
+                        )
                     )
-                )
         # The original PBSM (final sorting phase) as a reference point.
         candidates.append(
             PlanCandidate(
@@ -151,32 +158,35 @@ def enumerate_candidates(
                 configs.append(("thread", "stealing", False))
             for executor, scheduler, shared in configs:
                 for t in t_grid:
-                    kwargs = {
-                        "internal": par_internal,
-                        "t_factor": t,
-                        "workers": workers,
-                        "executor": executor,
-                        "scheduler": scheduler,
-                    }
-                    if shared:
-                        kwargs["shared_memory"] = True
-                    candidates.append(
-                        PlanCandidate(
-                            "pbsm",
-                            kwargs,
-                            estimate_pbsm(
-                                jp,
-                                memory_bytes,
-                                cost,
-                                internal=par_internal,
-                                t_factor=t,
-                                workers=workers,
-                                shared_memory=shared,
-                                executor=executor,
-                                scheduler=scheduler,
-                            ),
+                    for dedup in ("rpm", "twolayer"):
+                        kwargs = {
+                            "internal": par_internal,
+                            "t_factor": t,
+                            "workers": workers,
+                            "executor": executor,
+                            "scheduler": scheduler,
+                            "dedup": dedup,
+                        }
+                        if shared:
+                            kwargs["shared_memory"] = True
+                        candidates.append(
+                            PlanCandidate(
+                                "pbsm",
+                                kwargs,
+                                estimate_pbsm(
+                                    jp,
+                                    memory_bytes,
+                                    cost,
+                                    internal=par_internal,
+                                    t_factor=t,
+                                    dedup=dedup,
+                                    workers=workers,
+                                    shared_memory=shared,
+                                    executor=executor,
+                                    scheduler=scheduler,
+                                ),
+                            )
                         )
-                    )
 
     if include("s3j"):
         for strategy in S3J_STRATEGIES:

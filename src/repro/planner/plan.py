@@ -48,7 +48,6 @@ def _run_candidate(
     if method == "pbsm":
         if "workers" in kwargs:
             workers = kwargs.pop("workers")
-            kwargs.pop("dedup", None)  # ParallelPBSM is RPM-only
             kwargs.setdefault("executor", "process")
             return ParallelPBSM(memory_bytes, workers, **kwargs).run(
                 left, right

@@ -149,7 +149,6 @@ class EngineHost:
             and self.pool is not None
         ):
             workers = kwargs.pop("workers")
-            kwargs.pop("dedup", None)  # ParallelPBSM is RPM-only
             kwargs.setdefault("executor", "process")
             pinned: Optional[Tuple[Any, Any]] = None
             if (

@@ -115,6 +115,100 @@ class TestJoin:
         )
         assert "PBSM(sweep_trie,PD)" in capsys.readouterr().out
 
+    def test_dedup_twolayer_sequential(self, tmp_path, capsys):
+        left, right = self._two_relations(tmp_path)
+        capsys.readouterr()
+        assert main(
+            [
+                "join",
+                str(left),
+                str(right),
+                "--method",
+                "pbsm",
+                "--dedup",
+                "twolayer",
+                "--memory-mb",
+                "0.05",
+            ]
+        ) == 0
+        assert ",2L)" in capsys.readouterr().out
+
+    def test_dedup_twolayer_parallel_full_stack(self, tmp_path, capsys):
+        left, right = self._two_relations(tmp_path)
+        capsys.readouterr()
+        assert main(
+            [
+                "join",
+                str(left),
+                str(right),
+                "--method",
+                "pbsm",
+                "--dedup",
+                "twolayer",
+                "--workers",
+                "2",
+                "--scheduler",
+                "stealing",
+                "--memory-mb",
+                "0.05",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "ParallelPBSM(" in out
+        assert ",2L," in out
+
+    def test_dedup_sort_with_workers_fails_fast(self, tmp_path, capsys):
+        left, right = self._two_relations(tmp_path)
+        capsys.readouterr()
+        assert main(
+            [
+                "join",
+                str(left),
+                str(right),
+                "--method",
+                "pbsm",
+                "--dedup",
+                "sort",
+                "--workers",
+                "2",
+                "--memory-mb",
+                "0.05",
+            ]
+        ) == 2
+        err = capsys.readouterr().err
+        assert "--dedup sort" in err
+        assert "--workers" in err
+
+    @pytest.mark.parametrize(
+        "extra",
+        [
+            ["--scheduler", "stealing"],
+            ["--shm"],
+        ],
+    )
+    def test_dedup_sort_fails_fast_with_any_parallel_flag(
+        self, tmp_path, capsys, extra
+    ):
+        left, right = self._two_relations(tmp_path)
+        capsys.readouterr()
+        assert main(
+            [
+                "join",
+                str(left),
+                str(right),
+                "--method",
+                "pbsm",
+                "--dedup",
+                "sort",
+                "--workers",
+                "2",
+                *extra,
+                "--memory-mb",
+                "0.05",
+            ]
+        ) == 2
+        assert "--dedup sort" in capsys.readouterr().err
+
     def test_self_join_relative_vs_resolved_path(self, tmp_path, capsys, monkeypatch):
         left, _ = self._two_relations(tmp_path)
         monkeypatch.chdir(tmp_path)

@@ -234,6 +234,67 @@ class TestMetrics:
         ) == result.stats.n_results
 
 
+class TestHistogramQuantileEdgeCases:
+    """quantile() must stay finite and sensible on every degenerate shape."""
+
+    def test_unobserved_returns_zero(self):
+        registry = MetricsRegistry()
+        registry.histogram("lat")
+        assert registry.quantile("lat", 0.5) == 0.0
+        assert registry.quantile("missing", 0.5) == 0.0
+
+    def test_q_zero_and_one_bracket_the_distribution(self):
+        registry = MetricsRegistry()
+        registry.histogram("lat", buckets=(1.0, 2.0, 4.0))
+        for value in (0.5, 1.5, 3.0):
+            registry.observe("lat", value)
+        q0 = registry.quantile("lat", 0.0)
+        q1 = registry.quantile("lat", 1.0)
+        assert 0.0 <= q0 <= q1 <= 4.0
+        import math
+
+        assert math.isfinite(q0) and math.isfinite(q1)
+
+    def test_out_of_range_q_is_clamped(self):
+        registry = MetricsRegistry()
+        registry.histogram("lat", buckets=(1.0, 2.0))
+        registry.observe("lat", 1.5)
+        assert registry.quantile("lat", -0.5) == registry.quantile("lat", 0.0)
+        assert registry.quantile("lat", 3.0) == registry.quantile("lat", 1.0)
+
+    def test_all_mass_in_inf_bucket_clamps_to_last_finite_edge(self):
+        registry = MetricsRegistry()
+        registry.histogram("lat", buckets=(0.1, 0.2))
+        for _ in range(5):
+            registry.observe("lat", 99.0)  # beyond every finite edge
+        for q in (0.0, 0.5, 0.99, 1.0):
+            assert registry.quantile("lat", q) == 0.2
+
+    def test_explicit_inf_edge_never_leaks(self):
+        import math
+
+        registry = MetricsRegistry()
+        registry.histogram("lat", buckets=(0.5, math.inf))
+        registry.observe("lat", 0.1)
+        registry.observe("lat", 100.0)
+        for q in (0.0, 0.5, 1.0):
+            assert math.isfinite(registry.quantile("lat", q))
+        assert registry.quantile("lat", 1.0) == 0.5
+
+    def test_no_finite_edges_falls_back_to_mean(self):
+        import math
+
+        registry = MetricsRegistry()
+        registry.histogram("lat", buckets=())
+        registry.observe("lat", 2.0)
+        registry.observe("lat", 4.0)
+        assert registry.quantile("lat", 0.5) == 3.0
+        inf_only = MetricsRegistry()
+        inf_only.histogram("lat", buckets=(math.inf,))
+        inf_only.observe("lat", math.inf)
+        assert inf_only.quantile("lat", 0.5) == 0.0
+
+
 # ----------------------------------------------------------------------
 # driver reconciliation: the trace IS the stats
 # ----------------------------------------------------------------------

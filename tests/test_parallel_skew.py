@@ -7,13 +7,17 @@ convention RPM uses at partition boundaries, applied at stripe
 boundaries), and the ``(pid, part)``-ordered merge reassembles exactly
 the sequential sequence.  These tests drive that claim with randomized
 Zipf-tile-occupancy workloads — the skew regime the scheduler exists
-for — across every executor and transport.
+for — across the executor x transport x scheduler x dedup cross
+product: under ``dedup="twolayer"`` splitting slices the mini-join
+schedule instead of a single stripe plan, and the charge-once counter
+convention for split siblings must still sum to the unsplit totals.
 """
 
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.core.phases import PHASE_JOIN
 from repro.datasets.synthetic import zipf_rects
 from repro.io.costmodel import mb
 from repro.kernels.backend import numpy_enabled
@@ -45,7 +49,8 @@ LEFT = zipf_rects(N_SPLIT, seed=101)
 RIGHT = zipf_rects(N_SPLIT, seed=202, start_oid=10**6)
 
 
-def run(executor, *, scheduler="stealing", shared_memory=False, workers=2):
+def run(executor, *, scheduler="stealing", shared_memory=False, workers=2,
+        dedup="rpm"):
     join = ParallelPBSM(
         MEMORY,
         workers,
@@ -53,6 +58,7 @@ def run(executor, *, scheduler="stealing", shared_memory=False, workers=2):
         executor=executor,
         scheduler=scheduler,
         shared_memory=shared_memory,
+        dedup=dedup,
     )
     return join.run(LEFT, RIGHT)
 
@@ -173,6 +179,86 @@ class TestSkewedByteIdentity:
 
 
 # ----------------------------------------------------------------------
+# the same matrix under dedup="twolayer" (corner-class avoidance)
+# ----------------------------------------------------------------------
+@needs_numpy
+class TestTwolayerSkewMatrix:
+    """Executor x transport x scheduler, with two-layer duplicate avoidance.
+
+    Splitting a two-layer task slices the flattened mini-join sequence
+    (straddling mini-joins continue as forward-scan stripe sub-slices),
+    so on top of byte-identity the matrix asserts the scheme's own
+    invariants: zero reference-point tests, zero sort removals, and the
+    charge-once convention — counters summed over split stripe siblings
+    equal the unsplit static run exactly.
+    """
+
+    @pytest.fixture(scope="class")
+    def twolayer_static(self):
+        return run("simulated", scheduler="static", dedup="twolayer")
+
+    def test_pair_set_matches_rpm(self, twolayer_static, sequential_rpm):
+        assert not twolayer_static.has_duplicates()
+        assert twolayer_static.pair_set() == sequential_rpm.pair_set()
+
+    @pytest.fixture(scope="class")
+    def sequential_rpm(self):
+        return PBSM(MEMORY, internal="sweep_numpy", dedup="rpm").run(LEFT, RIGHT)
+
+    def test_zero_dedup_work(self, twolayer_static):
+        join_cpu = twolayer_static.stats.cpu_by_phase[PHASE_JOIN]
+        assert join_cpu["refpoint_tests"] == 0
+        assert twolayer_static.stats.duplicates_suppressed == 0
+        assert twolayer_static.stats.duplicates_sorted_out == 0
+
+    def test_split_actually_triggered(self):
+        from repro.obs import Tracer
+        from repro.obs.trace import KIND_TASK
+
+        tracer = Tracer()
+        join = ParallelPBSM(
+            MEMORY,
+            2,
+            internal="sweep_numpy",
+            executor="simulated",
+            scheduler="stealing",
+            dedup="twolayer",
+            tracer=tracer,
+        )
+        join.run(LEFT, RIGHT)
+        parts = [
+            span.tags.get("part", 0)
+            for span in tracer.spans_of_kind(KIND_TASK)
+        ]
+        assert any(p > 0 for p in parts)
+
+    @pytest.mark.parametrize("scheduler", ["static", "stealing"])
+    @pytest.mark.parametrize(
+        "executor,shared_memory",
+        [
+            ("simulated", False),
+            ("process", False),
+            pytest.param("process", True, marks=needs_shm),
+            ("thread", False),
+        ],
+    )
+    def test_matrix_byte_identical(
+        self, twolayer_static, executor, shared_memory, scheduler
+    ):
+        real = run(
+            executor,
+            scheduler=scheduler,
+            shared_memory=shared_memory,
+            dedup="twolayer",
+        )
+        assert real.pairs == twolayer_static.pairs  # same pairs, same order
+        assert not real.has_duplicates()
+        # Charge-once: split stripe siblings (stealing) must sum to the
+        # unsplit (static) counter totals, on every executor/transport.
+        assert real.stats.cpu_by_phase == twolayer_static.stats.cpu_by_phase
+
+
+# ----------------------------------------------------------------------
 # randomized property: duplicate-freedom survives any Zipf workload
 # ----------------------------------------------------------------------
 @needs_numpy
@@ -183,8 +269,11 @@ class TestZipfProperty:
         alpha=st.floats(min_value=0.8, max_value=2.0),
         n=st.integers(min_value=2_000, max_value=9_000),
         workers=st.integers(min_value=2, max_value=4),
+        dedup=st.sampled_from(("rpm", "twolayer")),
     )
-    def test_stealing_parallel_equals_sequential(self, seed, alpha, n, workers):
+    def test_stealing_parallel_equals_sequential(
+        self, seed, alpha, n, workers, dedup
+    ):
         left = zipf_rects(n, seed=seed, alpha=alpha)
         right = zipf_rects(n, seed=seed + 1, alpha=alpha, start_oid=10**6)
         seq = PBSM(MEMORY, internal="sweep_numpy", dedup="rpm").run(left, right)
@@ -194,6 +283,7 @@ class TestZipfProperty:
             internal="sweep_numpy",
             executor="simulated",
             scheduler="stealing",
+            dedup=dedup,
         ).run(left, right)
         assert not par.has_duplicates()
         assert par.pair_set() == seq.pair_set()

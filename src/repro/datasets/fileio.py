@@ -1,14 +1,21 @@
 """Reading and writing KPE relations from/to disk files.
 
-Two formats:
+Three formats:
 
 * **CSV** — ``oid,xl,yl,xh,yh`` per line (with an optional header), the
   interchange format of the CLI;
 * **NPY** — a ``(n, 5)`` float64 numpy array, the compact format for
-  large generated datasets.
+  large generated datasets;
+* **RCD** — the memory-mapped columnar dataset format
+  (docs/datasets.md): built once via ``repro build`` or
+  :func:`save_relation`, then opened zero-copy in O(ms) as a
+  :class:`~repro.kernels.mmapstore.MappedRelation` instead of being
+  parsed into tuples.
 
-Both loaders validate records and reject inverted or non-finite MBRs
-rather than ingesting silently broken geometry.
+The CSV and NPY loaders validate records and reject inverted or
+non-finite MBRs rather than ingesting silently broken geometry; RCD
+validates at *build* time and trusts its own header-checked files on
+open — that asymmetry is the entire point of the format.
 """
 
 from __future__ import annotations
@@ -18,7 +25,7 @@ from pathlib import Path
 from typing import List, Sequence, Tuple, Union
 
 from repro.core.rect import KPE, valid_kpe
-from repro.kernels.backend import require_numpy_module
+from repro.kernels.backend import numpy_enabled, require_numpy_module
 
 PathLike = Union[str, Path]
 
@@ -87,14 +94,31 @@ def read_npy(path: PathLike) -> List[KPE]:
     return kpes
 
 
-def load_relation(path: PathLike) -> List[KPE]:
-    """Load a relation, dispatching on the file extension."""
+def load_relation(path: PathLike) -> Sequence[KPE]:
+    """Load a relation, dispatching on the file extension.
+
+    ``.csv``/``.npy`` return a fully parsed ``List[KPE]``.  ``.rcd``
+    returns a zero-copy :class:`~repro.kernels.mmapstore.MappedRelation`
+    (an O(ms) open) when the numpy backend is enabled, or falls back to
+    the pure-Python struct reader (same records, same order) when it is
+    not — so the format round-trips under ``REPRO_DISABLE_NUMPY``.
+    """
     suffix = Path(path).suffix.lower()
     if suffix == ".csv":
         return read_csv(path)
     if suffix == ".npy":
         return read_npy(path)
-    raise ValueError(f"unsupported relation format {suffix!r} (use .csv or .npy)")
+    if suffix == ".rcd":
+        if numpy_enabled():
+            from repro.kernels.mmapstore import open_relation
+
+            return open_relation(path)
+        from repro.io.rcd import read_rcd_python
+
+        return read_rcd_python(path)
+    raise ValueError(
+        f"unsupported relation format {suffix!r} (use .csv, .npy or .rcd)"
+    )
 
 
 def save_relation(kpes: Sequence[Tuple], path: PathLike) -> None:
@@ -104,5 +128,16 @@ def save_relation(kpes: Sequence[Tuple], path: PathLike) -> None:
         write_csv(kpes, path)
     elif suffix == ".npy":
         write_npy(kpes, path)
+    elif suffix == ".rcd":
+        if numpy_enabled():
+            from repro.kernels.mmapstore import write_rcd
+
+            write_rcd(kpes, path)
+        else:
+            from repro.io.rcd import write_rcd_python
+
+            write_rcd_python(kpes, path)
     else:
-        raise ValueError(f"unsupported relation format {suffix!r} (use .csv or .npy)")
+        raise ValueError(
+            f"unsupported relation format {suffix!r} (use .csv, .npy or .rcd)"
+        )

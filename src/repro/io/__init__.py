@@ -12,6 +12,15 @@ from repro.io.costmodel import CostModel, DEFAULT_COST_MODEL, mb
 from repro.io.disk import IoCounters, SimulatedDisk
 from repro.io.extsort import external_sort, sort_in_memory, sorted_dedup
 from repro.io.pagefile import PageFile, PageWriter
+from repro.io.rcd import (
+    RCD_MAGIC,
+    RCD_VERSION,
+    RcdFormatError,
+    RcdHeader,
+    read_header,
+    read_rcd_python,
+    write_rcd_python,
+)
 
 __all__ = [
     "BufferFullError",
@@ -25,9 +34,16 @@ __all__ = [
     "IoCounters",
     "PageFile",
     "PageWriter",
+    "RCD_MAGIC",
+    "RCD_VERSION",
+    "RcdFormatError",
+    "RcdHeader",
     "SimulatedDisk",
     "external_sort",
     "mb",
+    "read_header",
+    "read_rcd_python",
     "sort_in_memory",
     "sorted_dedup",
+    "write_rcd_python",
 ]

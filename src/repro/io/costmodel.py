@@ -81,6 +81,15 @@ class CostModel:
     #: released (inside numpy).  Bounds the thread executor's speedup by
     #: Amdahl: ``1 / ((1 - f) + f / workers)``.
     thread_parallel_fraction: float = 0.6
+    #: Simulated seconds to open a memory-mapped ``.rcd`` dataset: a
+    #: header read plus one mmap, independent of cardinality.  The
+    #: flat-vs-linear contrast with :attr:`parse_record_seconds` is what
+    #: makes EXPLAIN show the build-once/join-many amortization.
+    mmap_open_seconds: float = 2.0e-3
+    #: Simulated seconds to parse and validate one record when ingesting
+    #: a non-mapped relation file (CSV field splitting / npy row
+    #: conversion into KPE tuples).
+    parse_record_seconds: float = 1.5e-6
 
     # ------------------------------------------------------------------
     # page arithmetic
@@ -116,6 +125,17 @@ class CostModel:
     def ipc_seconds_for(self, n_bytes: float) -> float:
         """Simulated seconds to ship *n_bytes* between processes."""
         return n_bytes * self.ipc_byte_seconds
+
+    def ingest_seconds(self, n_records: int, mapped: bool) -> float:
+        """Simulated seconds to make *n_records* join-ready from a file.
+
+        Mapped (``.rcd``) inputs pay a constant open; anything else pays
+        a per-record parse.  EXPLAIN reports both so the amortization of
+        ``repro build`` is visible per plan.
+        """
+        if mapped:
+            return self.mmap_open_seconds
+        return n_records * self.parse_record_seconds
 
     def cpu_seconds(self, counters: CpuCounters, hilbert: bool = False) -> float:
         """Simulated CPU seconds for a set of operation counts.

@@ -17,7 +17,10 @@ files is kept as the system's interchange format; this package adds a
   partitioning phase;
 * :mod:`repro.kernels.twolayer` — batched two-layer corner-class
   duplicate avoidance: class assignment as two comparisons per replica
-  and class-partitioned slices feeding the forward-scan internals.
+  and class-partitioned slices feeding the forward-scan internals;
+* :mod:`repro.kernels.mmapstore` — zero-copy memory-mapped columnar
+  stores over ``.rcd`` dataset files (build once, join many): a
+  relation opens in O(ms) as live read-only columns.
 
 Everything degrades gracefully without numpy (or with
 ``REPRO_DISABLE_NUMPY=1``): same result sets, classic per-element
@@ -37,6 +40,12 @@ from repro.kernels.backend import (
     set_numpy_enabled,
 )
 from repro.kernels.columnar import ColumnarRelation, from_kpes
+from repro.kernels.mmapstore import (
+    MappedColumnarStore,
+    MappedRelation,
+    open_relation,
+    write_rcd,
+)
 from repro.kernels.sweep import (
     DEFAULT_BATCH_CANDIDATES,
     forward_scan_batches,
@@ -59,6 +68,8 @@ __all__ = [
     "ColumnarRelation",
     "DEFAULT_BATCH_CANDIDATES",
     "HAVE_NUMPY",
+    "MappedColumnarStore",
+    "MappedRelation",
     "SharedColumnarStore",
     "columnar_arrays",
     "shm_enabled",
@@ -69,6 +80,7 @@ __all__ = [
     "get_numpy",
     "numpy_backend",
     "numpy_enabled",
+    "open_relation",
     "partition_plan",
     "point_partitions",
     "point_tiles",
@@ -84,4 +96,5 @@ __all__ = [
     "tile_ranges",
     "twolayer_join_ids",
     "twolayer_join_task",
+    "write_rcd",
 ]

@@ -53,7 +53,17 @@ class ColumnarRelation:
     # ------------------------------------------------------------------
     @classmethod
     def from_kpes(cls, kpes: Sequence[Tuple]) -> "ColumnarRelation":
-        """Build columns from a sequence of KPE tuples."""
+        """Build columns from a sequence of KPE tuples.
+
+        Relations that already carry columns — a
+        :class:`~repro.kernels.mmapstore.MappedRelation` over an ``.rcd``
+        file — short-circuit to them: no per-tuple conversion, the
+        kernels (and the shm packer, and serve's pinning) consume the
+        mapped arrays directly.
+        """
+        columnar = getattr(kpes, "columnar", None)
+        if isinstance(columnar, cls):
+            return columnar
         np = require_numpy()
         n = len(kpes)
         if n == 0:

@@ -21,7 +21,11 @@ Pipeline per partition task:
    as a plain slice;
 4. per tile present on both sides, run the nine mini-joins of
    :data:`~repro.pbsm.twolayer.MINI_JOIN_SCHEDULE` through
-   :func:`~repro.kernels.sweep.forward_scan_batches`.
+   :func:`~repro.kernels.sweep.forward_scan_batches`; a mini-join below
+   the striping floor additionally probes both sweep axes and runs
+   *transposed* when y-anchored windows are cheaper (:func:`_best_axis`)
+   — unstriped, but with y-pruning intact, closing the coarse-grid gap
+   against RPM's single striped per-tile scan.
 
 **Stripe splitting** composes with avoidance without touching ownership:
 a split part receives a contiguous, work-balanced range of the task's
@@ -46,6 +50,7 @@ from repro.kernels.columnar import ColumnarRelation
 from repro.kernels.rpm import point_tiles, tile_partitions
 from repro.kernels.sweep import (
     DEFAULT_BATCH_CANDIDATES,
+    STRIPE_MIN_RECORDS,
     _charge_batch_sort,
     forward_scan_batches,
     sorted_columns,
@@ -60,6 +65,10 @@ CLASSIFY_BATCH_OPS_PER_RECORD = 6
 #: Array operations charged per expanded replica: tile enumeration (3),
 #: partition hash + filter (2), the two class comparisons, group key (1).
 CLASSIFY_BATCH_OPS_PER_REPLICA = 8
+
+#: Below this many records per mini-join the sweep-axis probe costs more
+#: than the candidate reduction it can buy; tiny scans just run x-anchored.
+AXIS_PROBE_MIN_RECORDS = 64
 
 #: ``(a_lo, a_hi, b_lo, b_hi)`` — one mini-join as slices into the
 #: gathered, (tile, class)-grouped replica arrays.
@@ -198,6 +207,78 @@ def _split_plan(
     return plan
 
 
+def _axis_candidates(
+    np: Any, a_low: Any, a_high: Any, b_low: Any, b_high: Any
+) -> int:
+    """Candidate pairs a forward scan anchored on this axis would expand.
+
+    ``a_low``/``b_low`` must be ascending.  The exact two-pass window
+    sum, so the axis comparison in :func:`_best_axis` measures the real
+    work, not an estimate.
+    """
+    lo = np.searchsorted(b_low, a_low, side="left")
+    hi = np.searchsorted(b_low, a_high, side="right")
+    total = int((hi - lo).sum())
+    lo = np.searchsorted(a_low, b_low, side="right")
+    hi = np.searchsorted(a_low, b_high, side="right")
+    return total + int((hi - lo).sum())
+
+
+def _best_axis(
+    np: Any,
+    a_grp: ColumnarRelation,
+    b_grp: ColumnarRelation,
+    counters: CpuCounters,
+) -> Tuple[ColumnarRelation, ColumnarRelation]:
+    """Pick the cheaper sweep axis for one sub-floor mini-join.
+
+    Mini-joins below :data:`~repro.kernels.sweep.STRIPE_MIN_RECORDS` run
+    unstriped, where the x-anchored scan expands every *x*-overlapping
+    pair — at coarse grids (tiles much taller than rectangles) that is
+    nearly the full cross product, the y-pruning RPM's single striped
+    per-tile scan keeps.  Both axes' exact candidate volumes are probed
+    with searchsorted window sums; when the y axis is cheaper the scan
+    runs *transposed* (x and y columns swapped, rows re-sorted by ``yl``)
+    — still unstriped, but candidate windows now prune on y and the mask
+    tests x, the same closed-rectangle predicate, so the pair set is
+    unchanged.  Pure arithmetic on the mini-join slices: every split
+    part reaches the identical decision, keeping split-vs-unsplit runs
+    byte-identical.
+    """
+    cand_x = _axis_candidates(np, a_grp.xl, a_grp.xh, b_grp.xl, b_grp.xh)
+    order_a = np.argsort(a_grp.yl, kind="stable")
+    order_b = np.argsort(b_grp.yl, kind="stable")
+    a_yl = a_grp.yl[order_a]
+    a_yh = a_grp.yh[order_a]
+    b_yl = b_grp.yl[order_b]
+    b_yh = b_grp.yh[order_b]
+    cand_y = _axis_candidates(np, a_yl, a_yh, b_yl, b_yh)
+    # The eight probe searchsorteds plus the two small y argsorts —
+    # charged by the one part that executes this mini-join.
+    counters.batch_ops += 4 * (a_grp.n + b_grp.n)
+    _charge_batch_sort(counters, a_grp.n)
+    _charge_batch_sort(counters, b_grp.n)
+    if cand_y < cand_x:
+        a_t = ColumnarRelation(
+            a_grp.oid[order_a],
+            a_yl,
+            a_grp.xl[order_a],
+            a_yh,
+            a_grp.xh[order_a],
+            sorted_by_xl=True,
+        )
+        b_t = ColumnarRelation(
+            b_grp.oid[order_b],
+            b_yl,
+            b_grp.xl[order_b],
+            b_yh,
+            b_grp.xh[order_b],
+            sorted_by_xl=True,
+        )
+        return a_t, b_t
+    return a_grp, b_grp
+
+
 def twolayer_join_ids(
     a_cols: ColumnarRelation,
     b_cols: ColumnarRelation,
@@ -251,6 +332,12 @@ def twolayer_join_ids(
     sids = []
     for i, sub in todo:
         a_lo, a_hi, b_lo, b_hi = minis[i]
+        total = (a_hi - a_lo) + (b_hi - b_lo)
+        if total < STRIPE_MIN_RECORDS and sub is not None and sub[0] != 0:
+            # Below the striping floor the scan is unstriped and belongs
+            # entirely to the first covering part; sibling parts would
+            # yield nothing — skip before probing or slicing anything.
+            continue
         a_grp = ColumnarRelation(
             ga.oid[a_lo:a_hi],
             ga.xl[a_lo:a_hi],
@@ -267,6 +354,8 @@ def twolayer_join_ids(
             gb.yh[b_lo:b_hi],
             sorted_by_xl=True,
         )
+        if AXIS_PROBE_MIN_RECORDS <= total < STRIPE_MIN_RECORDS:
+            a_grp, b_grp = _best_axis(np, a_grp, b_grp, counters)
         for a_idx, b_idx in forward_scan_batches(
             a_grp, b_grp, counters, batch_candidates, sub
         ):
@@ -323,6 +412,7 @@ def twolayer_join_task(
 
 
 __all__ = [
+    "AXIS_PROBE_MIN_RECORDS",
     "CLASSIFY_BATCH_OPS_PER_RECORD",
     "CLASSIFY_BATCH_OPS_PER_REPLICA",
     "twolayer_join_ids",

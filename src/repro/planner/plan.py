@@ -76,6 +76,9 @@ class JoinPlan:
     #: wall seconds spent profiling + enumerating (≈ 0 on a cache hit)
     planning_seconds: float = 0.0
     from_cache: bool = False
+    #: whether (left, right) are memory-mapped ``.rcd`` relations — the
+    #: ingest line of EXPLAIN prices mmap-open vs re-parse from this.
+    inputs_mapped: Tuple[bool, bool] = (False, False)
     last_result: Optional[JoinResult] = field(default=None, repr=False)
 
     # ------------------------------------------------------------------
@@ -120,6 +123,7 @@ class JoinPlan:
         lines.append(
             f"  planning           {self.planning_seconds * 1000:.2f} ms ({source})"
         )
+        lines.append(f"  ingest             {self._explain_ingest()}")
         lines.append(
             f"  chosen             {self.chosen.describe()} "
             f"-> est {est.total_seconds:.3f}s "
@@ -139,6 +143,29 @@ class JoinPlan:
         if self.last_result is not None:
             lines.extend(self._explain_actuals())
         return "\n".join(lines)
+
+    def _explain_ingest(self) -> str:
+        """Price making each input join-ready: mmap-open vs per-record parse.
+
+        For a mapped (``.rcd``) input the line also shows what a
+        re-parse *would* cost — the amortization ``repro build`` buys.
+        """
+        parts: List[str] = []
+        sides = (
+            ("left", self.profile.n_left, self.inputs_mapped[0]),
+            ("right", self.profile.n_right, self.inputs_mapped[1]),
+        )
+        for label, n, mapped in sides:
+            seconds = self.cost_model.ingest_seconds(n, mapped)
+            if mapped:
+                parse = self.cost_model.ingest_seconds(n, False)
+                parts.append(
+                    f"{label} mapped open {seconds:.3f}s "
+                    f"(re-parse would be {parse:.3f}s)"
+                )
+            else:
+                parts.append(f"{label} parse {seconds:.3f}s")
+        return ", ".join(parts)
 
     def _explain_actuals(self) -> List[str]:
         stats = self.last_result.stats
@@ -229,6 +256,10 @@ def plan_join(
         raise ValueError("memory_bytes must be positive")
     cost = cost_model or CostModel()
     tracer = tracer if tracer is not None else NULL_TRACER
+    inputs_mapped = (
+        bool(getattr(left, "mapped", False)),
+        bool(getattr(right, "mapped", False)),
+    )
 
     with tracer.span("plan", kind=KIND_PLAN) as plan_span:
         key = None
@@ -266,6 +297,9 @@ def plan_join(
     if cached is not None:
         cached.from_cache = True
         cached.planning_seconds = plan_span.wall_seconds
+        # Same content can arrive mapped on one call and in-memory on
+        # the next (identical fingerprints); keep the ingest line honest.
+        cached.inputs_mapped = inputs_mapped
         return cached
     plan = JoinPlan(
         chosen=candidates[0],
@@ -274,6 +308,7 @@ def plan_join(
         memory_bytes=memory_bytes,
         cost_model=cost,
         planning_seconds=plan_span.wall_seconds,
+        inputs_mapped=inputs_mapped,
     )
     if cache is not None:
         cache.put_plan(key, plan)

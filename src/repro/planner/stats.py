@@ -58,7 +58,15 @@ def relation_fingerprint(kpes: Sequence[Tuple]) -> str:
     staying O(1)-ish.  Collisions require two relations of identical size
     that agree on all 64 sampled records — accepted for a planning cache,
     where a stale hit costs a suboptimal plan, never a wrong result.
+
+    Mapped relations (``.rcd`` files, :mod:`repro.kernels.mmapstore`)
+    carry the fingerprint computed once at build time — returning it
+    directly makes repeated opens hit the profile and plan caches
+    without touching a single record.
     """
+    stored = getattr(kpes, "fingerprint", None)
+    if isinstance(stored, str) and stored:
+        return stored
     n = len(kpes)
     digest = hashlib.blake2b(digest_size=16)
     digest.update(struct.pack("<q", n))

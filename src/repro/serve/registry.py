@@ -105,7 +105,15 @@ class DatasetRegistry:
                         f"{existing.source!r}, refusing {source!r}"
                     )
                 return existing
-        entry = Dataset(name=name, kpes=list(kpes), source=source)
+        # Mapped relations (``.rcd`` files) stay lazy: listifying one
+        # would parse every record into tuples — the exact cost the
+        # format exists to avoid.  Pinning below copies straight from
+        # the file mapping into the segment instead.
+        if getattr(kpes, "columnar", None) is not None:
+            records = kpes
+        else:
+            records = list(kpes)
+        entry = Dataset(name=name, kpes=records, source=source)
         if self.pin and shm_enabled() and entry.kpes:
             from repro.kernels.columnar import ColumnarRelation
 
@@ -125,7 +133,12 @@ class DatasetRegistry:
         return entry
 
     def register_file(self, name: str, path: str) -> Dataset:
-        """Load a relation file (.csv/.npy) and register it."""
+        """Load a relation file (.csv/.npy/.rcd) and register it.
+
+        ``.rcd`` files are opened as zero-copy mapped relations, so
+        registration (and pinning into shm) never parses a record:
+        the pin is one memmap-to-segment array copy.
+        """
         return self.register(name, load_relation(path), source=f"file:{path}")
 
     def register_synthetic(

@@ -243,3 +243,120 @@ class TestDriverIntegration:
         join_cpu = result.stats.cpu_by_phase[PHASE_JOIN]
         assert join_cpu["batch_ops"] > 0
         assert join_cpu["refpoint_tests"] == 0
+
+
+# ----------------------------------------------------------------------
+# per-mini-join sweep-axis heuristic (coarse grids below the stripe floor)
+# ----------------------------------------------------------------------
+@needs_numpy
+class TestAxisHeuristic:
+    """Sub-floor mini-joins probe both sweep axes and may run transposed.
+
+    The coarse-grid caveat of docs/duplicates.md: below
+    ``STRIPE_MIN_RECORDS`` the forward scan runs unstriped, so an
+    x-anchored scan over wide-flat rectangles expands nearly the full
+    cross product.  The heuristic transposes those scans to y-anchored
+    windows — unstriped, y-pruning intact — without changing a single
+    emitted pair or the split/counter invariants.
+    """
+
+    def coarse_setup(self):
+        import random
+
+        from repro.kernels.columnar import ColumnarRelation
+
+        rng = random.Random(5)
+        kpes = []
+        for i in range(3000):
+            x, y = rng.random(), rng.random()
+            # wide in x, flat in y: the regime where x-anchored windows
+            # are nearly the full active set but y windows stay tiny
+            kpes.append((i, x, y, min(x + 0.08, 1.0), min(y + 0.0004, 1.0)))
+        grid = TileGrid(SPACE, 2, 2, 4)
+        return ColumnarRelation.from_kpes(kpes), kpes, grid
+
+    def run_all_partitions(self, cols, grid, stripe_slice=None, n_parts=None):
+        from repro.kernels.twolayer import twolayer_join_ids
+
+        counters = CpuCounters()
+        pairs = []
+        for pid in range(4):
+            if n_parts is None:
+                rid, sid, _ = twolayer_join_ids(cols, cols, grid, pid, counters)
+                pairs.extend(zip(rid.tolist(), sid.tolist()))
+            else:
+                for part in range(n_parts):
+                    rid, sid, _ = twolayer_join_ids(
+                        cols, cols, grid, pid, counters,
+                        stripe_slice=(part, n_parts),
+                    )
+                    pairs.extend(zip(rid.tolist(), sid.tolist()))
+        return pairs, counters
+
+    def test_transposed_scans_reduce_batch_ops(self):
+        from repro.kernels import twolayer as tl
+
+        cols, _, grid = self.coarse_setup()
+        with_heuristic, c_on = self.run_all_partitions(cols, grid)
+        original = tl.AXIS_PROBE_MIN_RECORDS
+        tl.AXIS_PROBE_MIN_RECORDS = 10**9  # disable
+        try:
+            without, c_off = self.run_all_partitions(cols, grid)
+        finally:
+            tl.AXIS_PROBE_MIN_RECORDS = original
+        assert sorted(with_heuristic) == sorted(without)
+        # y-pruning must at least halve the candidate volume here
+        assert c_on.batch_ops * 2 < c_off.batch_ops
+
+    def test_pair_set_matches_scalar_engine(self):
+        cols, kpes, grid = self.coarse_setup()
+        from repro.internal.sweep_list import sweep_list_join
+
+        kernel_pairs, _ = self.run_all_partitions(cols, grid)
+        scalar = []
+        counters = CpuCounters()
+        for pid in range(4):
+            scalar.extend(
+                twolayer_partition_join(
+                    kpes, kpes, grid, pid, sweep_list_join, counters
+                )
+            )
+        assert sorted(kernel_pairs) == sorted(scalar)
+
+    def test_split_parts_byte_identical_and_charged_once(self):
+        cols, _, grid = self.coarse_setup()
+        full, c_full = self.run_all_partitions(cols, grid)
+        split, c_split = self.run_all_partitions(cols, grid, n_parts=3)
+        # concatenated in part order the split run reproduces the
+        # unsplit output exactly, and the probe/sort/scan charges are
+        # levied once across siblings
+        assert split == full
+        assert c_split.batch_ops == c_full.batch_ops
+
+    def test_probe_skipped_below_minimum(self):
+        import random
+
+        from repro.kernels import twolayer as tl
+        from repro.kernels.columnar import ColumnarRelation
+        from repro.kernels.twolayer import twolayer_join_ids
+
+        rng = random.Random(1)
+        tiny = []
+        for i in range(40):  # below AXIS_PROBE_MIN_RECORDS per mini-join
+            x, y = rng.random(), rng.random()
+            tiny.append((i, x, y, min(x + 0.1, 1.0), min(y + 0.001, 1.0)))
+        cols = ColumnarRelation.from_kpes(tiny)
+        grid = TileGrid(SPACE, 2, 2, 1)
+        c_on = CpuCounters()
+        rid_on, sid_on, _ = twolayer_join_ids(cols, cols, grid, 0, c_on)
+        original = tl.AXIS_PROBE_MIN_RECORDS
+        tl.AXIS_PROBE_MIN_RECORDS = 10**9
+        try:
+            c_off = CpuCounters()
+            rid_off, sid_off, _ = twolayer_join_ids(cols, cols, grid, 0, c_off)
+        finally:
+            tl.AXIS_PROBE_MIN_RECORDS = original
+        # below the probe minimum the heuristic must be a no-op
+        assert rid_on.tolist() == rid_off.tolist()
+        assert sid_on.tolist() == sid_off.tolist()
+        assert c_on.batch_ops == c_off.batch_ops

@@ -1,0 +1,109 @@
+"""Shared AST helpers for the repro-lint rules.
+
+These used to live in :mod:`repro.lint.rules`; they moved here when the
+flow-sensitive rules (:mod:`repro.lint.flowrules`) arrived, so both rule
+modules can share one vocabulary for names, scopes and the shm-segment
+acquisition shapes without a circular import.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Sequence, Tuple, Union
+
+#: Function-like nodes that open a new scope of their own.
+FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+def tail_name(node: ast.AST) -> Optional[str]:
+    """Last segment of a Name/Attribute chain (``a.b.c`` -> ``"c"``)."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """Full dotted form of a Name/Attribute chain, or None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def root_name(node: ast.AST) -> Optional[str]:
+    """First segment of a Name/Attribute/Subscript chain (``a.b[c].d`` -> ``"a"``)."""
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def walk_scope(stmts: Sequence[ast.stmt]) -> Iterator[ast.AST]:
+    """Walk statements without descending into nested function scopes."""
+    stack: List[ast.AST] = list(stmts)
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue  # a nested scope; its body is analyzed separately
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def scopes(tree: ast.Module) -> Iterator[Tuple[ast.AST, Sequence[ast.stmt]]]:
+    """The module body plus every function body, each as one scope."""
+    yield tree, tree.body
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node, node.body
+
+
+def function_scopes(tree: ast.Module) -> Iterator[FunctionNode]:
+    """Every function definition in the module (the flow-rule unit)."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def in_path(relpath: str, *suffixes: str) -> bool:
+    return any(relpath.endswith(suffix) for suffix in suffixes)
+
+
+def is_shm_acquisition(node: ast.AST) -> bool:
+    """Does *node* acquire a shared-memory segment?
+
+    Either a direct ``SharedMemory(...)`` constructor call or a
+    ``<...>Store.create(...)`` / ``<...>Store.attach(...)`` classmethod —
+    the two ways this repository ever obtains a segment handle (see
+    ``kernels/shm.py``).  Shared by RPL004 (syntactic custody) and
+    RPL008 (path-sensitive custody).
+    """
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    tail = tail_name(func)
+    if tail == "SharedMemory":
+        return True
+    if tail in ("create", "attach") and isinstance(func, ast.Attribute):
+        receiver = tail_name(func.value)
+        return receiver is not None and "Store" in receiver
+    return False
+
+
+__all__ = [
+    "FunctionNode",
+    "dotted_name",
+    "function_scopes",
+    "in_path",
+    "is_shm_acquisition",
+    "root_name",
+    "scopes",
+    "tail_name",
+    "walk_scope",
+]

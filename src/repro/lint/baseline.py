@@ -1,0 +1,91 @@
+"""The lint baseline: grandfather existing findings, fail on new ones.
+
+``lint-baseline.json`` (checked in at the repo root, currently *empty*)
+records findings that predate a rule and are allowed to persist while
+they burn down.  ``python -m repro.lint --baseline lint-baseline.json``
+subtracts baselined findings from the run, so CI fails only on *new*
+violations; ``--write-baseline`` regenerates the file after a reviewed
+sweep.
+
+Matching is by ``(rule, path, message)`` as a multiset — deliberately
+**not** by line number, so unrelated edits above a grandfathered finding
+do not resurrect it, while a second identical violation in the same
+file still fails.  Shrinking the baseline is always safe; growing it is
+a reviewed decision (the file is diffed like code).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Counter as CounterT, List, Sequence, Tuple, Union
+
+from repro.lint.engine import Finding
+
+BASELINE_VERSION = 1
+
+_Key = Tuple[str, str, str]
+
+
+def _key(finding: Finding) -> _Key:
+    return (finding.rule, finding.path.replace("\\", "/"), finding.message)
+
+
+def load_baseline(path: Union[str, Path]) -> "CounterT[_Key]":
+    """The baseline file as a multiset of finding keys."""
+    raw = json.loads(Path(path).read_text(encoding="utf-8"))
+    if not isinstance(raw, dict) or raw.get("version") != BASELINE_VERSION:
+        raise ValueError(
+            f"{path}: not a v{BASELINE_VERSION} repro-lint baseline"
+        )
+    keys: "CounterT[_Key]" = Counter()
+    for entry in raw.get("findings", []):
+        keys[(entry["rule"], entry["path"], entry["message"])] += 1
+    return keys
+
+
+def apply_baseline(
+    findings: Sequence[Finding], baseline: "CounterT[_Key]"
+) -> Tuple[List[Finding], int]:
+    """Split *findings* into (new, grandfathered-count)."""
+    budget = Counter(baseline)
+    fresh: List[Finding] = []
+    matched = 0
+    for finding in findings:
+        key = _key(finding)
+        if budget[key] > 0:
+            budget[key] -= 1
+            matched += 1
+        else:
+            fresh.append(finding)
+    return fresh, matched
+
+
+def write_baseline(
+    findings: Sequence[Finding], path: Union[str, Path]
+) -> None:
+    """Serialise *findings* as the new baseline (sorted, line-free keys)."""
+    entries = sorted(
+        (
+            {
+                "rule": f.rule,
+                "path": f.path.replace("\\", "/"),
+                "message": f.message,
+            }
+            for f in findings
+        ),
+        key=lambda e: (e["path"], e["rule"], e["message"]),
+    )
+    payload = {"version": BASELINE_VERSION, "findings": entries}
+    Path(path).write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+
+__all__ = [
+    "BASELINE_VERSION",
+    "apply_baseline",
+    "load_baseline",
+    "write_baseline",
+]

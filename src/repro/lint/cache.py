@@ -1,0 +1,123 @@
+"""Incremental lint cache keyed by file content hash.
+
+The repo lints itself in the test suite and in CI; with twelve rules —
+five of them building CFGs and running fixpoints — a cold run over
+``src benchmarks tests`` is no longer free.  The cache stores each
+file's *post-suppression per-module findings* keyed by a hash of its
+path and content, so an unchanged file costs one sha256 instead of
+twelve rule passes.  Project-wide rules (``check_project``) always
+re-run: their verdicts depend on every module at once.
+
+The cache self-invalidates on any change to the analyzer itself: the
+entry table is discarded when the *engine fingerprint* — a hash over
+every ``repro/lint/*.py`` source plus the selected rule ids — differs
+from the one the file was written with.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.lint.engine import Finding, Rule
+
+CACHE_VERSION = 1
+
+
+def engine_fingerprint(rules: Sequence[Rule]) -> str:
+    """Hash of the analyzer's own sources and the selected rule ids."""
+    digest = hashlib.sha256()
+    lint_dir = Path(__file__).resolve().parent
+    for source in sorted(lint_dir.glob("*.py")):
+        digest.update(source.name.encode("utf-8"))
+        digest.update(b"\0")
+        digest.update(source.read_bytes())
+        digest.update(b"\0")
+    for rule in rules:
+        digest.update(rule.rule_id.encode("utf-8"))
+        digest.update(b",")
+    return digest.hexdigest()
+
+
+def content_key(relpath: str, source: str) -> str:
+    digest = hashlib.sha256()
+    digest.update(relpath.encode("utf-8"))
+    digest.update(b"\0")
+    digest.update(source.encode("utf-8"))
+    return digest.hexdigest()
+
+
+def _encode(finding: Finding) -> Dict[str, object]:
+    return {
+        "rule": finding.rule,
+        "path": finding.path,
+        "line": finding.line,
+        "col": finding.col,
+        "message": finding.message,
+    }
+
+
+def _decode(entry: Dict[str, object]) -> Finding:
+    return Finding(
+        rule=str(entry["rule"]),
+        path=str(entry["path"]),
+        line=int(entry["line"]),  # type: ignore[arg-type]
+        col=int(entry["col"]),  # type: ignore[arg-type]
+        message=str(entry["message"]),
+    )
+
+
+class LintCache:
+    """One cache file; load on construction, persist with :meth:`save`."""
+
+    def __init__(self, path: Union[str, Path], rules: Sequence[Rule]) -> None:
+        self.path = Path(path)
+        self.fingerprint = engine_fingerprint(rules)
+        self.entries: Dict[str, List[Dict[str, object]]] = {}
+        self.hits = 0
+        self.misses = 0
+        self._dirty = False
+        if self.path.exists():
+            try:
+                raw = json.loads(self.path.read_text(encoding="utf-8"))
+            except (ValueError, OSError):
+                raw = None
+            if (
+                isinstance(raw, dict)
+                and raw.get("version") == CACHE_VERSION
+                and raw.get("engine") == self.fingerprint
+                and isinstance(raw.get("entries"), dict)
+            ):
+                self.entries = raw["entries"]
+
+    def lookup(self, key: str) -> Optional[List[Finding]]:
+        entry = self.entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return [_decode(e) for e in entry]
+
+    def store(self, key: str, findings: Sequence[Finding]) -> None:
+        self.entries[key] = [_encode(f) for f in findings]
+        self._dirty = True
+
+    def save(self) -> None:
+        payload = {
+            "version": CACHE_VERSION,
+            "engine": self.fingerprint,
+            "entries": self.entries,
+        }
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.path.write_text(
+            json.dumps(payload, sort_keys=True), encoding="utf-8"
+        )
+        self._dirty = False
+
+    def stats(self) -> str:
+        return f"cache: {self.hits} hit(s), {self.misses} miss(es)"
+
+
+__all__ = ["CACHE_VERSION", "LintCache", "content_key", "engine_fingerprint"]

@@ -68,6 +68,9 @@ class ModuleInfo:
     source: str
     #: line number -> rule ids suppressed on that line ("all" wildcard).
     disabled: Dict[int, Set[str]] = field(default_factory=dict)
+    #: per-function CFG memo shared by the flow rules (see lint/cfg.py);
+    #: keyed by ``id(function_node)``, alive exactly as long as ``tree``.
+    cfg_cache: Dict[int, object] = field(default_factory=dict, repr=False)
 
     def is_suppressed(self, rule_id: str, line: int) -> bool:
         rules = self.disabled.get(line)
@@ -135,6 +138,71 @@ def _disabled_lines(source: str) -> Dict[int, Set[str]]:
     return disabled
 
 
+#: Statement types whose extent a disable-comment spreads over.  Only
+#: *simple* statements: a disable on the closing paren of a three-line
+#: call should cover the whole call, but a disable on an ``if`` header
+#: must not silence the entire block beneath it.
+_SIMPLE_STMTS = (
+    ast.Assign,
+    ast.AnnAssign,
+    ast.AugAssign,
+    ast.Expr,
+    ast.Return,
+    ast.Raise,
+    ast.Assert,
+    ast.Delete,
+    ast.Import,
+    ast.ImportFrom,
+    ast.Global,
+    ast.Nonlocal,
+    ast.Pass,
+)
+
+
+def _expand_disabled(
+    disabled: Dict[int, Set[str]], tree: ast.Module
+) -> Dict[int, Set[str]]:
+    """Spread each disable-comment over its whole statement's extent.
+
+    Tokenize reports a comment's *physical* line, but a finding on a
+    multi-line statement is reported at the statement's first line —
+    so ``# repro-lint: disable=RPL004`` on the continuation line of a
+    three-line ``attach(...)`` call used to suppress nothing.  For each
+    commented line, find the innermost simple statement whose
+    ``lineno..end_lineno`` extent contains it and apply the disable set
+    to every line of that extent.  Standalone comments (no containing
+    simple statement) keep the per-line behavior.
+    """
+    if not disabled:
+        return disabled
+    statements = [
+        node
+        for node in ast.walk(tree)
+        if isinstance(node, _SIMPLE_STMTS)
+        and getattr(node, "end_lineno", None) is not None
+    ]
+    expanded: Dict[int, Set[str]] = {
+        line: set(rules) for line, rules in disabled.items()
+    }
+    for line, rules in disabled.items():
+        containing = [
+            stmt
+            for stmt in statements
+            if stmt.lineno <= line <= (stmt.end_lineno or stmt.lineno)
+        ]
+        if not containing:
+            continue
+        innermost = min(
+            containing,
+            key=lambda s: ((s.end_lineno or s.lineno) - s.lineno, -s.lineno),
+        )
+        for covered in range(
+            innermost.lineno, (innermost.end_lineno or innermost.lineno) + 1
+        ):
+            expanded.setdefault(covered, set()).update(rules)
+    return expanded
+
+
 # ----------------------------------------------------------------------
 # parsing and file discovery
 # ----------------------------------------------------------------------
@@ -158,7 +226,7 @@ def parse_source(
             relpath=relpath or path.replace("\\", "/"),
             tree=tree,
             source=source,
-            disabled=_disabled_lines(source),
+            disabled=_expand_disabled(_disabled_lines(source), tree),
         ),
         None,
     )
@@ -201,21 +269,38 @@ def _load_modules(
 # ----------------------------------------------------------------------
 # running
 # ----------------------------------------------------------------------
-def _apply_rules(
+def _module_findings(module: ModuleInfo, rules: Sequence[Rule]) -> List[Finding]:
+    """Per-module rule findings, suppression-filtered (the cacheable unit)."""
+    findings: List[Finding] = []
+    for rule in rules:
+        for f in rule.check_module(module):
+            if not module.is_suppressed(f.rule, f.line):
+                findings.append(f)
+    return findings
+
+
+def _project_findings(
     modules: Sequence[ModuleInfo], rules: Sequence[Rule]
 ) -> List[Finding]:
+    """Cross-module rule findings; never cached (they see every file)."""
     by_path = {module.path: module for module in modules}
     findings: List[Finding] = []
     for rule in rules:
-        raw: List[Finding] = []
-        for module in modules:
-            raw.extend(rule.check_module(module))
-        raw.extend(rule.check_project(modules))
-        for f in raw:
+        for f in rule.check_project(modules):
             module = by_path.get(f.path)
             if module is not None and module.is_suppressed(f.rule, f.line):
                 continue
             findings.append(f)
+    return findings
+
+
+def _apply_rules(
+    modules: Sequence[ModuleInfo], rules: Sequence[Rule]
+) -> List[Finding]:
+    findings: List[Finding] = []
+    for module in modules:
+        findings.extend(_module_findings(module, rules))
+    findings.extend(_project_findings(modules, rules))
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
     return findings
 
@@ -223,14 +308,32 @@ def _apply_rules(
 def run_lint(
     paths: Sequence[Union[str, Path]],
     rules: Union[Sequence[Rule], None] = None,
+    cache: "Union[object, None]" = None,
 ) -> List[Finding]:
-    """Lint every Python file under *paths* with *rules* (default: all)."""
+    """Lint every Python file under *paths* with *rules* (default: all).
+
+    With *cache* (a :class:`repro.lint.cache.LintCache`), unchanged
+    files reuse their stored per-module findings; project-wide rules
+    always re-run.  The caller persists the cache with ``cache.save()``.
+    """
     if rules is None:
         from repro.lint.rules import ALL_RULES
 
         rules = ALL_RULES
     modules, findings = _load_modules(paths)
-    findings.extend(_apply_rules(modules, rules))
+    if cache is None:
+        findings.extend(_apply_rules(modules, rules))
+    else:
+        from repro.lint.cache import content_key
+
+        for module in modules:
+            key = content_key(module.relpath, module.source)
+            cached = cache.lookup(key)  # type: ignore[attr-defined]
+            if cached is None:
+                cached = _module_findings(module, rules)
+                cache.store(key, cached)  # type: ignore[attr-defined]
+            findings.extend(cached)
+        findings.extend(_project_findings(modules, rules))
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
     return findings
 

@@ -1,9 +1,13 @@
-"""The seven repro-lint rules: invariants this repository was burned by.
+"""The syntactic repro-lint rules: invariants this repository was burned by.
 
 Each rule is the mechanical form of a correctness fix a past PR made by
 hand; ``docs/static_analysis.md`` tells the full story per rule.  Rules
 carry their own minimal good/bad fixtures so the engine (and the test
 suite) can prove each one fires exactly when it should.
+
+RPL001–RPL007 live here and match per statement; the flow-sensitive
+rules RPL008–RPL012 (CFG + dataflow) live in
+:mod:`repro.lint.flowrules` and are merged into :data:`ALL_RULES` below.
 """
 
 from __future__ import annotations
@@ -12,55 +16,15 @@ import ast
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.core.phases import ALL_PHASES
+from repro.lint.astutil import (
+    dotted_name as _dotted_name,
+    in_path as _in_path,
+    scopes as _scopes,
+    tail_name as _tail_name,
+    walk_scope as _walk_scope,
+)
 from repro.lint.engine import Finding, ModuleInfo, Rule
 from repro.pbsm.grid import TILE_HASH_X, TILE_HASH_Y
-
-
-# ----------------------------------------------------------------------
-# shared AST helpers
-# ----------------------------------------------------------------------
-def _tail_name(node: ast.AST) -> Optional[str]:
-    """Last segment of a Name/Attribute chain (``a.b.c`` -> ``"c"``)."""
-    if isinstance(node, ast.Attribute):
-        return node.attr
-    if isinstance(node, ast.Name):
-        return node.id
-    return None
-
-
-def _dotted_name(node: ast.AST) -> Optional[str]:
-    """Full dotted form of a Name/Attribute chain, or None."""
-    parts: List[str] = []
-    while isinstance(node, ast.Attribute):
-        parts.append(node.attr)
-        node = node.value
-    if isinstance(node, ast.Name):
-        parts.append(node.id)
-        return ".".join(reversed(parts))
-    return None
-
-
-def _walk_scope(stmts: Sequence[ast.stmt]) -> Iterator[ast.AST]:
-    """Walk statements without descending into nested function scopes."""
-    stack: List[ast.AST] = list(stmts)
-    while stack:
-        node = stack.pop()
-        yield node
-        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
-            continue  # a nested scope; its body is analyzed separately
-        stack.extend(ast.iter_child_nodes(node))
-
-
-def _scopes(tree: ast.Module) -> Iterator[Tuple[ast.AST, Sequence[ast.stmt]]]:
-    """The module body plus every function body, each as one scope."""
-    yield tree, tree.body
-    for node in ast.walk(tree):
-        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
-            yield node, node.body
-
-
-def _in_path(relpath: str, *suffixes: str) -> bool:
-    return any(relpath.endswith(suffix) for suffix in suffixes)
 
 
 # ----------------------------------------------------------------------
@@ -382,19 +346,9 @@ class ShmLifecycle(Rule):
     )
 
     def _is_acquisition(self, node: ast.AST) -> bool:
-        if not isinstance(node, ast.Call):
-            return False
-        func = node.func
-        tail = _tail_name(func)
-        if tail == "SharedMemory":
-            return True
-        if (
-            tail in ("create", "attach")
-            and isinstance(func, ast.Attribute)
-        ):
-            receiver = _tail_name(func.value)
-            return receiver is not None and "Store" in receiver
-        return False
+        from repro.lint.astutil import is_shm_acquisition
+
+        return is_shm_acquisition(node)
 
     def check_module(self, module: ModuleInfo) -> Iterable[Finding]:
         for _, body in _scopes(module.tree):
@@ -777,6 +731,8 @@ class AsyncBlockingCall(Rule):
                     )
 
 
+from repro.lint.flowrules import FLOW_RULES  # noqa: E402  (after the classes)
+
 #: Every shipped rule, in rule-id order.
 ALL_RULES: Tuple[Rule, ...] = (
     NumpyImportGate(),
@@ -786,6 +742,6 @@ ALL_RULES: Tuple[Rule, ...] = (
     CounterCurrency(),
     SilentExcept(),
     AsyncBlockingCall(),
-)
+) + FLOW_RULES
 
 RULES_BY_ID: Dict[str, Rule] = {rule.rule_id: rule for rule in ALL_RULES}

@@ -1,0 +1,100 @@
+"""SARIF 2.1.0 output for repro-lint findings.
+
+SARIF (Static Analysis Results Interchange Format) is what GitHub code
+scanning ingests: uploading the artifact produced by
+``python -m repro.lint --format sarif`` turns every finding into an
+inline PR annotation.  Only the small stable core of the format is
+emitted — one run, one driver, one result per finding with a physical
+location — which is exactly the subset the ingestion pipelines consume.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Sequence
+
+from repro.lint.engine import Finding, Rule
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def _rule_descriptor(rule: Rule) -> Dict[str, object]:
+    return {
+        "id": rule.rule_id,
+        "name": type(rule).__name__,
+        "shortDescription": {"text": rule.title},
+        "helpUri": "docs/static_analysis.md",
+        "defaultConfiguration": {"level": "error"},
+    }
+
+
+def _result(finding: Finding) -> Dict[str, object]:
+    return {
+        "ruleId": finding.rule,
+        "level": "error",
+        "message": {"text": finding.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path.replace("\\", "/"),
+                    },
+                    "region": {
+                        "startLine": max(finding.line, 1),
+                        # SARIF columns are 1-based; ast's are 0-based.
+                        "startColumn": finding.col + 1,
+                    },
+                }
+            }
+        ],
+    }
+
+
+def to_sarif(
+    findings: Sequence[Finding], rules: Sequence[Rule]
+) -> Dict[str, object]:
+    """The findings as one SARIF 2.1.0 log (a JSON-ready dict)."""
+    used = {f.rule for f in findings}
+    descriptors: List[Dict[str, object]] = [
+        _rule_descriptor(rule)
+        for rule in rules
+        if rule.rule_id  # skip anonymous test doubles
+    ]
+    known = {d["id"] for d in descriptors}
+    for rule_id in sorted(used - known):
+        # Findings from outside the rule set (e.g. RPL000 syntax errors).
+        descriptors.append(
+            {
+                "id": rule_id,
+                "name": rule_id,
+                "shortDescription": {"text": "repro-lint finding"},
+                "defaultConfiguration": {"level": "error"},
+            }
+        )
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": "docs/static_analysis.md",
+                        "rules": descriptors,
+                    }
+                },
+                "results": [_result(f) for f in findings],
+            }
+        ],
+    }
+
+
+def render_sarif(findings: Sequence[Finding], rules: Sequence[Rule]) -> str:
+    return json.dumps(to_sarif(findings, rules), indent=2, sort_keys=True)
+
+
+__all__ = ["SARIF_SCHEMA", "SARIF_VERSION", "render_sarif", "to_sarif"]

@@ -42,7 +42,7 @@ def lint_one(source, rule_id, path="module.py"):
 # rule catalogue and embedded fixtures
 # ----------------------------------------------------------------------
 class TestCatalogue:
-    def test_seven_rules_shipped(self):
+    def test_twelve_rules_shipped(self):
         assert [r.rule_id for r in ALL_RULES] == [
             "RPL001",
             "RPL002",
@@ -51,6 +51,11 @@ class TestCatalogue:
             "RPL005",
             "RPL006",
             "RPL007",
+            "RPL008",
+            "RPL009",
+            "RPL010",
+            "RPL011",
+            "RPL012",
         ]
 
     def test_every_rule_has_title_and_fixtures(self):
@@ -436,6 +441,397 @@ class TestAsyncBlockingCall:
 
 
 # ----------------------------------------------------------------------
+# RPL008 — segment custody on all paths
+# ----------------------------------------------------------------------
+class TestSegmentCustodyPaths:
+    # The acceptance shape: custody exists *somewhere* (try/finally), so
+    # RPL004 is satisfied — but an early return above the try leaks.
+    BRANCH_LEAK = (
+        "from multiprocessing.shared_memory import SharedMemory\n"
+        "def probe(flag):\n"
+        "    seg = SharedMemory(create=True, size=8)\n"
+        "    if flag:\n"
+        "        return None\n"
+        "    try:\n"
+        "        seg.buf[0] = 1\n"
+        "    finally:\n"
+        "        seg.close()\n"
+        "        seg.unlink()\n"
+        "    return True\n"
+    )
+
+    def test_branch_leak_flagged(self):
+        findings = lint_one(self.BRANCH_LEAK, "RPL008")
+        assert rules_of(findings) == ["RPL008"]
+        assert findings[0].line == 3  # the acquisition site
+
+    def test_rpl004_is_blind_to_the_branch_leak(self):
+        """The reason RPL008 exists: the syntactic rule passes this."""
+        assert lint_one(self.BRANCH_LEAK, "RPL004") == []
+
+    def test_exception_path_leak_flagged(self):
+        bad = (
+            "from multiprocessing.shared_memory import SharedMemory\n"
+            "def f(x):\n"
+            "    seg = SharedMemory(create=True, size=8)\n"
+            "    try:\n"
+            "        y = compute(x)\n"
+            "    except ValueError:\n"
+            "        return None\n"
+            "    seg.close()\n"
+            "    seg.unlink()\n"
+            "    return y\n"
+        )
+        assert rules_of(lint_one(bad, "RPL008")) == ["RPL008"]
+
+    def test_early_return_inside_try_is_clean(self):
+        good = (
+            "from multiprocessing.shared_memory import SharedMemory\n"
+            "def f(flag):\n"
+            "    seg = SharedMemory(create=True, size=8)\n"
+            "    try:\n"
+            "        if flag:\n"
+            "            return 0\n"
+            "        return 1\n"
+            "    finally:\n"
+            "        seg.close()\n"
+            "        seg.unlink()\n"
+        )
+        assert lint_one(good, "RPL008") == []
+
+    def test_failed_acquisition_does_not_leak(self):
+        """If the constructor raises, no segment exists: the exception
+        edge must carry the *pre*-acquisition state into the handler
+        (this is the `_platform_has_shm` probe shape in kernels/shm.py).
+        """
+        good = (
+            "def probe():\n"
+            "    from multiprocessing.shared_memory import SharedMemory\n"
+            "    try:\n"
+            "        seg = SharedMemory(create=True, size=8)\n"
+            "        try:\n"
+            "            seg.buf[0] = 1\n"
+            "        finally:\n"
+            "            seg.close()\n"
+            "            seg.unlink()\n"
+            "    except (ImportError, OSError):\n"
+            "        return False\n"
+            "    return True\n"
+        )
+        assert lint_one(good, "RPL008") == []
+
+    def test_call_argument_escape_is_custody(self):
+        good = (
+            "from multiprocessing.shared_memory import SharedMemory\n"
+            "def f(registry):\n"
+            "    seg = SharedMemory(create=True, size=8)\n"
+            "    registry.adopt(seg)\n"
+        )
+        assert lint_one(good, "RPL008") == []
+
+    def test_close_on_one_branch_only_is_flagged(self):
+        bad = (
+            "from multiprocessing.shared_memory import SharedMemory\n"
+            "def f(flag):\n"
+            "    seg = SharedMemory(create=True, size=8)\n"
+            "    if flag:\n"
+            "        seg.close()\n"
+            "        seg.unlink()\n"
+        )
+        assert rules_of(lint_one(bad, "RPL008")) == ["RPL008"]
+
+
+# ----------------------------------------------------------------------
+# RPL009 — lock discipline
+# ----------------------------------------------------------------------
+class TestLockDiscipline:
+    HEADER = (
+        "import threading\n"
+        "class Registry:\n"
+        "    def __init__(self):\n"
+        "        self._lock = threading.Lock()\n"
+        "        self._datasets = {}\n"
+        "    def get(self, name):\n"
+        "        with self._lock:\n"
+        "            return self._datasets[name]\n"
+    )
+
+    def test_unlocked_access_to_guarded_attr_flagged(self):
+        bad = self.HEADER + (
+            "    def put(self, name, ds):\n"
+            "        self._datasets[name] = ds\n"
+        )
+        findings = lint_one(bad, "RPL009")
+        assert rules_of(findings) == ["RPL009"]
+        assert "_datasets" in findings[0].message
+
+    def test_explicit_acquire_release_counts_as_held(self):
+        good = self.HEADER + (
+            "    def put(self, name, ds):\n"
+            "        self._lock.acquire()\n"
+            "        self._datasets[name] = ds\n"
+            "        self._lock.release()\n"
+        )
+        assert lint_one(good, "RPL009") == []
+
+    def test_conditional_acquire_is_not_protection(self):
+        """Must-analysis: held on *all* paths or it does not count."""
+        bad = self.HEADER + (
+            "    def put(self, name, ds, fast):\n"
+            "        if not fast:\n"
+            "            self._lock.acquire()\n"
+            "        self._datasets[name] = ds\n"
+        )
+        assert rules_of(lint_one(bad, "RPL009")) == ["RPL009"]
+
+    def test_init_is_exempt(self):
+        # __init__ runs before the object is shared; HEADER's own
+        # unlocked `self._datasets = {}` in __init__ must not fire.
+        assert lint_one(self.HEADER, "RPL009") == []
+
+    def test_lock_order_inversion_flagged(self):
+        bad = (
+            "import threading\n"
+            "class Cache:\n"
+            "    def __init__(self):\n"
+            "        self._a = threading.Lock()\n"
+            "        self._b = threading.Lock()\n"
+            "    def one(self):\n"
+            "        with self._a:\n"
+            "            with self._b:\n"
+            "                pass\n"
+            "    def two(self):\n"
+            "        with self._b:\n"
+            "            with self._a:\n"
+            "                pass\n"
+        )
+        findings = lint_one(bad, "RPL009")
+        assert rules_of(findings) == ["RPL009"]
+        assert "inversion" in findings[0].message
+
+    def test_out_of_scope_package_modules_skipped(self):
+        bad = self.HEADER + (
+            "    def put(self, name, ds):\n"
+            "        self._datasets[name] = ds\n"
+        )
+        path = "src/repro/pbsm/parallel.py"
+        assert lint_one(bad, "RPL009", path=path) == []
+
+    def test_serve_and_planner_cache_are_clean(self):
+        findings = run_lint(
+            [REPO_ROOT / "src/repro/serve", REPO_ROOT / "src/repro/planner"],
+            rules=[RULES_BY_ID["RPL009"]],
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# RPL010 — charge-once counter conservation
+# ----------------------------------------------------------------------
+class TestChargeOnce:
+    def test_hoisted_counter_merged_per_iteration_flagged(self):
+        bad = (
+            "from repro.core.stats import CpuCounters\n"
+            "def run(parts, total):\n"
+            "    scratch = CpuCounters()\n"
+            "    for part in parts:\n"
+            "        total.add(scratch)\n"
+        )
+        findings = lint_one(bad, "RPL010")
+        assert rules_of(findings) == ["RPL010"]
+        assert "more than once" in findings[0].message
+
+    def test_merge_skipped_on_one_branch_flagged(self):
+        bad = (
+            "from repro.core.stats import CpuCounters\n"
+            "def run(total, flag):\n"
+            "    scratch = CpuCounters()\n"
+            "    scratch.intersection_tests += 1\n"
+            "    if flag:\n"
+            "        total.add(scratch)\n"
+        )
+        findings = lint_one(bad, "RPL010")
+        assert rules_of(findings) == ["RPL010"]
+        assert "never merges" in findings[0].message
+
+    def test_counter_created_inside_loop_is_clean(self):
+        good = (
+            "from repro.core.stats import CpuCounters\n"
+            "def run(parts, total):\n"
+            "    for part in parts:\n"
+            "        scratch = CpuCounters()\n"
+            "        total.add(scratch)\n"
+        )
+        assert lint_one(good, "RPL010") == []
+
+    def test_discard_scratch_never_merged_is_exempt(self):
+        # The sanctioned stripe-split pattern: siblings charge shared
+        # sort work into a throwaway counter that is never merged.
+        good = (
+            "from repro.core.stats import CpuCounters\n"
+            "def replay(parts):\n"
+            "    scratch = CpuCounters()\n"
+            "    scratch.intersection_tests += len(parts)\n"
+            "    return len(parts)\n"
+        )
+        assert lint_one(good, "RPL010") == []
+
+    def test_straight_line_create_then_merge_is_clean(self):
+        good = (
+            "from repro.core.stats import CpuCounters\n"
+            "def run(total):\n"
+            "    scratch = CpuCounters()\n"
+            "    total.add(scratch)\n"
+        )
+        assert lint_one(good, "RPL010") == []
+
+
+# ----------------------------------------------------------------------
+# RPL011 — span pairing
+# ----------------------------------------------------------------------
+class TestSpanPairing:
+    def test_discarded_span_flagged(self):
+        bad = (
+            "def f(tracer):\n"
+            '    tracer.span("join")\n'
+            "    return 1\n"
+        )
+        findings = lint_one(bad, "RPL011")
+        assert rules_of(findings) == ["RPL011"]
+        assert "never records" in findings[0].message
+
+    def test_span_not_exited_on_early_return_flagged(self):
+        bad = (
+            "def f(tracer, flag):\n"
+            '    span = tracer.span("join")\n'
+            "    if flag:\n"
+            "        return 0\n"
+            "    span.__exit__(None, None, None)\n"
+            "    return 1\n"
+        )
+        assert rules_of(lint_one(bad, "RPL011")) == ["RPL011"]
+
+    def test_with_statement_is_clean(self):
+        good = (
+            "def f(tracer, flag):\n"
+            '    with tracer.span("join"):\n'
+            "        if flag:\n"
+            "            return 0\n"
+            "    return 1\n"
+        )
+        assert lint_one(good, "RPL011") == []
+
+    def test_exit_in_finally_is_clean(self):
+        good = (
+            "def f(tracer, work):\n"
+            '    span = tracer.span("join")\n'
+            "    try:\n"
+            "        return work()\n"
+            "    finally:\n"
+            "        span.__exit__(None, None, None)\n"
+        )
+        assert lint_one(good, "RPL011") == []
+
+    def test_trace_definition_site_exempt(self):
+        bad = 'def f(tracer):\n    tracer.span("join")\n'
+        path = "src/repro/obs/trace.py"
+        assert lint_one(bad, "RPL011", path=path) == []
+
+    def test_module_level_span_checked(self):
+        bad = 'import tracer\ntracer.span("boot")\n'
+        assert rules_of(lint_one(bad, "RPL011")) == ["RPL011"]
+
+
+# ----------------------------------------------------------------------
+# RPL012 — thread-pool workers and shared state
+# ----------------------------------------------------------------------
+class TestThreadExecutorShared:
+    def test_unlocked_self_write_in_mapped_worker_flagged(self):
+        bad = (
+            "from concurrent.futures import ThreadPoolExecutor\n"
+            "class Engine:\n"
+            "    def run(self, units):\n"
+            "        def work(unit):\n"
+            "            self.completed += 1\n"
+            "            return unit\n"
+            "        with ThreadPoolExecutor(max_workers=2) as pool:\n"
+            "            return list(pool.map(work, units))\n"
+        )
+        findings = lint_one(bad, "RPL012")
+        assert rules_of(findings) == ["RPL012"]
+        assert "self.completed" in findings[0].message
+
+    def test_worker_passed_alongside_pool_var_flagged(self):
+        # The scheduler's own dispatch shape: self._drain(pool, work, ...)
+        bad = (
+            "from concurrent.futures import ThreadPoolExecutor\n"
+            "class Engine:\n"
+            "    def run(self, units):\n"
+            "        def work(unit):\n"
+            "            self.completed = unit\n"
+            "            return unit\n"
+            "        pool = ThreadPoolExecutor(max_workers=2)\n"
+            "        return self._drain(pool, work, units)\n"
+        )
+        assert rules_of(lint_one(bad, "RPL012")) == ["RPL012"]
+
+    def test_locked_write_is_clean(self):
+        good = (
+            "import threading\n"
+            "from concurrent.futures import ThreadPoolExecutor\n"
+            "class Engine:\n"
+            "    def run(self, units):\n"
+            "        def work(unit):\n"
+            "            with self._lock:\n"
+            "                self.completed += 1\n"
+            "            return unit\n"
+            "        with ThreadPoolExecutor(max_workers=2) as pool:\n"
+            "            return list(pool.map(work, units))\n"
+        )
+        assert lint_one(good, "RPL012") == []
+
+    def test_return_value_worker_is_clean(self):
+        good = (
+            "from concurrent.futures import ThreadPoolExecutor\n"
+            "def run(units):\n"
+            "    def work(unit):\n"
+            "        total = unit * 2\n"
+            "        return total\n"
+            "    with ThreadPoolExecutor(max_workers=2) as pool:\n"
+            "        return list(pool.map(work, units))\n"
+        )
+        assert lint_one(good, "RPL012") == []
+
+    def test_process_pool_workers_not_in_scope(self):
+        # Process workers get their own address space; writes are local.
+        good = (
+            "from concurrent.futures import ProcessPoolExecutor\n"
+            "class Engine:\n"
+            "    def run(self, units):\n"
+            "        def work(unit):\n"
+            "            self.completed = unit\n"
+            "            return unit\n"
+            "        with ProcessPoolExecutor(max_workers=2) as pool:\n"
+            "            return list(pool.map(work, units))\n"
+        )
+        assert lint_one(good, "RPL012") == []
+
+    def test_nonlocal_rebind_flagged(self):
+        bad = (
+            "from concurrent.futures import ThreadPoolExecutor\n"
+            "def run(units):\n"
+            "    done = 0\n"
+            "    def work(unit):\n"
+            "        nonlocal done\n"
+            "        done = done + 1\n"
+            "        return unit\n"
+            "    with ThreadPoolExecutor(max_workers=2) as pool:\n"
+            "        return list(pool.map(work, units))\n"
+        )
+        assert rules_of(lint_one(bad, "RPL012")) == ["RPL012"]
+
+
+# ----------------------------------------------------------------------
 # engine mechanics
 # ----------------------------------------------------------------------
 class TestEngine:
@@ -453,6 +849,39 @@ class TestEngine:
             "H = 19349663  # repro-lint: disable=all\n"
         )
         assert lint_source(src) == []
+
+    def test_suppression_covers_multiline_statement_extent(self):
+        """A disable comment on *any* physical line of a multi-line
+        simple statement suppresses findings anchored to the statement's
+        first line (the ast node's lineno)."""
+        src = (
+            "from multiprocessing.shared_memory import SharedMemory\n"
+            "def probe():\n"
+            "    seg = SharedMemory(\n"
+            "        create=True,  # repro-lint: disable=RPL004,RPL008\n"
+            "        size=8,\n"
+            "    )\n"
+            "    seg.buf[0] = 1\n"
+        )
+        assert lint_source(src) == []
+
+    def test_multiline_suppression_is_still_rule_specific(self):
+        src = (
+            "from multiprocessing.shared_memory import SharedMemory\n"
+            "def probe():\n"
+            "    seg = SharedMemory(\n"
+            "        create=True,  # repro-lint: disable=RPL006\n"
+            "        size=8,\n"
+            "    )\n"
+            "    seg.buf[0] = 1\n"
+        )
+        assert rules_of(lint_source(src)) == ["RPL004", "RPL008"]
+
+    def test_compound_header_comment_does_not_blanket_the_block(self):
+        # Expansion applies to *simple* statements only; a disable on an
+        # `if` header must not silence findings inside the block.
+        src = "if True:  # repro-lint: disable=RPL001\n    import numpy\n"
+        assert rules_of(lint_source(src)) == ["RPL001"]
 
     def test_syntax_error_reported_as_rpl000(self):
         findings = lint_source("def broken(:\n")
@@ -526,3 +955,116 @@ class TestCli:
         proc = self.run_cli("--self-test")
         assert proc.returncode == 0
         assert "self-test ok" in proc.stdout
+
+
+# ----------------------------------------------------------------------
+# SARIF output, baseline burn-down, incremental cache
+# ----------------------------------------------------------------------
+class TestCiIntegration:
+    run_cli = TestCli.run_cli
+
+    BAD = "import numpy\nH = 73856093\n"
+
+    def test_sarif_output_structure(self, tmp_path):
+        import json
+
+        bad = tmp_path / "bad.py"
+        bad.write_text(self.BAD)
+        out = tmp_path / "lint.sarif"
+        proc = self.run_cli(
+            "--format", "sarif", "--output", str(out), str(bad)
+        )
+        assert proc.returncode == 1  # findings still fail the run
+        doc = json.loads(out.read_text())
+        assert doc["version"] == "2.1.0"
+        run = doc["runs"][0]
+        driver = run["tool"]["driver"]
+        assert driver["name"] == "repro-lint"
+        shipped = {r["id"] for r in driver["rules"]}
+        assert {r.rule_id for r in ALL_RULES} <= shipped
+        results = run["results"]
+        assert sorted(r["ruleId"] for r in results) == ["RPL001", "RPL003"]
+        loc = results[0]["locations"][0]["physicalLocation"]
+        assert loc["artifactLocation"]["uri"].endswith("bad.py")
+        assert loc["region"]["startLine"] in (1, 2)
+
+    def test_clean_run_emits_valid_empty_sarif(self, tmp_path):
+        import json
+
+        ok = tmp_path / "ok.py"
+        ok.write_text("x = 1\n")
+        proc = self.run_cli("--format", "sarif", str(ok))
+        assert proc.returncode == 0
+        doc = json.loads(proc.stdout)
+        assert doc["runs"][0]["results"] == []
+
+    def test_write_then_apply_baseline(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text(self.BAD)
+        baseline = tmp_path / "baseline.json"
+        proc = self.run_cli("--write-baseline", str(baseline), str(bad))
+        assert proc.returncode == 0
+        assert "2 finding(s) written" in proc.stderr
+
+        # grandfathered findings no longer fail the run ...
+        proc = self.run_cli("--baseline", str(baseline), str(bad))
+        assert proc.returncode == 0
+        assert "2 grandfathered" in proc.stderr
+
+        # ... but a *new* finding does, and is the only one reported.
+        bad.write_text(self.BAD + "Y = 19349663\n")
+        proc = self.run_cli("--baseline", str(baseline), str(bad))
+        assert proc.returncode == 1
+        assert proc.stdout.count("RPL003") == 1
+        assert "RPL001" not in proc.stdout
+
+    def test_checked_in_baseline_is_empty(self):
+        """Satellite 2's contract: the repo lints clean with no
+        grandfathered findings left to burn down."""
+        import json
+
+        doc = json.loads((REPO_ROOT / "lint-baseline.json").read_text())
+        assert doc["findings"] == []
+
+    def test_unreadable_baseline_is_usage_error(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("x = 1\n")
+        missing = tmp_path / "nope.json"
+        proc = self.run_cli("--baseline", str(missing), str(bad))
+        assert proc.returncode == 2
+
+    def test_cache_hits_on_unchanged_files(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text(self.BAD)
+        (tmp_path / "ok.py").write_text("x = 1\n")
+        cache = tmp_path / "cache.json"
+
+        first = self.run_cli("--cache", str(cache), str(tmp_path))
+        assert first.returncode == 1
+        assert "cache: 0 hit(s), 2 miss(es)" in first.stderr
+
+        second = self.run_cli("--cache", str(cache), str(tmp_path))
+        assert second.returncode == 1
+        assert "cache: 2 hit(s), 0 miss(es)" in second.stderr
+        assert sorted(second.stdout.splitlines()) == sorted(
+            first.stdout.splitlines()
+        )
+
+    def test_cache_invalidated_by_content_change(self, tmp_path):
+        src = tmp_path / "mod.py"
+        src.write_text("x = 1\n")
+        cache = tmp_path / "cache.json"
+        self.run_cli("--cache", str(cache), str(src))
+
+        src.write_text("import numpy\n")
+        proc = self.run_cli("--cache", str(cache), str(src))
+        assert proc.returncode == 1
+        assert "1 miss(es)" in proc.stderr
+        assert "RPL001" in proc.stdout
+
+    def test_cached_findings_still_honour_suppressions(self, tmp_path):
+        src = tmp_path / "mod.py"
+        src.write_text("H = 73856093  # repro-lint: disable=RPL003\n")
+        cache = tmp_path / "cache.json"
+        assert self.run_cli("--cache", str(cache), str(src)).returncode == 0
+        assert self.run_cli("--cache", str(cache), str(src)).returncode == 0
